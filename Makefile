@@ -1,0 +1,38 @@
+# Convenience targets for the Ignem reproduction.
+
+GO ?= go
+
+.PHONY: all test race vet bench experiments examples tidy
+
+all: vet test
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# Regenerate every paper table and figure as benchmarks.
+bench:
+	$(GO) test -bench=. -benchmem -benchtime=1x -run XXX .
+
+# Regenerate every paper table and figure as rendered text (plus CSVs in
+# ./data for plotting).
+experiments:
+	$(GO) run ./cmd/ignem-bench -out data
+
+# Run every example end to end.
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/swim
+	$(GO) run ./examples/wordcount
+	$(GO) run ./examples/hive
+	$(GO) run ./examples/failover
+	$(GO) run ./examples/logscan
+
+tidy:
+	$(GO) mod tidy
+	gofmt -w .

@@ -1,0 +1,73 @@
+// Command ignem-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	ignem-bench [-seed N] [experiment ...]
+//	ignem-bench -list
+//
+// With no experiment arguments, every experiment runs in order.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "random seed for workload generation and placement")
+	list := flag.Bool("list", false, "list available experiments and exit")
+	out := flag.String("out", "", "directory to write raw CSV data for plotting")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: %s [-seed N] [experiment ...]\n\nExperiments:\n", os.Args[0])
+		for _, s := range experiments.All() {
+			fmt.Fprintf(os.Stderr, "  %-8s %s\n", s.ID, s.Title)
+		}
+	}
+	flag.Parse()
+
+	if *list {
+		for _, s := range experiments.All() {
+			fmt.Printf("%-8s %s\n", s.ID, s.Title)
+		}
+		return
+	}
+
+	ids := flag.Args()
+	if len(ids) == 0 {
+		for _, s := range experiments.All() {
+			ids = append(ids, s.ID)
+		}
+	}
+	exit := 0
+	for _, id := range ids {
+		spec, ok := experiments.Find(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "ignem-bench: unknown experiment %q (try -list)\n", id)
+			exit = 2
+			continue
+		}
+		start := time.Now()
+		rendered, data, err := spec.Run(*seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ignem-bench: %s: %v\n", id, err)
+			exit = 1
+			continue
+		}
+		fmt.Println(rendered)
+		if *out != "" && data != nil {
+			paths, err := data.WriteData(*out)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "ignem-bench: %s: write data: %v\n", id, err)
+				exit = 1
+			} else {
+				fmt.Printf("[raw data: %v]\n", paths)
+			}
+		}
+		fmt.Printf("[%s completed in %v wall time]\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+	os.Exit(exit)
+}

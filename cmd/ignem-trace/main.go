@@ -1,0 +1,29 @@
+// Command ignem-trace runs the paper's §II motivation analysis on a
+// synthesized Google-style cluster trace: lead-time sufficiency (Fig 3)
+// and residual disk bandwidth (Fig 4).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/gtrace"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "random seed")
+	servers := flag.Int("servers", 40, "servers in the simulated cluster slice")
+	hours := flag.Int("hours", 24, "length of the analyzed window")
+	util := flag.Float64("util", 0.031, "target mean disk utilization of the analyzed day")
+	flag.Parse()
+
+	r := experiments.RunTraceAnalysis(gtrace.Config{
+		Seed:              *seed,
+		Servers:           *servers,
+		Duration:          time.Duration(*hours) * time.Hour,
+		TargetUtilization: *util,
+	})
+	fmt.Println(r.Render())
+}

@@ -1,0 +1,97 @@
+// SWIM example: run a downscaled Facebook-trace workload end to end on
+// both the HDFS baseline and Ignem, and compare mean job durations —
+// a miniature of the paper's Table I.
+//
+//	go run ./examples/swim
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/dfs"
+	"repro/internal/mapreduce"
+	"repro/internal/metrics"
+	"repro/internal/simclock"
+	"repro/internal/workloads"
+)
+
+func main() {
+	// 40 jobs, 8 GB total: small enough to finish instantly, big enough
+	// to show the effect.
+	jobs := workloads.GenerateSwim(workloads.SwimConfig{
+		Jobs:            40,
+		TotalInputBytes: 8 << 30,
+		LargeMax:        2 << 30,
+		Seed:            7,
+	})
+	fmt.Printf("generated %d jobs; largest reads %.1f GB\n", len(jobs), largestGB(jobs))
+
+	for _, mode := range []cluster.Mode{cluster.ModeHDFS, cluster.ModeIgnem} {
+		mean, err := run(mode, jobs)
+		if err != nil {
+			log.Fatalf("%s: %v", mode, err)
+		}
+		fmt.Printf("%-22s mean job duration %.1fs\n", mode, mean)
+	}
+}
+
+func run(mode cluster.Mode, jobs []workloads.Job) (meanSeconds float64, err error) {
+	durations := &metrics.Series{}
+	runErr := cluster.RunVirtual(5*time.Minute, func(v *simclock.Virtual) {
+		c, cerr := cluster.Start(v, cluster.Config{Mode: mode, Seed: 7})
+		if cerr != nil {
+			err = cerr
+			return
+		}
+		defer c.Close()
+		cl, cerr := c.Client()
+		if cerr != nil {
+			err = cerr
+			return
+		}
+		defer cl.Close()
+		for _, j := range jobs {
+			if werr := cl.WriteSyntheticFile("/swim/"+j.Name, j.InputBytes, 0, dfs.DefaultReplication); werr != nil {
+				err = werr
+				return
+			}
+		}
+		wg := simclock.NewWaitGroup(v)
+		for _, j := range jobs {
+			j := j
+			wg.Go(func() {
+				v.Sleep(j.Arrival)
+				r, rerr := c.Engine.Run(mapreduce.Config{
+					ID:            dfs.JobID(j.Name),
+					InputPaths:    []string{"/swim/" + j.Name},
+					MapRateMBps:   800,
+					ShuffleBytes:  j.ShuffleBytes,
+					OutputBytes:   j.OutputBytes,
+					UseIgnem:      c.UseIgnem(),
+					ImplicitEvict: true,
+				})
+				if rerr == nil {
+					durations.AddDuration(r.Duration)
+				}
+			})
+		}
+		wg.Wait()
+	})
+	if runErr != nil {
+		return 0, runErr
+	}
+	return durations.Mean(), err
+}
+
+func largestGB(jobs []workloads.Job) float64 {
+	var max int64
+	for _, j := range jobs {
+		if j.InputBytes > max {
+			max = j.InputBytes
+		}
+	}
+	return float64(max) / float64(1<<30)
+}

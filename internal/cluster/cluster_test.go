@@ -1,0 +1,309 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/dfs"
+	"repro/internal/ignem"
+	"repro/internal/mapreduce"
+	"repro/internal/simclock"
+)
+
+func TestStartAndCloseAllModes(t *testing.T) {
+	for _, mode := range []Mode{ModeHDFS, ModeIgnem, ModeInputsInRAM} {
+		mode := mode
+		err := RunVirtual(time.Minute, func(v *simclock.Virtual) {
+			c, err := Start(v, Config{Nodes: 3, Mode: mode, Seed: 1})
+			if err != nil {
+				t.Errorf("%s: start: %v", mode, err)
+				return
+			}
+			defer c.Close()
+			if got := len(c.NodeAddrs()); got != 3 {
+				t.Errorf("%s: %d nodes", mode, got)
+			}
+			if c.UseIgnem() != (mode == ModeIgnem) {
+				t.Errorf("%s: UseIgnem = %v", mode, c.UseIgnem())
+			}
+			if mode.String() == "" {
+				t.Error("empty mode name")
+			}
+			// All datanodes register and become live.
+			for len(c.NameNode.LiveDataNodes()) < 3 {
+				v.Sleep(time.Second)
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestClusterAggregates(t *testing.T) {
+	err := RunVirtual(time.Minute, func(v *simclock.Virtual) {
+		c, err := Start(v, Config{Nodes: 2, Mode: ModeIgnem, Seed: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		cl, err := c.Client()
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cl.Close()
+		if err := cl.WriteSyntheticFile("/f", 2*dfs.DefaultBlockSize, 0, 2); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := cl.Migrate("j", []string{"/f"}, false); err != nil {
+			t.Fatal(err)
+		}
+		for c.TotalPinnedBytes() < 2*dfs.DefaultBlockSize {
+			v.Sleep(100 * time.Millisecond)
+		}
+		per := c.PinnedBytesPerNode()
+		var sum int64
+		for _, p := range per {
+			sum += p
+		}
+		if sum != c.TotalPinnedBytes() {
+			t.Errorf("per-node sum %d != total %d", sum, c.TotalPinnedBytes())
+		}
+		st := c.SlaveStats()
+		if st.MigratedBlocks != 2 {
+			t.Errorf("MigratedBlocks = %d", st.MigratedBlocks)
+		}
+		if c.MeanDiskBusy() <= 0 {
+			t.Error("no disk busy time recorded after migration reads")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModeStringUnknown(t *testing.T) {
+	if got := Mode(99).String(); got != "Mode(99)" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestRunVirtualStallDetection(t *testing.T) {
+	// A goroutine blocking in native (non-clock) sleep stalls the sim;
+	// RunVirtual must report it rather than hang.
+	err := RunVirtual(100*time.Millisecond, func(v *simclock.Virtual) {
+		ch := make(chan struct{})
+		<-ch // never delivered: a bug RunVirtual should catch
+	})
+	if err == nil {
+		t.Fatal("stall not detected")
+	}
+}
+
+// TestDeadJobCleanupSweep exercises the paper's §III-A4 failure path end
+// to end: a job migrates its input, dies without evicting, and the
+// slave's occupancy-triggered liveness sweep (querying the real
+// scheduler) reclaims the memory so a later job can migrate.
+func TestDeadJobCleanupSweep(t *testing.T) {
+	err := RunVirtual(2*time.Minute, func(v *simclock.Virtual) {
+		// One node so all migration lands on a single slave and the
+		// occupancy threshold is guaranteed to trip.
+		c, err := Start(v, Config{
+			Nodes: 1,
+			Mode:  ModeIgnem,
+			Seed:  4,
+			Slave: ignem.SlaveConfig{
+				Capacity:           192 << 20, // exactly three 64MB blocks
+				CleanupThreshold:   0.3,
+				CleanupMinInterval: time.Second,
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		cl, err := c.Client()
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cl.Close()
+
+		// Job A fills the migration buffers, then dies without evicting.
+		jobA, err := c.Scheduler.SubmitJob("job-a")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cl.WriteSyntheticFile("/a", 3*dfs.DefaultBlockSize, 0, 1); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := cl.Migrate("job-a", []string{"/a"}, false); err != nil {
+			t.Fatal(err)
+		}
+		for c.TotalPinnedBytes() < 3*dfs.DefaultBlockSize {
+			v.Sleep(100 * time.Millisecond)
+		}
+		jobA.Kill() // dies; no evict instruction will ever come
+
+		// Job B needs more space than remains; its deferred commands
+		// trigger the sweep, which finds job A dead and purges it.
+		jobB, err := c.Scheduler.SubmitJob("job-b")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cl.WriteSyntheticFile("/b", 3*dfs.DefaultBlockSize, 0, 1); err != nil {
+			t.Fatal(err)
+		}
+		v.Sleep(2 * time.Second) // past the sweep rate limit
+		if _, err := cl.Migrate("job-b", []string{"/b"}, false); err != nil {
+			t.Fatal(err)
+		}
+		deadline := v.Now().Add(time.Minute)
+		for c.TotalPinnedBytes() != 3*dfs.DefaultBlockSize || c.SlaveStats().PurgedJobs == 0 {
+			if v.Now().After(deadline) {
+				t.Fatalf("sweep never reclaimed job A: pinned=%d stats=%+v",
+					c.TotalPinnedBytes(), c.SlaveStats())
+			}
+			v.Sleep(200 * time.Millisecond)
+		}
+		jobB.Complete()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestChaosFailuresDuringWorkload restarts Ignem masters and slave
+// processes randomly while a stream of Ignem jobs runs. Every job must
+// complete, and once the dust settles no migrated memory may leak.
+func TestChaosFailuresDuringWorkload(t *testing.T) {
+	err := RunVirtual(5*time.Minute, func(v *simclock.Virtual) {
+		c, err := Start(v, Config{Nodes: 4, Mode: ModeIgnem, Seed: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		cl, err := c.Client()
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cl.Close()
+
+		const jobs = 10
+		for i := 0; i < jobs; i++ {
+			if err := cl.WriteSyntheticFile(fmt.Sprintf("/chaos/%d", i), 2*dfs.DefaultBlockSize, 0, 2); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		// The chaos monkey: every few seconds, restart the Ignem master
+		// or a random slave process.
+		rng := rand.New(rand.NewSource(99))
+		stop := simclock.NewChan[struct{}](v)
+		chaosDone := simclock.NewChan[struct{}](v)
+		v.Go(func() {
+			defer chaosDone.Send(struct{}{})
+			for {
+				if _, _, timedOut := stop.RecvTimeout(4 * time.Second); !timedOut {
+					return
+				}
+				if rng.Intn(2) == 0 {
+					c.NameNode.RestartMaster()
+				} else {
+					c.DataNodes[rng.Intn(len(c.DataNodes))].RestartSlaveProcess()
+				}
+			}
+		})
+
+		completed := 0
+		var mu sync.Mutex
+		wg := simclock.NewWaitGroup(v)
+		for i := 0; i < jobs; i++ {
+			i := i
+			wg.Go(func() {
+				v.Sleep(time.Duration(i) * 3 * time.Second)
+				_, err := c.Engine.Run(mapreduce.Config{
+					ID:            dfs.JobID(fmt.Sprintf("chaos-%d", i)),
+					InputPaths:    []string{fmt.Sprintf("/chaos/%d", i)},
+					UseIgnem:      true,
+					ImplicitEvict: true,
+				})
+				if err != nil {
+					t.Errorf("job %d: %v", i, err)
+					return
+				}
+				mu.Lock()
+				completed++
+				mu.Unlock()
+			})
+		}
+		wg.Wait()
+		stop.Send(struct{}{})
+		chaosDone.Recv()
+
+		if completed != jobs {
+			t.Errorf("completed %d/%d jobs under chaos", completed, jobs)
+		}
+		// Stale pins from pre-restart epochs are purged when any
+		// new-epoch batch arrives; the remaining ones disappear with a
+		// final master restart broadcast.
+		c.NameNode.RestartMaster()
+		v.Sleep(2 * time.Second)
+		if got := c.TotalPinnedBytes(); got != 0 {
+			t.Errorf("chaos leaked %d pinned bytes", got)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRackAwareClusterEndToEnd brings up a racked cluster and checks
+// that placement honours the HDFS rack policy while Ignem still works.
+func TestRackAwareClusterEndToEnd(t *testing.T) {
+	err := RunVirtual(2*time.Minute, func(v *simclock.Virtual) {
+		c, err := Start(v, Config{Nodes: 6, Racks: 2, Mode: ModeIgnem, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		cl, err := c.Client()
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cl.Close()
+		if err := cl.WriteSyntheticFile("/f", 4*dfs.DefaultBlockSize, 0, 3); err != nil {
+			t.Fatal(err)
+		}
+		rackOf := func(addr string) string {
+			var i int
+			fmt.Sscanf(addr, "dn%d", &i)
+			return fmt.Sprint(i % 2)
+		}
+		lbs, _ := cl.Locations("/f")
+		for _, lb := range lbs {
+			if len(lb.Nodes) != 3 {
+				t.Fatalf("replicas = %v", lb.Nodes)
+			}
+			racks := map[string]int{}
+			for _, n := range lb.Nodes {
+				racks[rackOf(n)]++
+			}
+			if len(racks) != 2 {
+				t.Errorf("block %d not spread across racks: %v", lb.Block.ID, lb.Nodes)
+			}
+		}
+		// Migration still works on the racked cluster.
+		if _, err := cl.Migrate("j", []string{"/f"}, false); err != nil {
+			t.Fatal(err)
+		}
+		for c.TotalPinnedBytes() < 4*dfs.DefaultBlockSize {
+			v.Sleep(100 * time.Millisecond)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

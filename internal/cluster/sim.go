@@ -1,0 +1,30 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/simclock"
+)
+
+// SimStart is the epoch all virtual-time experiments begin at.
+var SimStart = time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC)
+
+// RunVirtual runs fn as the root goroutine of a fresh virtual-time
+// simulation and waits for it to return. It fails with an error if the
+// simulation makes no progress for wallTimeout of real time (a deadlock
+// or a runaway loop), so tests and benchmarks never hang silently.
+func RunVirtual(wallTimeout time.Duration, fn func(v *simclock.Virtual)) error {
+	v := simclock.NewVirtual(SimStart)
+	done := make(chan struct{})
+	v.Go(func() {
+		defer close(done)
+		fn(v)
+	})
+	select {
+	case <-done:
+		return nil
+	case <-time.After(wallTimeout):
+		return fmt.Errorf("cluster: simulation stalled after %v: %v", wallTimeout, v)
+	}
+}

@@ -1,0 +1,440 @@
+// Package client implements the DFSClient used by jobs: namespace
+// operations, the block write and read paths, and the paper's Migrate and
+// Evict extension — the single call a job submitter adds to use Ignem.
+package client
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/dfs"
+	"repro/internal/simclock"
+	"repro/internal/transport"
+)
+
+// BlockReadEvent describes one completed block read, for the experiment
+// harness's Fig 6 instrumentation.
+type BlockReadEvent struct {
+	Block      dfs.BlockID
+	Size       int64
+	Duration   time.Duration
+	FromMemory bool
+	Addr       string
+	Local      bool
+	Job        dfs.JobID
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithLocalAddr declares which datanode address this client is co-located
+// with, enabling short-circuit local reads and locality preferences.
+func WithLocalAddr(addr string) Option {
+	return func(c *Client) { c.localAddr = addr }
+}
+
+// WithReadObserver installs a callback invoked after every block read.
+func WithReadObserver(fn func(BlockReadEvent)) Option {
+	return func(c *Client) { c.observer = fn }
+}
+
+// WithSeed seeds the client's replica-choice randomness.
+func WithSeed(seed int64) Option {
+	return func(c *Client) { c.rng = rand.New(rand.NewSource(seed)) }
+}
+
+// Client is a DFS client handle. It is safe for concurrent use.
+type Client struct {
+	clock     simclock.Clock
+	net       transport.Network
+	nn        *transport.Client
+	localAddr string
+	observer  func(BlockReadEvent)
+
+	mu  sync.Mutex
+	dns map[string]*transport.Client
+	rng *rand.Rand
+}
+
+// New dials the namenode and returns a ready client.
+func New(clock simclock.Clock, net transport.Network, nnAddr string, opts ...Option) (*Client, error) {
+	nn, err := transport.Dial(clock, net, nnAddr, transport.WithCallTimeout(5*time.Minute))
+	if err != nil {
+		return nil, fmt.Errorf("dfs client: %w", err)
+	}
+	c := &Client{
+		clock: clock,
+		net:   net,
+		nn:    nn,
+		dns:   make(map[string]*transport.Client),
+		rng:   rand.New(rand.NewSource(1)),
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c, nil
+}
+
+// Close releases the namenode and datanode connections.
+func (c *Client) Close() {
+	c.nn.Close()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, dc := range c.dns {
+		dc.Close()
+	}
+	c.dns = make(map[string]*transport.Client)
+}
+
+// ---- namespace operations ----
+
+// Create starts a new file and returns a Writer for its content.
+func (c *Client) Create(path string, blockSize int64, replication int) (*Writer, error) {
+	_, err := transport.Call[dfs.CreateResp](c.nn, "nn.create", dfs.CreateReq{
+		Path: path, BlockSize: blockSize, Replication: replication,
+	})
+	if err != nil {
+		return nil, err
+	}
+	info, err := c.Info(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Writer{c: c, path: path, blockSize: info.BlockSize}, nil
+}
+
+// Info fetches file metadata.
+func (c *Client) Info(path string) (dfs.FileInfo, error) {
+	resp, err := transport.Call[dfs.GetInfoResp](c.nn, "nn.getInfo", dfs.GetInfoReq{Path: path})
+	if err != nil {
+		return dfs.FileInfo{}, err
+	}
+	return resp.Info, nil
+}
+
+// Locations fetches the block layout of a file.
+func (c *Client) Locations(path string) ([]dfs.LocatedBlock, error) {
+	return c.LocationsForJob(path, "")
+}
+
+// LocationsForJob fetches the block layout with each block annotated
+// with the replica Ignem assigned to job's migration (if any).
+func (c *Client) LocationsForJob(path string, job dfs.JobID) ([]dfs.LocatedBlock, error) {
+	resp, err := transport.Call[dfs.GetLocationsResp](c.nn, "nn.getLocations", dfs.GetLocationsReq{Path: path, Job: job})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Blocks, nil
+}
+
+// Delete removes a file from the namespace.
+func (c *Client) Delete(path string) error {
+	_, err := transport.Call[dfs.DeleteResp](c.nn, "nn.delete", dfs.DeleteReq{Path: path})
+	return err
+}
+
+// List returns metadata for files whose path starts with prefix.
+func (c *Client) List(prefix string) ([]dfs.FileInfo, error) {
+	resp, err := transport.Call[dfs.ListResp](c.nn, "nn.list", dfs.ListReq{Prefix: prefix})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Files, nil
+}
+
+// ---- the Ignem extension ----
+
+// Migrate asks Ignem to move the inputs of job into memory ahead of its
+// reads. This is the one call a job submitter adds. implicit opts into
+// implicit eviction (drop on first read).
+func (c *Client) Migrate(job dfs.JobID, paths []string, implicit bool) (dfs.MigrateResp, error) {
+	return transport.Call[dfs.MigrateResp](c.nn, "nn.migrate", dfs.MigrateReq{
+		Job: job, Paths: paths, Implicit: implicit, SubmitTime: c.clock.Now(),
+	})
+}
+
+// Evict tells Ignem the job is done with its inputs.
+func (c *Client) Evict(job dfs.JobID, paths []string) error {
+	_, err := transport.Call[dfs.EvictResp](c.nn, "nn.evict", dfs.EvictReq{Job: job, Paths: paths})
+	return err
+}
+
+// ---- write path ----
+
+// Writer streams a file into the DFS block by block.
+type Writer struct {
+	c         *Client
+	path      string
+	blockSize int64
+	buf       []byte
+	closed    bool
+}
+
+// Write buffers p, flushing full blocks to the cluster.
+func (w *Writer) Write(p []byte) (int, error) {
+	if w.closed {
+		return 0, fmt.Errorf("dfs client: write to closed writer")
+	}
+	w.buf = append(w.buf, p...)
+	for int64(len(w.buf)) >= w.blockSize {
+		if err := w.flushBlock(w.buf[:w.blockSize], nil); err != nil {
+			return 0, err
+		}
+		w.buf = w.buf[w.blockSize:]
+	}
+	return len(p), nil
+}
+
+// WriteSynthetic appends size bytes of synthetic (unmaterialized) data,
+// used by experiment-scale workloads so terabyte files don't allocate
+// terabytes. Mixing Write and WriteSynthetic on one file is not allowed.
+func (w *Writer) WriteSynthetic(size int64) error {
+	if w.closed {
+		return fmt.Errorf("dfs client: write to closed writer")
+	}
+	if len(w.buf) > 0 {
+		return fmt.Errorf("dfs client: cannot mix real and synthetic writes")
+	}
+	for size > 0 {
+		n := size
+		if n > w.blockSize {
+			n = w.blockSize
+		}
+		if err := w.flushBlock(nil, &n); err != nil {
+			return err
+		}
+		size -= n
+	}
+	return nil
+}
+
+// flushBlock allocates a block at the namenode and writes it to every
+// replica target.
+func (w *Writer) flushBlock(data []byte, synthSize *int64) error {
+	size := int64(len(data))
+	if synthSize != nil {
+		size = *synthSize
+	}
+	resp, err := transport.Call[dfs.AddBlockResp](w.c.nn, "nn.addBlock", dfs.AddBlockReq{Path: w.path, Size: size})
+	if err != nil {
+		return fmt.Errorf("dfs client: addBlock: %w", err)
+	}
+	lb := resp.Located
+	if len(lb.Nodes) == 0 {
+		return fmt.Errorf("dfs client: block %d allocated with no targets", lb.Block.ID)
+	}
+	// HDFS-style pipeline: send once to the first target, which stores
+	// its replica and forwards down the chain.
+	req := dfs.WriteBlockReq{Block: lb.Block, Data: data, Pipeline: lb.Nodes[1:]}
+	dc, err := w.c.datanode(lb.Nodes[0])
+	if err != nil {
+		return err
+	}
+	if _, err := transport.Call[dfs.WriteBlockResp](dc, "dn.writeBlock", req); err != nil {
+		return fmt.Errorf("dfs client: write block %d via %s: %w", lb.Block.ID, lb.Nodes[0], err)
+	}
+	return nil
+}
+
+// Close flushes the remaining partial block and seals the file.
+func (w *Writer) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	if len(w.buf) > 0 {
+		if err := w.flushBlock(w.buf, nil); err != nil {
+			return err
+		}
+		w.buf = nil
+	}
+	_, err := transport.Call[dfs.CompleteResp](w.c.nn, "nn.complete", dfs.CompleteReq{Path: w.path})
+	return err
+}
+
+// WriteFile creates path and writes data in one call.
+func (c *Client) WriteFile(path string, data []byte, blockSize int64, replication int) error {
+	w, err := c.Create(path, blockSize, replication)
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write(data); err != nil {
+		return err
+	}
+	return w.Close()
+}
+
+// WriteSyntheticFile creates path with size bytes of synthetic data.
+func (c *Client) WriteSyntheticFile(path string, size int64, blockSize int64, replication int) error {
+	w, err := c.Create(path, blockSize, replication)
+	if err != nil {
+		return err
+	}
+	if err := w.WriteSynthetic(size); err != nil {
+		return err
+	}
+	return w.Close()
+}
+
+// ---- read path ----
+
+// ReadBlock reads one located block on behalf of job. Replica choice
+// honours the paper's locality preferences: the Ignem-assigned copy when
+// pinned, then a migrated copy, then a local copy, then a random
+// replica. A failed replica is forgotten and the read transparently
+// fails over to the remaining holders.
+func (c *Client) ReadBlock(lb dfs.LocatedBlock, job dfs.JobID) (dfs.ReadBlockResp, error) {
+	first := c.chooseReplica(lb)
+	if first == "" {
+		return dfs.ReadBlockResp{}, fmt.Errorf("dfs client: block %d has no live replica", lb.Block.ID)
+	}
+	candidates := []string{first}
+	for _, n := range lb.Nodes {
+		if n != first {
+			candidates = append(candidates, n)
+		}
+	}
+	var lastErr error
+	for _, addr := range candidates {
+		resp, err := c.readBlockFrom(addr, lb, job)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		// The replica is unreachable or lost the block; drop the cached
+		// connection so a later retry re-dials, and try the next holder.
+		c.ForgetDataNode(addr)
+	}
+	return dfs.ReadBlockResp{}, fmt.Errorf("dfs client: block %d unreadable from all replicas: %w", lb.Block.ID, lastErr)
+}
+
+func (c *Client) readBlockFrom(addr string, lb dfs.LocatedBlock, job dfs.JobID) (dfs.ReadBlockResp, error) {
+	dc, err := c.datanode(addr)
+	if err != nil {
+		return dfs.ReadBlockResp{}, err
+	}
+	local := addr == c.localAddr
+	start := c.clock.Now()
+	resp, err := transport.Call[dfs.ReadBlockResp](dc, "dn.readBlock", dfs.ReadBlockReq{
+		Block: lb.Block.ID, Job: job, Local: local,
+	})
+	if err != nil {
+		return dfs.ReadBlockResp{}, fmt.Errorf("dfs client: read block %d from %s: %w", lb.Block.ID, addr, err)
+	}
+	if c.observer != nil {
+		c.observer(BlockReadEvent{
+			Block:      lb.Block.ID,
+			Size:       resp.Size,
+			Duration:   c.clock.Now().Sub(start),
+			FromMemory: resp.FromMemory,
+			Addr:       addr,
+			Local:      local,
+			Job:        job,
+		})
+	}
+	return resp, nil
+}
+
+// chooseReplica applies migration-aware locality preferences: the
+// Ignem-assigned replica when its copy is already pinned (or when it is
+// this very node), then any pinned copy, then a local replica, then any.
+// A not-yet-pinned assigned copy on another node is NOT preferred over a
+// local disk replica: a local disk read is cheaper than a remote one.
+func (c *Client) chooseReplica(lb dfs.LocatedBlock) string {
+	if lb.Assigned != "" {
+		if lb.Assigned == c.localAddr || contains(lb.Migrated, lb.Assigned) {
+			return lb.Assigned
+		}
+	}
+	if c.localAddr != "" {
+		for _, a := range lb.Migrated {
+			if a == c.localAddr {
+				return a
+			}
+		}
+	}
+	if len(lb.Migrated) > 0 {
+		return c.pick(lb.Migrated)
+	}
+	if c.localAddr != "" {
+		for _, a := range lb.Nodes {
+			if a == c.localAddr {
+				return a
+			}
+		}
+	}
+	if len(lb.Nodes) > 0 {
+		return c.pick(lb.Nodes)
+	}
+	return ""
+}
+
+func contains(list []string, s string) bool {
+	for _, v := range list {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *Client) pick(addrs []string) string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return addrs[c.rng.Intn(len(addrs))]
+}
+
+// ReadFile reads a whole file sequentially on behalf of job and returns
+// its real bytes (nil for synthetic files). The time spent is the
+// simulated read time of each block in turn.
+func (c *Client) ReadFile(path string, job dfs.JobID) ([]byte, error) {
+	blocks, err := c.Locations(path)
+	if err != nil {
+		return nil, err
+	}
+	var out []byte
+	for _, lb := range blocks {
+		resp, err := c.ReadBlock(lb, job)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, resp.Data...)
+	}
+	return out, nil
+}
+
+// datanode returns a cached (or fresh) connection to addr.
+func (c *Client) datanode(addr string) (*transport.Client, error) {
+	c.mu.Lock()
+	if dc, ok := c.dns[addr]; ok {
+		c.mu.Unlock()
+		return dc, nil
+	}
+	c.mu.Unlock()
+
+	dc, err := transport.Dial(c.clock, c.net, addr, transport.WithCallTimeout(5*time.Minute))
+	if err != nil {
+		return nil, fmt.Errorf("dfs client: dial %s: %w", addr, err)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if existing, ok := c.dns[addr]; ok {
+		defer dc.Close()
+		return existing, nil
+	}
+	c.dns[addr] = dc
+	return dc, nil
+}
+
+// ForgetDataNode drops the cached connection to addr (used after a node
+// failure so later reads re-dial a live replica).
+func (c *Client) ForgetDataNode(addr string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if dc, ok := c.dns[addr]; ok {
+		dc.Close()
+		delete(c.dns, addr)
+	}
+}

@@ -1,0 +1,836 @@
+package client_test
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"testing"
+	"time"
+
+	"repro/internal/dfs"
+	"repro/internal/dfs/client"
+	"repro/internal/dfs/datanode"
+	"repro/internal/dfs/namenode"
+	"repro/internal/ignem"
+	"repro/internal/simclock"
+	"repro/internal/storage"
+	"repro/internal/transport"
+)
+
+var epoch = time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC)
+
+// miniCluster is a namenode plus datanodes on an in-memory network.
+type miniCluster struct {
+	clock *simclock.Virtual
+	net   *transport.InmemNetwork
+	nn    *namenode.NameNode
+	dns   []*datanode.DataNode
+}
+
+type miniConfig struct {
+	nodes       int
+	media       storage.Spec
+	allRAM      bool
+	liveness    ignem.Liveness
+	slaveConfig ignem.SlaveConfig
+}
+
+// startMini must run on a simulation goroutine.
+func startMini(t *testing.T, v *simclock.Virtual, cfg miniConfig) *miniCluster {
+	t.Helper()
+	if cfg.nodes == 0 {
+		cfg.nodes = 4
+	}
+	if cfg.media.Name == "" {
+		cfg.media = storage.HDDSpec()
+	}
+	net := transport.NewInmemNetwork(v)
+	nn := namenode.New(v, net, namenode.Config{Addr: "nn", Seed: 7})
+	if err := nn.Start(); err != nil {
+		t.Fatalf("namenode start: %v", err)
+	}
+	mc := &miniCluster{clock: v, net: net, nn: nn}
+	for i := 0; i < cfg.nodes; i++ {
+		dn, err := datanode.New(v, net, datanode.Config{
+			Addr:            fmt.Sprintf("dn%d", i),
+			NameNodeAddr:    "nn",
+			Media:           cfg.media,
+			Slave:           cfg.slaveConfig,
+			Liveness:        cfg.liveness,
+			ServeAllFromRAM: cfg.allRAM,
+		})
+		if err != nil {
+			t.Fatalf("datanode new: %v", err)
+		}
+		if err := dn.Start(); err != nil {
+			t.Fatalf("datanode start: %v", err)
+		}
+		mc.dns = append(mc.dns, dn)
+	}
+	return mc
+}
+
+func (mc *miniCluster) close() {
+	for _, dn := range mc.dns {
+		dn.Close()
+	}
+	mc.nn.Close()
+}
+
+func (mc *miniCluster) client(t *testing.T, opts ...client.Option) *client.Client {
+	t.Helper()
+	c, err := client.New(mc.clock, mc.net, "nn", opts...)
+	if err != nil {
+		t.Fatalf("client: %v", err)
+	}
+	return c
+}
+
+// runSim runs fn as the root simulation goroutine and fails the test if
+// the virtual-time simulation stalls in real time.
+func runSim(t *testing.T, fn func(v *simclock.Virtual)) {
+	t.Helper()
+	v := simclock.NewVirtual(epoch)
+	done := make(chan struct{})
+	v.Go(func() {
+		defer close(done)
+		fn(v)
+	})
+	select {
+	case <-done:
+	case <-time.After(120 * time.Second):
+		t.Fatalf("simulation stalled: %v", v)
+	}
+}
+
+// waitUntil polls cond under virtual time.
+func waitUntil(t *testing.T, v *simclock.Virtual, timeout time.Duration, cond func() bool, what string) {
+	t.Helper()
+	deadline := v.Now().Add(timeout)
+	for !cond() {
+		if v.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		v.Sleep(50 * time.Millisecond)
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	runSim(t, func(v *simclock.Virtual) {
+		mc := startMini(t, v, miniConfig{})
+		defer mc.close()
+		c := mc.client(t)
+		defer c.Close()
+
+		data := bytes.Repeat([]byte("0123456789abcdef"), 1000) // 16 KB
+		if err := c.WriteFile("/data/f1", data, 4096, 2); err != nil {
+			t.Fatalf("WriteFile: %v", err)
+		}
+		info, err := c.Info("/data/f1")
+		if err != nil {
+			t.Fatalf("Info: %v", err)
+		}
+		if info.Size != int64(len(data)) || !info.Complete {
+			t.Errorf("info = %+v", info)
+		}
+		got, err := c.ReadFile("/data/f1", "job1")
+		if err != nil {
+			t.Fatalf("ReadFile: %v", err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Errorf("round trip corrupted: got %d bytes, want %d", len(got), len(data))
+		}
+	})
+}
+
+func TestReplicasOnDistinctNodes(t *testing.T) {
+	runSim(t, func(v *simclock.Virtual) {
+		mc := startMini(t, v, miniConfig{nodes: 5})
+		defer mc.close()
+		c := mc.client(t)
+		defer c.Close()
+
+		if err := c.WriteSyntheticFile("/f", 10*dfs.DefaultBlockSize, 0, 3); err != nil {
+			t.Fatalf("WriteSyntheticFile: %v", err)
+		}
+		blocks, err := c.Locations("/f")
+		if err != nil {
+			t.Fatalf("Locations: %v", err)
+		}
+		if len(blocks) != 10 {
+			t.Fatalf("got %d blocks, want 10", len(blocks))
+		}
+		for _, lb := range blocks {
+			if len(lb.Nodes) != 3 {
+				t.Errorf("block %d has %d replicas, want 3", lb.Block.ID, len(lb.Nodes))
+			}
+			seen := map[string]bool{}
+			for _, n := range lb.Nodes {
+				if seen[n] {
+					t.Errorf("block %d has duplicate replica on %s", lb.Block.ID, n)
+				}
+				seen[n] = true
+			}
+		}
+	})
+}
+
+func TestReplicationCappedByClusterSize(t *testing.T) {
+	runSim(t, func(v *simclock.Virtual) {
+		mc := startMini(t, v, miniConfig{nodes: 2})
+		defer mc.close()
+		c := mc.client(t)
+		defer c.Close()
+		if err := c.WriteSyntheticFile("/f", 1<<20, 0, 3); err != nil {
+			t.Fatalf("WriteSyntheticFile: %v", err)
+		}
+		blocks, _ := c.Locations("/f")
+		if len(blocks[0].Nodes) != 2 {
+			t.Errorf("replicas = %d, want 2 (cluster size)", len(blocks[0].Nodes))
+		}
+	})
+}
+
+func TestMigrateThenReadFromMemory(t *testing.T) {
+	runSim(t, func(v *simclock.Virtual) {
+		mc := startMini(t, v, miniConfig{})
+		defer mc.close()
+		c := mc.client(t)
+		defer c.Close()
+
+		if err := c.WriteSyntheticFile("/input", 4*dfs.DefaultBlockSize, 0, 2); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		resp, err := c.Migrate("job1", []string{"/input"}, false)
+		if err != nil {
+			t.Fatalf("Migrate: %v", err)
+		}
+		if resp.Blocks != 4 {
+			t.Errorf("migrate enqueued %d blocks, want 4", resp.Blocks)
+		}
+		waitUntil(t, v, time.Minute, func() bool {
+			var pinned int
+			for _, dn := range mc.dns {
+				pinned += dn.Slave().Stats().PinnedBlocks
+			}
+			return pinned == 4
+		}, "all blocks pinned")
+
+		// Wait for pin state to reach the namenode via heartbeats.
+		waitUntil(t, v, time.Minute, func() bool {
+			blocks, err := c.Locations("/input")
+			if err != nil {
+				return false
+			}
+			for _, lb := range blocks {
+				if len(lb.Migrated) == 0 {
+					return false
+				}
+			}
+			return true
+		}, "migration state at namenode")
+
+		var events []client.BlockReadEvent
+		c2 := mc.client(t, client.WithReadObserver(func(ev client.BlockReadEvent) {
+			events = append(events, ev)
+		}))
+		defer c2.Close()
+		if _, err := c2.ReadFile("/input", "job1"); err != nil {
+			t.Fatalf("ReadFile: %v", err)
+		}
+		for _, ev := range events {
+			if !ev.FromMemory {
+				t.Errorf("block %d read from disk after migration", ev.Block)
+			}
+		}
+		if err := c.Evict("job1", []string{"/input"}); err != nil {
+			t.Fatalf("Evict: %v", err)
+		}
+		waitUntil(t, v, time.Minute, func() bool {
+			var pinned int64
+			for _, dn := range mc.dns {
+				pinned += dn.Slave().PinnedBytes()
+			}
+			return pinned == 0
+		}, "eviction")
+	})
+}
+
+func TestMigratedReadsFasterThanCold(t *testing.T) {
+	runSim(t, func(v *simclock.Virtual) {
+		mc := startMini(t, v, miniConfig{})
+		defer mc.close()
+		c := mc.client(t)
+		defer c.Close()
+
+		if err := c.WriteSyntheticFile("/cold", dfs.DefaultBlockSize, 0, 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.WriteSyntheticFile("/hot", dfs.DefaultBlockSize, 0, 1); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Migrate("j", []string{"/hot"}, false); err != nil {
+			t.Fatal(err)
+		}
+		waitUntil(t, v, time.Minute, func() bool {
+			var n int
+			for _, dn := range mc.dns {
+				n += dn.Slave().Stats().PinnedBlocks
+			}
+			return n == 1
+		}, "pin")
+
+		start := v.Now()
+		if _, err := c.ReadFile("/cold", "j"); err != nil {
+			t.Fatal(err)
+		}
+		cold := v.Now().Sub(start)
+		start = v.Now()
+		if _, err := c.ReadFile("/hot", "j"); err != nil {
+			t.Fatal(err)
+		}
+		hot := v.Now().Sub(start)
+		// A single uncontended HDD stream is only ~6x slower than RAM for
+		// a remote reader (network transfer bounds the hot read); under
+		// the concurrency of real workloads the gap is far larger.
+		if hot*4 > cold {
+			t.Errorf("migrated read %v not clearly faster than cold %v", hot, cold)
+		}
+	})
+}
+
+func TestImplicitEvictionViaReadPath(t *testing.T) {
+	runSim(t, func(v *simclock.Virtual) {
+		mc := startMini(t, v, miniConfig{})
+		defer mc.close()
+		c := mc.client(t)
+		defer c.Close()
+
+		if err := c.WriteSyntheticFile("/in", dfs.DefaultBlockSize, 0, 1); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Migrate("j", []string{"/in"}, true); err != nil {
+			t.Fatal(err)
+		}
+		waitUntil(t, v, time.Minute, func() bool {
+			for _, dn := range mc.dns {
+				if dn.Slave().Stats().PinnedBlocks == 1 {
+					return true
+				}
+			}
+			return false
+		}, "pin")
+		if _, err := c.ReadFile("/in", "j"); err != nil {
+			t.Fatal(err)
+		}
+		var pinned int64
+		for _, dn := range mc.dns {
+			pinned += dn.Slave().PinnedBytes()
+		}
+		if pinned != 0 {
+			t.Errorf("implicit eviction left %d bytes pinned", pinned)
+		}
+	})
+}
+
+func TestLocalityPreference(t *testing.T) {
+	runSim(t, func(v *simclock.Virtual) {
+		mc := startMini(t, v, miniConfig{nodes: 4})
+		defer mc.close()
+		c := mc.client(t)
+		defer c.Close()
+
+		if err := c.WriteSyntheticFile("/f", dfs.DefaultBlockSize, 0, 3); err != nil {
+			t.Fatal(err)
+		}
+		blocks, _ := c.Locations("/f")
+		local := blocks[0].Nodes[0]
+		var events []client.BlockReadEvent
+		lc := mc.client(t,
+			client.WithLocalAddr(local),
+			client.WithReadObserver(func(ev client.BlockReadEvent) { events = append(events, ev) }))
+		defer lc.Close()
+		if _, err := lc.ReadFile("/f", "j"); err != nil {
+			t.Fatal(err)
+		}
+		if len(events) != 1 || events[0].Addr != local || !events[0].Local {
+			t.Errorf("read not local: %+v", events)
+		}
+	})
+}
+
+func TestInputsInRAMMode(t *testing.T) {
+	runSim(t, func(v *simclock.Virtual) {
+		mc := startMini(t, v, miniConfig{allRAM: true})
+		defer mc.close()
+		c := mc.client(t)
+		defer c.Close()
+		if err := c.WriteSyntheticFile("/f", dfs.DefaultBlockSize, 0, 1); err != nil {
+			t.Fatal(err)
+		}
+		start := v.Now()
+		if _, err := c.ReadFile("/f", "j"); err != nil {
+			t.Fatal(err)
+		}
+		if d := v.Now().Sub(start); d > 300*time.Millisecond {
+			t.Errorf("vmtouch-mode read took %v, want RAM speed", d)
+		}
+	})
+}
+
+func TestDeleteAndList(t *testing.T) {
+	runSim(t, func(v *simclock.Virtual) {
+		mc := startMini(t, v, miniConfig{})
+		defer mc.close()
+		c := mc.client(t)
+		defer c.Close()
+		for i := 0; i < 3; i++ {
+			if err := c.WriteSyntheticFile(fmt.Sprintf("/a/f%d", i), 1<<20, 0, 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := c.WriteSyntheticFile("/b/g", 1<<20, 0, 1); err != nil {
+			t.Fatal(err)
+		}
+		files, err := c.List("/a/")
+		if err != nil || len(files) != 3 {
+			t.Fatalf("List = %d files, err %v", len(files), err)
+		}
+		if err := c.Delete("/a/f0"); err != nil {
+			t.Fatal(err)
+		}
+		files, _ = c.List("/a/")
+		if len(files) != 2 {
+			t.Errorf("after delete: %d files", len(files))
+		}
+		if _, err := c.Info("/a/f0"); err == nil {
+			t.Error("Info succeeded on deleted file")
+		}
+	})
+}
+
+func TestCreateErrors(t *testing.T) {
+	runSim(t, func(v *simclock.Virtual) {
+		mc := startMini(t, v, miniConfig{})
+		defer mc.close()
+		c := mc.client(t)
+		defer c.Close()
+		if err := c.WriteSyntheticFile("/dup", 1<<20, 0, 1); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Create("/dup", 0, 0); err == nil {
+			t.Error("duplicate create succeeded")
+		}
+		if _, err := c.ReadFile("/missing", "j"); err == nil {
+			t.Error("read of missing file succeeded")
+		}
+		if _, err := c.Create("", 0, 0); err == nil {
+			t.Error("empty path accepted")
+		}
+	})
+}
+
+func TestDataNodeDeathFailover(t *testing.T) {
+	runSim(t, func(v *simclock.Virtual) {
+		mc := startMini(t, v, miniConfig{nodes: 3})
+		defer mc.close()
+		c := mc.client(t)
+		defer c.Close()
+
+		if err := c.WriteSyntheticFile("/f", dfs.DefaultBlockSize, 0, 2); err != nil {
+			t.Fatal(err)
+		}
+		blocks, _ := c.Locations("/f")
+		victim := blocks[0].Nodes[0]
+		for _, dn := range mc.dns {
+			if dn.Addr() == victim {
+				dn.Close()
+			}
+		}
+		// Wait for the namenode to expire the dead node.
+		waitUntil(t, v, time.Minute, func() bool {
+			bs, err := c.Locations("/f")
+			return err == nil && len(bs[0].Nodes) == 1
+		}, "expiry")
+		c.ForgetDataNode(victim)
+		if _, err := c.ReadFile("/f", "j"); err != nil {
+			t.Errorf("read after node death: %v", err)
+		}
+	})
+}
+
+func TestMasterRestartPurgesSlaves(t *testing.T) {
+	runSim(t, func(v *simclock.Virtual) {
+		mc := startMini(t, v, miniConfig{})
+		defer mc.close()
+		c := mc.client(t)
+		defer c.Close()
+
+		if err := c.WriteSyntheticFile("/f", 2*dfs.DefaultBlockSize, 0, 1); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Migrate("j1", []string{"/f"}, false); err != nil {
+			t.Fatal(err)
+		}
+		waitUntil(t, v, time.Minute, func() bool {
+			var n int
+			for _, dn := range mc.dns {
+				n += dn.Slave().Stats().PinnedBlocks
+			}
+			return n == 2
+		}, "pin")
+
+		mc.nn.RestartMaster()
+		// Next command batch (for a new job) carries the new epoch and
+		// purges stale reference lists on the slaves it reaches.
+		if err := c.WriteSyntheticFile("/g", dfs.DefaultBlockSize, 0, len(mc.dns)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Migrate("j2", []string{"/g"}, false); err != nil {
+			t.Fatal(err)
+		}
+		waitUntil(t, v, time.Minute, func() bool {
+			var total int64
+			for _, dn := range mc.dns {
+				total += dn.Slave().PinnedBytes()
+			}
+			return total == dfs.DefaultBlockSize
+		}, "purge+remigrate")
+	})
+}
+
+func TestSlaveProcessRestartKeepsServing(t *testing.T) {
+	runSim(t, func(v *simclock.Virtual) {
+		mc := startMini(t, v, miniConfig{})
+		defer mc.close()
+		c := mc.client(t)
+		defer c.Close()
+
+		if err := c.WriteSyntheticFile("/f", dfs.DefaultBlockSize, 0, 1); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Migrate("j1", []string{"/f"}, false); err != nil {
+			t.Fatal(err)
+		}
+		waitUntil(t, v, time.Minute, func() bool {
+			for _, dn := range mc.dns {
+				if dn.Slave().Stats().PinnedBlocks > 0 {
+					return true
+				}
+			}
+			return false
+		}, "pin")
+		for _, dn := range mc.dns {
+			dn.RestartSlaveProcess()
+		}
+		for _, dn := range mc.dns {
+			if dn.Slave().PinnedBytes() != 0 {
+				t.Error("slave restart kept pinned memory")
+			}
+		}
+		// Data is still readable from disk after the slave restarts.
+		if _, err := c.ReadFile("/f", "j1"); err != nil {
+			t.Errorf("read after slave restart: %v", err)
+		}
+	})
+}
+
+func TestReadFailsOverWithoutExpiry(t *testing.T) {
+	runSim(t, func(v *simclock.Virtual) {
+		mc := startMini(t, v, miniConfig{nodes: 3})
+		defer mc.close()
+		c := mc.client(t)
+		defer c.Close()
+
+		if err := c.WriteSyntheticFile("/f", dfs.DefaultBlockSize, 0, 2); err != nil {
+			t.Fatal(err)
+		}
+		blocks, _ := c.Locations("/f")
+		// Kill one replica holder; do NOT wait for namenode expiry. The
+		// client must fail over to the surviving replica on its own.
+		victim := blocks[0].Nodes[0]
+		for _, dn := range mc.dns {
+			if dn.Addr() == victim {
+				dn.Close()
+			}
+		}
+		if _, err := c.ReadFile("/f", "j"); err != nil {
+			t.Errorf("read did not fail over: %v", err)
+		}
+	})
+}
+
+func TestReadAllReplicasDead(t *testing.T) {
+	runSim(t, func(v *simclock.Virtual) {
+		mc := startMini(t, v, miniConfig{nodes: 2})
+		defer mc.close()
+		c := mc.client(t)
+		defer c.Close()
+		if err := c.WriteSyntheticFile("/f", 1<<20, 0, 2); err != nil {
+			t.Fatal(err)
+		}
+		for _, dn := range mc.dns {
+			dn.Close()
+		}
+		if _, err := c.ReadFile("/f", "j"); err == nil {
+			t.Error("read succeeded with every replica dead")
+		}
+	})
+}
+
+func TestReReplicationAfterNodeDeath(t *testing.T) {
+	runSim(t, func(v *simclock.Virtual) {
+		mc := startMini(t, v, miniConfig{nodes: 4})
+		defer mc.close()
+		c := mc.client(t)
+		defer c.Close()
+
+		data := bytes.Repeat([]byte("r"), 8192)
+		if err := c.WriteFile("/f", data, 4096, 3); err != nil {
+			t.Fatal(err)
+		}
+		blocks, _ := c.Locations("/f")
+		victim := blocks[0].Nodes[0]
+		for _, dn := range mc.dns {
+			if dn.Addr() == victim {
+				dn.Close()
+			}
+		}
+		// Namenode expires the node (~10s), then the replication sweep
+		// directs a surviving holder's copy to a fresh node.
+		waitUntil(t, v, 2*time.Minute, func() bool {
+			lbs, err := c.Locations("/f")
+			if err != nil {
+				return false
+			}
+			for _, lb := range lbs {
+				if len(lb.Nodes) != 3 {
+					return false
+				}
+				for _, n := range lb.Nodes {
+					if n == victim {
+						return false
+					}
+				}
+			}
+			return true
+		}, "re-replication to 3 live replicas")
+
+		// The repaired replicas carry the real bytes.
+		got, err := c.ReadFile("/f", "j")
+		if err != nil || !bytes.Equal(got, data) {
+			t.Errorf("read after re-replication: %d bytes, err %v", len(got), err)
+		}
+	})
+}
+
+func TestReaderStreamsAcrossBlocks(t *testing.T) {
+	runSim(t, func(v *simclock.Virtual) {
+		mc := startMini(t, v, miniConfig{})
+		defer mc.close()
+		c := mc.client(t)
+		defer c.Close()
+
+		data := bytes.Repeat([]byte("abcdefgh"), 2048) // 16 KB over 4 KB blocks
+		if err := c.WriteFile("/f", data, 4096, 2); err != nil {
+			t.Fatal(err)
+		}
+		r, err := c.Open("/f", "job")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Size() != int64(len(data)) {
+			t.Errorf("Size = %d", r.Size())
+		}
+		got, err := io.ReadAll(r)
+		if err != nil || !bytes.Equal(got, data) {
+			t.Errorf("streamed %d bytes, err %v", len(got), err)
+		}
+		// EOF on further reads.
+		if _, err := r.Read(make([]byte, 1)); err != io.EOF {
+			t.Errorf("want EOF, got %v", err)
+		}
+	})
+}
+
+func TestReaderSeek(t *testing.T) {
+	runSim(t, func(v *simclock.Virtual) {
+		mc := startMini(t, v, miniConfig{})
+		defer mc.close()
+		c := mc.client(t)
+		defer c.Close()
+		data := []byte("0123456789abcdefghij")
+		if err := c.WriteFile("/f", data, 8, 1); err != nil {
+			t.Fatal(err)
+		}
+		r, err := c.Open("/f", "job")
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Seek into the middle of the second block.
+		if _, err := r.Seek(10, io.SeekStart); err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, 4)
+		if _, err := io.ReadFull(r, buf); err != nil || string(buf) != "abcd" {
+			t.Errorf("read %q err %v", buf, err)
+		}
+		// Relative and end-based seeks.
+		if pos, _ := r.Seek(-2, io.SeekCurrent); pos != 12 {
+			t.Errorf("SeekCurrent pos = %d", pos)
+		}
+		if pos, _ := r.Seek(-5, io.SeekEnd); pos != 15 {
+			t.Errorf("SeekEnd pos = %d", pos)
+		}
+		rest, _ := io.ReadAll(r)
+		if string(rest) != "fghij" {
+			t.Errorf("tail = %q", rest)
+		}
+		// Error cases.
+		if _, err := r.Seek(-1, io.SeekStart); err == nil {
+			t.Error("negative seek accepted")
+		}
+		if _, err := r.Seek(0, 42); err == nil {
+			t.Error("bad whence accepted")
+		}
+	})
+}
+
+func TestReaderSyntheticFileRejected(t *testing.T) {
+	runSim(t, func(v *simclock.Virtual) {
+		mc := startMini(t, v, miniConfig{})
+		defer mc.close()
+		c := mc.client(t)
+		defer c.Close()
+		if err := c.WriteSyntheticFile("/s", 1<<20, 0, 1); err != nil {
+			t.Fatal(err)
+		}
+		r, err := c.Open("/s", "job")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.Read(make([]byte, 16)); err == nil {
+			t.Error("streaming a synthetic file succeeded")
+		}
+	})
+}
+
+func TestDataNodeRestartReconcilesLocations(t *testing.T) {
+	runSim(t, func(v *simclock.Virtual) {
+		mc := startMini(t, v, miniConfig{nodes: 3})
+		defer mc.close()
+		c := mc.client(t)
+		defer c.Close()
+
+		data := bytes.Repeat([]byte("z"), 4096)
+		if err := c.WriteFile("/f", data, 2048, 2); err != nil {
+			t.Fatal(err)
+		}
+		blocks, _ := c.Locations("/f")
+		victimAddr := blocks[0].Nodes[0]
+		for i, dn := range mc.dns {
+			if dn.Addr() == victimAddr {
+				// The whole process dies and comes back EMPTY (fresh
+				// block store), re-registering under the same address.
+				dn.Close()
+				fresh, err := datanode.New(v, mc.net, datanode.Config{
+					Addr:         victimAddr,
+					NameNodeAddr: "nn",
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := fresh.Start(); err != nil {
+					t.Fatal(err)
+				}
+				mc.dns[i] = fresh
+			}
+		}
+		c.ForgetDataNode(victimAddr)
+
+		// Registration carried an empty block report, so the namenode
+		// must have dropped the stale locations immediately.
+		lbs, err := c.Locations("/f")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, lb := range lbs {
+			for _, n := range lb.Nodes {
+				if n == victimAddr {
+					t.Fatalf("stale location survived restart: %v", lb.Nodes)
+				}
+			}
+		}
+		// Re-replication repairs back to 2 replicas using the fresh node.
+		waitUntil(t, v, 2*time.Minute, func() bool {
+			lbs, err := c.Locations("/f")
+			if err != nil {
+				return false
+			}
+			for _, lb := range lbs {
+				if len(lb.Nodes) != 2 {
+					return false
+				}
+			}
+			return true
+		}, "re-replication after empty restart")
+		got, err := c.ReadFile("/f", "j")
+		if err != nil || !bytes.Equal(got, data) {
+			t.Errorf("read after restart: %d bytes err %v", len(got), err)
+		}
+	})
+}
+
+func TestWriterErrors(t *testing.T) {
+	runSim(t, func(v *simclock.Virtual) {
+		mc := startMini(t, v, miniConfig{})
+		defer mc.close()
+		c := mc.client(t)
+		defer c.Close()
+		w, err := c.Create("/w", 1024, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := w.Write([]byte("real bytes")); err != nil {
+			t.Fatal(err)
+		}
+		// Mixing real and synthetic writes is rejected.
+		if err := w.WriteSynthetic(4096); err == nil {
+			t.Error("mixed real+synthetic write accepted")
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		// Writes after close fail; double close is a no-op.
+		if _, err := w.Write([]byte("x")); err == nil {
+			t.Error("write after close accepted")
+		}
+		if err := w.WriteSynthetic(1); err == nil {
+			t.Error("synthetic write after close accepted")
+		}
+		if err := w.Close(); err != nil {
+			t.Errorf("double close: %v", err)
+		}
+		// The partial final block was flushed.
+		data, err := c.ReadFile("/w", "j")
+		if err != nil || string(data) != "real bytes" {
+			t.Errorf("read back %q err %v", data, err)
+		}
+	})
+}
+
+func TestMigrateUnknownPathFails(t *testing.T) {
+	runSim(t, func(v *simclock.Virtual) {
+		mc := startMini(t, v, miniConfig{})
+		defer mc.close()
+		c := mc.client(t)
+		defer c.Close()
+		if _, err := c.Migrate("j", []string{"/nope"}, false); err == nil {
+			t.Error("migrate of unknown path accepted")
+		}
+		// Evicting a job that never migrated is harmless.
+		if err := c.Evict("ghost", []string{"/nope"}); err != nil {
+			t.Errorf("evict of unknown job: %v", err)
+		}
+	})
+}

@@ -1,0 +1,104 @@
+package client
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/dfs"
+)
+
+// Reader streams a DFS file as an io.ReadSeeker. Blocks are fetched on
+// demand (with the usual migration-aware replica choice) and one block is
+// buffered at a time, so sequential reads fetch each block exactly once.
+type Reader struct {
+	c      *Client
+	path   string
+	job    dfs.JobID
+	blocks []dfs.LocatedBlock
+	size   int64
+	pos    int64
+
+	buf      []byte // bytes of the currently cached block
+	bufStart int64  // file offset of buf[0]
+}
+
+var _ io.ReadSeeker = (*Reader)(nil)
+
+// Open returns a Reader over path on behalf of job. The file's block
+// layout is resolved once; reads fail over across replicas like
+// ReadBlock does.
+func (c *Client) Open(path string, job dfs.JobID) (*Reader, error) {
+	blocks, err := c.LocationsForJob(path, job)
+	if err != nil {
+		return nil, err
+	}
+	var size int64
+	for _, lb := range blocks {
+		size += lb.Block.Size
+	}
+	return &Reader{c: c, path: path, job: job, blocks: blocks, size: size}, nil
+}
+
+// Size returns the file's length in bytes.
+func (r *Reader) Size() int64 { return r.size }
+
+// Read implements io.Reader. Reading a synthetic (sized-only) file is an
+// error: it has no materialized bytes.
+func (r *Reader) Read(p []byte) (int, error) {
+	if r.pos >= r.size {
+		return 0, io.EOF
+	}
+	if len(p) == 0 {
+		return 0, nil
+	}
+	if err := r.ensure(r.pos); err != nil {
+		return 0, err
+	}
+	off := int(r.pos - r.bufStart)
+	n := copy(p, r.buf[off:])
+	r.pos += int64(n)
+	return n, nil
+}
+
+// Seek implements io.Seeker.
+func (r *Reader) Seek(offset int64, whence int) (int64, error) {
+	var abs int64
+	switch whence {
+	case io.SeekStart:
+		abs = offset
+	case io.SeekCurrent:
+		abs = r.pos + offset
+	case io.SeekEnd:
+		abs = r.size + offset
+	default:
+		return 0, fmt.Errorf("dfs client: bad whence %d", whence)
+	}
+	if abs < 0 {
+		return 0, fmt.Errorf("dfs client: negative seek position %d", abs)
+	}
+	r.pos = abs
+	return abs, nil
+}
+
+// ensure fetches the block containing file offset pos into the buffer.
+func (r *Reader) ensure(pos int64) error {
+	if r.buf != nil && pos >= r.bufStart && pos < r.bufStart+int64(len(r.buf)) {
+		return nil
+	}
+	for _, lb := range r.blocks {
+		if pos < lb.Offset || pos >= lb.Offset+lb.Block.Size {
+			continue
+		}
+		resp, err := r.c.ReadBlock(lb, r.job)
+		if err != nil {
+			return err
+		}
+		if resp.Data == nil {
+			return fmt.Errorf("dfs client: %s is synthetic (sized only); it has no bytes to stream", r.path)
+		}
+		r.buf = resp.Data
+		r.bufStart = lb.Offset
+		return nil
+	}
+	return fmt.Errorf("dfs client: offset %d outside %s (size %d)", pos, r.path, r.size)
+}

@@ -1,0 +1,454 @@
+// Package datanode implements the file-system worker: block storage over
+// simulated devices, the pinned-memory region, and the embedded Ignem
+// slave.
+package datanode
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/dfs"
+	"repro/internal/ignem"
+	"repro/internal/simclock"
+	"repro/internal/storage"
+	"repro/internal/transport"
+)
+
+// Config configures a DataNode.
+type Config struct {
+	// Addr is the address the datanode listens on (also its identity).
+	Addr string
+	// NameNodeAddr is where to register and send heartbeats.
+	NameNodeAddr string
+	// Media is the spec of the device backing cold blocks (HDD or SSD).
+	Media storage.Spec
+	// HeartbeatInterval defaults to 1s. Heartbeats also carry pin-state
+	// deltas; when PinReportInterval is shorter, reports run at that
+	// faster cadence so the namenode's migrated-replica view stays
+	// fresh enough for task locality decisions.
+	HeartbeatInterval time.Duration
+	// PinReportInterval defaults to 250ms.
+	PinReportInterval time.Duration
+	// Slave configures the embedded Ignem slave.
+	Slave ignem.SlaveConfig
+	// Liveness lets the slave query the cluster scheduler for job
+	// liveness; may be nil.
+	Liveness ignem.Liveness
+	// ServeAllFromRAM forces every read to RAM speed regardless of pin
+	// state. This is the paper's HDFS-Inputs-in-RAM configuration, where
+	// vmtouch locks all datanode files in memory.
+	ServeAllFromRAM bool
+	// HotCacheBytes enables a PACMan/Triple-H-style HOT-data cache: every
+	// block read from the cold device is retained in an LRU memory cache
+	// of this size, so repeated reads hit RAM. This is the baseline the
+	// paper argues cannot help singly-read inputs — only proactive
+	// migration can. Zero disables it.
+	HotCacheBytes int64
+}
+
+func (c *Config) setDefaults() {
+	if c.HeartbeatInterval <= 0 {
+		c.HeartbeatInterval = time.Second
+	}
+	if c.PinReportInterval <= 0 {
+		c.PinReportInterval = 250 * time.Millisecond
+	}
+	if c.PinReportInterval > c.HeartbeatInterval {
+		c.PinReportInterval = c.HeartbeatInterval
+	}
+	if c.Media.Name == "" {
+		c.Media = storage.HDDSpec()
+	}
+}
+
+type storedBlock struct {
+	size int64
+	data []byte // nil for synthetic (size-only) blocks
+}
+
+// DataNode is the file-system worker process. Start it with Start, stop
+// it with Close.
+type DataNode struct {
+	clock    simclock.Clock
+	net      transport.Network
+	cfg      Config
+	server   *transport.Server
+	listener transport.Listener
+	media    *storage.Device
+	ram      *storage.Device
+	slave    *ignem.Slave
+
+	hot *hotCache
+
+	mu        sync.Mutex
+	blocks    map[dfs.BlockID]*storedBlock
+	pinDelta  []dfs.BlockID // pinned since last heartbeat
+	unpinDel  []dfs.BlockID // unpinned since last heartbeat
+	nnClient  *transport.Client
+	peers     map[string]*transport.Client
+	closed    bool
+	readsByMe int64
+}
+
+// New creates a DataNode (not yet serving).
+func New(clock simclock.Clock, net transport.Network, cfg Config) (*DataNode, error) {
+	cfg.setDefaults()
+	media, err := storage.NewDevice(clock, cfg.Media)
+	if err != nil {
+		return nil, fmt.Errorf("datanode: %w", err)
+	}
+	ram, err := storage.NewDevice(clock, storage.RAMSpec())
+	if err != nil {
+		media.Close()
+		return nil, fmt.Errorf("datanode: %w", err)
+	}
+	dn := &DataNode{
+		clock:  clock,
+		net:    net,
+		cfg:    cfg,
+		media:  media,
+		ram:    ram,
+		blocks: make(map[dfs.BlockID]*storedBlock),
+		peers:  make(map[string]*transport.Client),
+	}
+	if cfg.HotCacheBytes > 0 {
+		dn.hot = newHotCache(cfg.HotCacheBytes)
+	}
+	dn.slave = ignem.NewSlave(clock, cfg.Slave, dn, cfg.Liveness, dn.onPinChange)
+	return dn, nil
+}
+
+// Start binds the RPC server, registers with the namenode, and begins
+// heartbeating.
+func (dn *DataNode) Start() error {
+	l, err := dn.net.Listen(dn.cfg.Addr)
+	if err != nil {
+		return fmt.Errorf("datanode: %w", err)
+	}
+	s := transport.NewServer(dn.clock)
+	s.Handle("dn.writeBlock", wrap(dn.handleWriteBlock))
+	s.Handle("dn.readBlock", wrap(dn.handleReadBlock))
+	s.Handle("dn.deleteBlocks", wrap(dn.handleDeleteBlocks))
+	s.Handle("dn.pullBlock", wrap(dn.handlePullBlock))
+	s.Handle("ignem.migrateBatch", wrap(dn.handleMigrateBatch))
+	s.Handle("ignem.evictBatch", wrap(dn.handleEvictBatch))
+	s.ServeBackground(l)
+	dn.server = s
+	dn.listener = l
+
+	c, err := transport.Dial(dn.clock, dn.net, dn.cfg.NameNodeAddr)
+	if err != nil {
+		s.Close()
+		return fmt.Errorf("datanode: dial namenode: %w", err)
+	}
+	dn.mu.Lock()
+	dn.nnClient = c
+	dn.mu.Unlock()
+	if _, err := transport.Call[dfs.RegisterResp](c, "nn.register", dfs.RegisterReq{
+		Addr:   dn.cfg.Addr,
+		Blocks: dn.heldBlocks(),
+	}); err != nil {
+		s.Close()
+		c.Close()
+		return fmt.Errorf("datanode: register: %w", err)
+	}
+	dn.clock.Go(dn.heartbeatLoop)
+	return nil
+}
+
+func wrap[Req, Resp any](fn func(Req) (Resp, error)) transport.HandlerFunc {
+	return func(arg any) (any, error) {
+		req, ok := arg.(Req)
+		if !ok {
+			var want Req
+			return nil, fmt.Errorf("datanode: bad request type %T, want %T", arg, want)
+		}
+		return fn(req)
+	}
+}
+
+// Slave exposes the embedded Ignem slave (for the harness and tests).
+func (dn *DataNode) Slave() *ignem.Slave { return dn.slave }
+
+// MediaDevice exposes the cold-storage device (for utilization metrics).
+func (dn *DataNode) MediaDevice() *storage.Device { return dn.media }
+
+// Addr returns the datanode's address.
+func (dn *DataNode) Addr() string { return dn.cfg.Addr }
+
+// Close simulates killing the whole datanode process: the server stops,
+// devices fail pending requests, and pinned memory disappears.
+func (dn *DataNode) Close() {
+	dn.mu.Lock()
+	if dn.closed {
+		dn.mu.Unlock()
+		return
+	}
+	dn.closed = true
+	nn := dn.nnClient
+	peers := make([]*transport.Client, 0, len(dn.peers))
+	for _, p := range dn.peers {
+		peers = append(peers, p)
+	}
+	dn.peers = make(map[string]*transport.Client)
+	dn.mu.Unlock()
+	for _, p := range peers {
+		p.Close()
+	}
+	dn.slave.Close()
+	if nn != nil {
+		nn.Close()
+	}
+	if dn.listener != nil {
+		dn.listener.Close()
+	}
+	if dn.server != nil {
+		dn.server.Close()
+	}
+	dn.media.Close()
+	dn.ram.Close()
+}
+
+// RestartSlaveProcess simulates the Ignem slave process dying and being
+// restarted on the same server: pinned memory is discarded, and new
+// commands are handled normally afterwards.
+func (dn *DataNode) RestartSlaveProcess() { dn.slave.Restart() }
+
+// ---- ignem.MediaReader ----
+
+// ReadForMigration performs the timed cold-device read that brings a
+// block into memory; it is the slave's one-at-a-time migration read.
+func (dn *DataNode) ReadForMigration(b dfs.Block) error {
+	return dn.media.Read(b.Size)
+}
+
+// onPinChange queues pin-state transitions for the next heartbeat.
+func (dn *DataNode) onPinChange(id dfs.BlockID, pinned bool) {
+	dn.mu.Lock()
+	defer dn.mu.Unlock()
+	if pinned {
+		dn.pinDelta = append(dn.pinDelta, id)
+	} else {
+		dn.unpinDel = append(dn.unpinDel, id)
+	}
+}
+
+// ---- handlers ----
+
+func (dn *DataNode) handleWriteBlock(req dfs.WriteBlockReq) (dfs.WriteBlockResp, error) {
+	size := req.Block.Size
+	if len(req.Data) > 0 {
+		size = int64(len(req.Data))
+	}
+	if size <= 0 {
+		return dfs.WriteBlockResp{}, fmt.Errorf("datanode: empty block %d", req.Block.ID)
+	}
+	// Writes land in the buffer cache (the paper: "the buffer cache can
+	// absorb writes"), so they are charged at RAM speed, not disk speed.
+	if err := dn.ram.Write(size); err != nil {
+		return dfs.WriteBlockResp{}, fmt.Errorf("datanode: write block %d: %w", req.Block.ID, err)
+	}
+	dn.mu.Lock()
+	if dn.closed {
+		dn.mu.Unlock()
+		return dfs.WriteBlockResp{}, fmt.Errorf("datanode: closed")
+	}
+	dn.blocks[req.Block.ID] = &storedBlock{size: size, data: req.Data}
+	dn.mu.Unlock()
+
+	// Forward along the HDFS-style write pipeline and wait for the
+	// downstream ack; a broken chain fails the whole write so the client
+	// can retry against fresh targets.
+	if len(req.Pipeline) > 0 {
+		next, err := dn.peer(req.Pipeline[0])
+		if err != nil {
+			return dfs.WriteBlockResp{}, err
+		}
+		fwd := req
+		fwd.Pipeline = req.Pipeline[1:]
+		if _, err := transport.Call[dfs.WriteBlockResp](next, "dn.writeBlock", fwd); err != nil {
+			return dfs.WriteBlockResp{}, fmt.Errorf("datanode: pipeline to %s: %w", req.Pipeline[0], err)
+		}
+	}
+	return dfs.WriteBlockResp{}, nil
+}
+
+func (dn *DataNode) handleReadBlock(req dfs.ReadBlockReq) (dfs.ReadBlockResp, error) {
+	dn.mu.Lock()
+	sb := dn.blocks[req.Block]
+	dn.mu.Unlock()
+	if sb == nil {
+		return dfs.ReadBlockResp{}, fmt.Errorf("datanode: no block %d on %s", req.Block, dn.cfg.Addr)
+	}
+	// The read path carries the job ID (the paper's HDFS extension): the
+	// slave decides memory vs media and performs implicit eviction.
+	fromMemory := dn.slave.OnBlockRead(req.Block, req.Job)
+	if !fromMemory && dn.hot != nil && dn.hot.touch(req.Block) {
+		// Hot-data cache hit (the PACMan-style baseline): the block was
+		// read before and is still resident.
+		fromMemory = true
+	}
+	dev := dn.media
+	if fromMemory || dn.cfg.ServeAllFromRAM {
+		dev = dn.ram
+	}
+	if err := dev.Read(sb.size); err != nil {
+		return dfs.ReadBlockResp{}, fmt.Errorf("datanode: read block %d: %w", req.Block, err)
+	}
+	if !fromMemory && dn.hot != nil {
+		// Retain what was just read; hot caches only ever help the NEXT
+		// access, which is exactly why they cannot speed up cold,
+		// singly-read inputs.
+		dn.hot.insert(req.Block, sb.size)
+	}
+	dn.mu.Lock()
+	dn.readsByMe++
+	dn.mu.Unlock()
+	return dfs.ReadBlockResp{Data: sb.data, Size: sb.size, FromMemory: fromMemory, Local: req.Local}, nil
+}
+
+// handlePullBlock fetches a replica from a peer datanode and stores it
+// locally — the receiving end of namenode-driven re-replication.
+func (dn *DataNode) handlePullBlock(req dfs.PullBlockReq) (dfs.PullBlockResp, error) {
+	dn.mu.Lock()
+	if _, have := dn.blocks[req.Block.ID]; have {
+		dn.mu.Unlock()
+		return dfs.PullBlockResp{}, nil // already hold a replica
+	}
+	dn.mu.Unlock()
+
+	peer, err := dn.peer(req.From)
+	if err != nil {
+		return dfs.PullBlockResp{}, err
+	}
+	resp, err := transport.Call[dfs.ReadBlockResp](peer, "dn.readBlock", dfs.ReadBlockReq{Block: req.Block.ID})
+	if err != nil {
+		return dfs.PullBlockResp{}, fmt.Errorf("datanode: pull block %d from %s: %w", req.Block.ID, req.From, err)
+	}
+	size := resp.Size
+	if len(resp.Data) > 0 {
+		size = int64(len(resp.Data))
+	}
+	// Land the incoming replica through the buffer cache like any write.
+	if err := dn.ram.Write(size); err != nil {
+		return dfs.PullBlockResp{}, err
+	}
+	dn.mu.Lock()
+	defer dn.mu.Unlock()
+	if dn.closed {
+		return dfs.PullBlockResp{}, fmt.Errorf("datanode: closed")
+	}
+	dn.blocks[req.Block.ID] = &storedBlock{size: size, data: resp.Data}
+	return dfs.PullBlockResp{}, nil
+}
+
+// peer returns (dialing on demand) a connection to another datanode.
+func (dn *DataNode) peer(addr string) (*transport.Client, error) {
+	dn.mu.Lock()
+	if c, ok := dn.peers[addr]; ok {
+		dn.mu.Unlock()
+		return c, nil
+	}
+	dn.mu.Unlock()
+	c, err := transport.Dial(dn.clock, dn.net, addr, transport.WithCallTimeout(5*time.Minute))
+	if err != nil {
+		return nil, fmt.Errorf("datanode: dial peer %s: %w", addr, err)
+	}
+	dn.mu.Lock()
+	defer dn.mu.Unlock()
+	if existing, ok := dn.peers[addr]; ok {
+		defer c.Close()
+		return existing, nil
+	}
+	dn.peers[addr] = c
+	return c, nil
+}
+
+func (dn *DataNode) handleDeleteBlocks(req dfs.DeleteBlocksReq) (dfs.DeleteBlocksResp, error) {
+	dn.mu.Lock()
+	defer dn.mu.Unlock()
+	for _, id := range req.Blocks {
+		delete(dn.blocks, id)
+	}
+	return dfs.DeleteBlocksResp{}, nil
+}
+
+func (dn *DataNode) handleMigrateBatch(req dfs.MigrateBatch) (dfs.MigrateBatchResp, error) {
+	dn.slave.ApplyMigrateBatch(req)
+	return dfs.MigrateBatchResp{}, nil
+}
+
+func (dn *DataNode) handleEvictBatch(req dfs.EvictBatch) (dfs.EvictBatchResp, error) {
+	dn.slave.ApplyEvictBatch(req)
+	return dfs.EvictBatchResp{}, nil
+}
+
+// heartbeatLoop reports liveness, pinned-memory occupancy, and pin-state
+// deltas to the namenode.
+func (dn *DataNode) heartbeatLoop() {
+	var sinceBeat time.Duration
+	for {
+		dn.clock.Sleep(dn.cfg.PinReportInterval)
+		sinceBeat += dn.cfg.PinReportInterval
+		dn.mu.Lock()
+		if dn.closed {
+			dn.mu.Unlock()
+			return
+		}
+		// Skip the RPC when there is nothing to report and the full
+		// heartbeat is not yet due.
+		if len(dn.pinDelta) == 0 && len(dn.unpinDel) == 0 && sinceBeat < dn.cfg.HeartbeatInterval {
+			dn.mu.Unlock()
+			continue
+		}
+		sinceBeat = 0
+		req := dfs.HeartbeatReq{
+			Addr:        dn.cfg.Addr,
+			PinnedBytes: dn.slave.PinnedBytes(),
+			Pinned:      dn.pinDelta,
+			Unpinned:    dn.unpinDel,
+		}
+		dn.pinDelta = nil
+		dn.unpinDel = nil
+		nn := dn.nnClient
+		dn.mu.Unlock()
+		// Best effort: a down namenode only costs staleness.
+		_, _ = transport.Call[dfs.HeartbeatResp](nn, "nn.heartbeat", req)
+	}
+}
+
+// heldBlocks snapshots the replica inventory for registration and block
+// reports.
+func (dn *DataNode) heldBlocks() []dfs.BlockID {
+	dn.mu.Lock()
+	defer dn.mu.Unlock()
+	out := make([]dfs.BlockID, 0, len(dn.blocks))
+	for id := range dn.blocks {
+		out = append(out, id)
+	}
+	return out
+}
+
+// SendBlockReport pushes a full replica inventory to the namenode,
+// reconciling any staleness in its location map.
+func (dn *DataNode) SendBlockReport() error {
+	dn.mu.Lock()
+	nn := dn.nnClient
+	dn.mu.Unlock()
+	if nn == nil {
+		return fmt.Errorf("datanode: not registered")
+	}
+	_, err := transport.Call[dfs.BlockReportResp](nn, "nn.blockReport", dfs.BlockReportReq{
+		Addr:   dn.cfg.Addr,
+		Blocks: dn.heldBlocks(),
+	})
+	return err
+}
+
+// BlockCount reports how many block replicas this datanode stores.
+func (dn *DataNode) BlockCount() int {
+	dn.mu.Lock()
+	defer dn.mu.Unlock()
+	return len(dn.blocks)
+}

@@ -1,0 +1,330 @@
+package datanode
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/dfs"
+	"repro/internal/dfs/namenode"
+	"repro/internal/simclock"
+	"repro/internal/storage"
+	"repro/internal/transport"
+)
+
+var epoch = time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func run(t *testing.T, fn func(v *simclock.Virtual)) {
+	t.Helper()
+	v := simclock.NewVirtual(epoch)
+	done := make(chan struct{})
+	v.Go(func() {
+		defer close(done)
+		fn(v)
+	})
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatalf("stalled: %v", v)
+	}
+}
+
+// startPair brings up a namenode plus one datanode.
+func startPair(t *testing.T, v *simclock.Virtual, cfg Config) (*namenode.NameNode, *DataNode) {
+	t.Helper()
+	net := transport.NewInmemNetwork(v)
+	nn := namenode.New(v, net, namenode.Config{Addr: "nn", Seed: 1})
+	if err := nn.Start(); err != nil {
+		t.Fatalf("namenode: %v", err)
+	}
+	cfg.Addr = "dn0"
+	cfg.NameNodeAddr = "nn"
+	dn, err := New(v, net, cfg)
+	if err != nil {
+		t.Fatalf("datanode new: %v", err)
+	}
+	if err := dn.Start(); err != nil {
+		t.Fatalf("datanode start: %v", err)
+	}
+	return nn, dn
+}
+
+func TestWriteAndReadRealBlock(t *testing.T) {
+	run(t, func(v *simclock.Virtual) {
+		nn, dn := startPair(t, v, Config{})
+		defer nn.Close()
+		defer dn.Close()
+
+		data := bytes.Repeat([]byte("x"), 4096)
+		if _, err := dn.handleWriteBlock(dfs.WriteBlockReq{Block: dfs.Block{ID: 1, Size: 4096}, Data: data}); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		if got := dn.BlockCount(); got != 1 {
+			t.Errorf("BlockCount = %d", got)
+		}
+		resp, err := dn.handleReadBlock(dfs.ReadBlockReq{Block: 1, Job: "j"})
+		if err != nil {
+			t.Fatalf("read: %v", err)
+		}
+		if !bytes.Equal(resp.Data, data) || resp.FromMemory {
+			t.Errorf("resp = size %d fromMemory %v", len(resp.Data), resp.FromMemory)
+		}
+	})
+}
+
+func TestSyntheticBlockReadChargesDeviceTime(t *testing.T) {
+	run(t, func(v *simclock.Virtual) {
+		nn, dn := startPair(t, v, Config{Media: storage.HDDSpec()})
+		defer nn.Close()
+		defer dn.Close()
+		size := int64(64 << 20)
+		if _, err := dn.handleWriteBlock(dfs.WriteBlockReq{Block: dfs.Block{ID: 1, Size: size}}); err != nil {
+			t.Fatal(err)
+		}
+		start := v.Now()
+		resp, err := dn.handleReadBlock(dfs.ReadBlockReq{Block: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := v.Now().Sub(start)
+		if resp.Size != size || resp.Data != nil {
+			t.Errorf("resp = %+v", resp)
+		}
+		// One uncontended 64MB HDD read ~ 540ms.
+		if d < 400*time.Millisecond || d > 900*time.Millisecond {
+			t.Errorf("synthetic read took %v", d)
+		}
+	})
+}
+
+func TestServeAllFromRAM(t *testing.T) {
+	run(t, func(v *simclock.Virtual) {
+		nn, dn := startPair(t, v, Config{ServeAllFromRAM: true})
+		defer nn.Close()
+		defer dn.Close()
+		if _, err := dn.handleWriteBlock(dfs.WriteBlockReq{Block: dfs.Block{ID: 1, Size: 64 << 20}}); err != nil {
+			t.Fatal(err)
+		}
+		start := v.Now()
+		if _, err := dn.handleReadBlock(dfs.ReadBlockReq{Block: 1}); err != nil {
+			t.Fatal(err)
+		}
+		if d := v.Now().Sub(start); d > 200*time.Millisecond {
+			t.Errorf("vmtouch-mode read took %v", d)
+		}
+	})
+}
+
+func TestMigrateBatchPinsAndHeartbeatReports(t *testing.T) {
+	run(t, func(v *simclock.Virtual) {
+		nn, dn := startPair(t, v, Config{})
+		defer nn.Close()
+		defer dn.Close()
+		if _, err := dn.handleWriteBlock(dfs.WriteBlockReq{Block: dfs.Block{ID: 7, Size: 8 << 20}}); err != nil {
+			t.Fatal(err)
+		}
+		dn.handleMigrateBatch(dfs.MigrateBatch{Epoch: 1, Cmds: []dfs.MigrateCmd{{
+			Block: dfs.Block{ID: 7, Size: 8 << 20}, Job: "j", JobInputSize: 8 << 20, SubmitTime: v.Now(),
+		}}})
+		// Wait for the migration worker.
+		for dn.Slave().PinnedBytes() == 0 {
+			v.Sleep(50 * time.Millisecond)
+		}
+		// Pinned reads come from RAM.
+		start := v.Now()
+		resp, err := dn.handleReadBlock(dfs.ReadBlockReq{Block: 7, Job: "j"})
+		if err != nil || !resp.FromMemory {
+			t.Fatalf("read: %+v err %v", resp, err)
+		}
+		if d := v.Now().Sub(start); d > 100*time.Millisecond {
+			t.Errorf("pinned read took %v", d)
+		}
+		// Evict and confirm unpin.
+		dn.handleEvictBatch(dfs.EvictBatch{Epoch: 1, Cmds: []dfs.EvictCmd{{Block: 7, Job: "j"}}})
+		if dn.Slave().PinnedBytes() != 0 {
+			t.Error("evict batch did not unpin")
+		}
+	})
+}
+
+func TestDeleteBlocks(t *testing.T) {
+	run(t, func(v *simclock.Virtual) {
+		nn, dn := startPair(t, v, Config{})
+		defer nn.Close()
+		defer dn.Close()
+		for i := dfs.BlockID(1); i <= 3; i++ {
+			if _, err := dn.handleWriteBlock(dfs.WriteBlockReq{Block: dfs.Block{ID: i, Size: 1024}}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := dn.handleDeleteBlocks(dfs.DeleteBlocksReq{Blocks: []dfs.BlockID{1, 3}}); err != nil {
+			t.Fatal(err)
+		}
+		if got := dn.BlockCount(); got != 1 {
+			t.Errorf("BlockCount = %d, want 1", got)
+		}
+		if _, err := dn.handleReadBlock(dfs.ReadBlockReq{Block: 1}); err == nil {
+			t.Error("read of deleted block succeeded")
+		}
+	})
+}
+
+func TestWriteValidation(t *testing.T) {
+	run(t, func(v *simclock.Virtual) {
+		nn, dn := startPair(t, v, Config{})
+		defer nn.Close()
+		defer dn.Close()
+		if _, err := dn.handleWriteBlock(dfs.WriteBlockReq{Block: dfs.Block{ID: 1, Size: 0}}); err == nil {
+			t.Error("empty block accepted")
+		}
+		if _, err := dn.handleReadBlock(dfs.ReadBlockReq{Block: 99}); err == nil {
+			t.Error("read of unknown block succeeded")
+		}
+	})
+}
+
+func TestCloseRejectsWork(t *testing.T) {
+	run(t, func(v *simclock.Virtual) {
+		nn, dn := startPair(t, v, Config{})
+		defer nn.Close()
+		dn.Close()
+		dn.Close() // idempotent
+		if _, err := dn.handleWriteBlock(dfs.WriteBlockReq{Block: dfs.Block{ID: 1, Size: 10}}); err == nil {
+			t.Error("write accepted after close")
+		}
+	})
+}
+
+func TestMigrationReadUsesMediaDevice(t *testing.T) {
+	run(t, func(v *simclock.Virtual) {
+		nn, dn := startPair(t, v, Config{Media: storage.HDDSpec()})
+		defer nn.Close()
+		defer dn.Close()
+		before := dn.MediaDevice().Stats().BytesServed
+		if err := dn.ReadForMigration(dfs.Block{ID: 1, Size: 16 << 20}); err != nil {
+			t.Fatal(err)
+		}
+		if got := dn.MediaDevice().Stats().BytesServed - before; got != 16<<20 {
+			t.Errorf("media served %d bytes", got)
+		}
+	})
+}
+
+func TestWritePipelineForwards(t *testing.T) {
+	run(t, func(v *simclock.Virtual) {
+		net := transport.NewInmemNetwork(v)
+		nn := namenode.New(v, net, namenode.Config{Addr: "nn", Seed: 1})
+		if err := nn.Start(); err != nil {
+			t.Fatal(err)
+		}
+		defer nn.Close()
+		var dns []*DataNode
+		for i := 0; i < 3; i++ {
+			dn, err := New(v, net, Config{Addr: fmt.Sprintf("p%d", i), NameNodeAddr: "nn"})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := dn.Start(); err != nil {
+				t.Fatal(err)
+			}
+			defer dn.Close()
+			dns = append(dns, dn)
+		}
+		data := bytes.Repeat([]byte("p"), 2048)
+		if _, err := dns[0].handleWriteBlock(dfs.WriteBlockReq{
+			Block:    dfs.Block{ID: 1, Size: int64(len(data))},
+			Data:     data,
+			Pipeline: []string{"p1", "p2"},
+		}); err != nil {
+			t.Fatalf("pipelined write: %v", err)
+		}
+		// Every node in the chain holds the replica with identical bytes.
+		for _, dn := range dns {
+			resp, err := dn.handleReadBlock(dfs.ReadBlockReq{Block: 1})
+			if err != nil || !bytes.Equal(resp.Data, data) {
+				t.Errorf("%s: replica missing or corrupt (err %v)", dn.Addr(), err)
+			}
+		}
+	})
+}
+
+func TestWritePipelineBrokenChainFails(t *testing.T) {
+	run(t, func(v *simclock.Virtual) {
+		nn, dn := startPair(t, v, Config{})
+		defer nn.Close()
+		defer dn.Close()
+		_, err := dn.handleWriteBlock(dfs.WriteBlockReq{
+			Block:    dfs.Block{ID: 1, Size: 8},
+			Data:     []byte("12345678"),
+			Pipeline: []string{"no-such-node"},
+		})
+		if err == nil {
+			t.Error("broken pipeline write succeeded")
+		}
+	})
+}
+
+func TestHotCacheServesRepeatReads(t *testing.T) {
+	run(t, func(v *simclock.Virtual) {
+		nn, dn := startPair(t, v, Config{HotCacheBytes: 256 << 20})
+		defer nn.Close()
+		defer dn.Close()
+		if _, err := dn.handleWriteBlock(dfs.WriteBlockReq{Block: dfs.Block{ID: 1, Size: 64 << 20}}); err != nil {
+			t.Fatal(err)
+		}
+		// First read: cold.
+		start := v.Now()
+		r1, err := dn.handleReadBlock(dfs.ReadBlockReq{Block: 1})
+		if err != nil || r1.FromMemory {
+			t.Fatalf("first read: %+v err %v", r1, err)
+		}
+		cold := v.Now().Sub(start)
+		// Second read: hot-cache hit.
+		start = v.Now()
+		r2, err := dn.handleReadBlock(dfs.ReadBlockReq{Block: 1})
+		if err != nil || !r2.FromMemory {
+			t.Fatalf("second read not from cache: %+v err %v", r2, err)
+		}
+		if hot := v.Now().Sub(start); hot*5 > cold {
+			t.Errorf("cache hit %v not much faster than cold %v", hot, cold)
+		}
+	})
+}
+
+func TestHotCacheEvictsLRU(t *testing.T) {
+	run(t, func(v *simclock.Virtual) {
+		// Cache fits exactly two 64MB blocks.
+		nn, dn := startPair(t, v, Config{HotCacheBytes: 128 << 20})
+		defer nn.Close()
+		defer dn.Close()
+		for i := dfs.BlockID(1); i <= 3; i++ {
+			if _, err := dn.handleWriteBlock(dfs.WriteBlockReq{Block: dfs.Block{ID: i, Size: 64 << 20}}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		read := func(id dfs.BlockID) bool {
+			r, err := dn.handleReadBlock(dfs.ReadBlockReq{Block: id})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return r.FromMemory
+		}
+		read(1) // cache: 1
+		read(2) // cache: 2,1
+		if !read(1) {
+			t.Error("block 1 evicted too early") // cache: 1,2
+		}
+		read(3) // evicts 2 (LRU) -> cache: 3,1
+		if read(2) {
+			t.Error("LRU block 2 survived eviction")
+		}
+		// That miss re-inserted 2, evicting 1 -> cache: 2,3.
+		if !read(3) || !read(2) {
+			t.Error("recently used blocks evicted")
+		}
+		if read(1) {
+			t.Error("block 1 still cached after falling off the LRU")
+		}
+	})
+}

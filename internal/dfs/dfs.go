@@ -1,0 +1,323 @@
+// Package dfs defines the common types and wire messages of the
+// HDFS-like distributed file system that Ignem extends: block and file
+// metadata, the namenode and datanode RPC schemas, and the Ignem
+// migrate/evict extension messages.
+//
+// The implementation lives in the subpackages:
+//
+//   - dfs/namenode: namespace, block manager, datanode registry, and the
+//     embedded Ignem master.
+//   - dfs/datanode: block storage over simulated devices, the pinned
+//     memory region, and the embedded Ignem slave.
+//   - dfs/client: the DFSClient used by jobs — create/write/open/read
+//     plus the Migrate and Evict calls the paper adds.
+package dfs
+
+import (
+	"time"
+
+	"repro/internal/transport"
+)
+
+// BlockID identifies a block cluster-wide.
+type BlockID uint64
+
+// JobID identifies a job for migration reference lists, carried on the
+// read path exactly as the paper extends HDFS reads.
+type JobID string
+
+// Block is block metadata.
+type Block struct {
+	ID   BlockID
+	Size int64
+}
+
+// LocatedBlock is a block with its replica locations.
+type LocatedBlock struct {
+	Block  Block
+	Offset int64 // byte offset of this block within the file
+	// Nodes are the datanode addresses that hold replicas.
+	Nodes []string
+	// Migrated are the addresses where the block is currently pinned in
+	// memory by Ignem (a subset of Nodes).
+	Migrated []string
+	// Assigned is the replica the Ignem master chose to migrate for the
+	// requesting job (set only on job-scoped location queries). Tasks
+	// direct their reads there: that is where the in-memory copy is or
+	// will be, which is how the paper's migrated-block locality
+	// preference works.
+	Assigned string
+}
+
+// FileInfo is file metadata.
+type FileInfo struct {
+	Path        string
+	Size        int64
+	BlockSize   int64
+	Replication int
+	Complete    bool
+}
+
+// DefaultBlockSize matches the paper's HDFS configuration (64 MB).
+const DefaultBlockSize int64 = 64 << 20
+
+// DefaultReplication matches HDFS's default replica count.
+const DefaultReplication = 3
+
+// ---- Namenode RPC schema (methods prefixed "nn.") ----
+
+// CreateReq starts a new file.
+type CreateReq struct {
+	Path        string
+	BlockSize   int64
+	Replication int
+}
+
+// CreateResp acknowledges file creation.
+type CreateResp struct{}
+
+// AddBlockReq allocates the next block of an open file; the namenode
+// chooses replica targets.
+type AddBlockReq struct {
+	Path string
+	Size int64 // payload bytes in this block (<= BlockSize)
+}
+
+// AddBlockResp returns the allocated block and its target datanodes.
+type AddBlockResp struct {
+	Located LocatedBlock
+}
+
+// CompleteReq seals a file.
+type CompleteReq struct{ Path string }
+
+// CompleteResp acknowledges sealing.
+type CompleteResp struct{}
+
+// GetInfoReq fetches file metadata.
+type GetInfoReq struct{ Path string }
+
+// GetInfoResp returns file metadata.
+type GetInfoResp struct{ Info FileInfo }
+
+// GetLocationsReq fetches the block layout of a file. When Job is set,
+// each block is annotated with the replica the Ignem master assigned to
+// that job's migration.
+type GetLocationsReq struct {
+	Path string
+	Job  JobID
+}
+
+// GetLocationsResp returns all blocks with live replica locations and
+// current migration state.
+type GetLocationsResp struct{ Blocks []LocatedBlock }
+
+// DeleteReq removes a file.
+type DeleteReq struct{ Path string }
+
+// DeleteResp acknowledges removal.
+type DeleteResp struct{}
+
+// ListReq lists files whose path starts with Prefix.
+type ListReq struct{ Prefix string }
+
+// ListResp returns the matching files.
+type ListResp struct{ Files []FileInfo }
+
+// MigrateReq asks the Ignem master to migrate the inputs of a job into
+// memory (the paper's DFSClient.migrate extension).
+type MigrateReq struct {
+	Job   JobID
+	Paths []string
+	// Implicit opts the job into implicit eviction: the job ID is
+	// dropped from a block's reference list as soon as the job reads it.
+	Implicit bool
+	// SubmitTime is the job submission time, the tie-breaker for the
+	// slaves' smallest-job-first priority queues.
+	SubmitTime time.Time
+}
+
+// MigrateResp reports how much migration work was enqueued.
+type MigrateResp struct {
+	Blocks int
+	Bytes  int64
+}
+
+// EvictReq tells the Ignem master a job is done with its inputs.
+type EvictReq struct {
+	Job   JobID
+	Paths []string
+}
+
+// EvictResp acknowledges the eviction request.
+type EvictResp struct{}
+
+// RegisterReq announces a datanode to the namenode. Blocks is the full
+// block report of what the datanode currently stores; the namenode
+// reconciles its location map against it, so a datanode that restarted
+// empty sheds its stale replica entries (re-replication then repairs
+// the under-replicated blocks).
+type RegisterReq struct {
+	Addr   string
+	Blocks []BlockID
+}
+
+// RegisterResp acknowledges registration.
+type RegisterResp struct{}
+
+// HeartbeatReq is the periodic datanode report. Pinned and Unpinned carry
+// the block IDs whose migration state changed since the last heartbeat, so
+// the namenode can serve migration-aware locality.
+type HeartbeatReq struct {
+	Addr        string
+	PinnedBytes int64
+	Pinned      []BlockID
+	Unpinned    []BlockID
+}
+
+// HeartbeatResp acknowledges a heartbeat.
+type HeartbeatResp struct{}
+
+// BlockReportReq is a full replica inventory from a datanode, sent after
+// registration and usable any time the namenode's view may be stale.
+type BlockReportReq struct {
+	Addr   string
+	Blocks []BlockID
+}
+
+// BlockReportResp acknowledges a block report.
+type BlockReportResp struct{}
+
+// ---- Datanode RPC schema (methods prefixed "dn.") ----
+
+// WriteBlockReq stores a block replica on a datanode. Exactly one of
+// Data or Size describes the payload: Data carries real bytes; Size
+// declares a synthetic block used by experiment-scale workloads.
+// Pipeline lists the remaining downstream replica targets: the receiving
+// datanode stores its copy and forwards the block along the chain, as
+// the HDFS write pipeline does.
+type WriteBlockReq struct {
+	Block    Block
+	Data     []byte
+	Pipeline []string
+}
+
+// WireSize charges the network for the payload.
+func (r WriteBlockReq) WireSize() int64 {
+	if len(r.Data) > 0 {
+		return int64(len(r.Data))
+	}
+	return r.Block.Size
+}
+
+// WriteBlockResp acknowledges a replica write.
+type WriteBlockResp struct{}
+
+// ReadBlockReq reads a block replica. Job identifies the reader for
+// implicit eviction. Local marks a same-node read, which bypasses the
+// network bandwidth charge like an HDFS short-circuit read.
+type ReadBlockReq struct {
+	Block BlockID
+	Job   JobID
+	Local bool
+}
+
+// ReadBlockResp returns the block payload (Data for real blocks, only
+// Size for synthetic ones) and whether it was served from pinned memory.
+type ReadBlockResp struct {
+	Data       []byte
+	Size       int64
+	FromMemory bool
+	Local      bool
+}
+
+// WireSize charges the network for remote bulk reads only.
+func (r ReadBlockResp) WireSize() int64 {
+	if r.Local {
+		return 256
+	}
+	if len(r.Data) > 0 {
+		return int64(len(r.Data))
+	}
+	return r.Size
+}
+
+// PullBlockReq tells a datanode to fetch a block replica from a peer
+// (re-replication after a node failure).
+type PullBlockReq struct {
+	Block Block
+	From  string
+}
+
+// PullBlockResp acknowledges that the replica is now stored locally.
+type PullBlockResp struct{}
+
+// DeleteBlocksReq removes block replicas from a datanode.
+type DeleteBlocksReq struct{ Blocks []BlockID }
+
+// DeleteBlocksResp acknowledges replica removal.
+type DeleteBlocksResp struct{}
+
+// ---- Ignem master→slave command schema (methods prefixed "ignem.") ----
+
+// MigrateCmd orders a slave to migrate one block for one job.
+type MigrateCmd struct {
+	Block Block
+	Job   JobID
+	// JobInputSize drives the smallest-job-first queue priority.
+	JobInputSize int64
+	SubmitTime   time.Time
+	Implicit     bool
+}
+
+// MigrateBatch carries a batch of migrate commands (the paper batches
+// master→slave RPCs to reduce overhead).
+type MigrateBatch struct {
+	Epoch uint64
+	Cmds  []MigrateCmd
+}
+
+// MigrateBatchResp acknowledges a migrate batch.
+type MigrateBatchResp struct{}
+
+// EvictCmd removes a job from a block's reference list.
+type EvictCmd struct {
+	Block BlockID
+	Job   JobID
+}
+
+// EvictBatch carries a batch of evict commands.
+type EvictBatch struct {
+	Epoch uint64
+	Cmds  []EvictCmd
+}
+
+// EvictBatchResp acknowledges an evict batch.
+type EvictBatchResp struct{}
+
+// RegisterWire registers every wire type for the TCP transport's gob
+// codec. It is safe to call more than once.
+func RegisterWire() {
+	for _, v := range []any{
+		CreateReq{}, CreateResp{},
+		AddBlockReq{}, AddBlockResp{},
+		CompleteReq{}, CompleteResp{},
+		GetInfoReq{}, GetInfoResp{},
+		GetLocationsReq{}, GetLocationsResp{},
+		DeleteReq{}, DeleteResp{},
+		ListReq{}, ListResp{},
+		MigrateReq{}, MigrateResp{},
+		EvictReq{}, EvictResp{},
+		RegisterReq{}, RegisterResp{},
+		HeartbeatReq{}, HeartbeatResp{},
+		WriteBlockReq{}, WriteBlockResp{},
+		ReadBlockReq{}, ReadBlockResp{},
+		DeleteBlocksReq{}, DeleteBlocksResp{},
+		PullBlockReq{}, PullBlockResp{},
+		BlockReportReq{}, BlockReportResp{},
+		MigrateBatch{}, MigrateBatchResp{},
+		EvictBatch{}, EvictBatchResp{},
+	} {
+		transport.RegisterType(v)
+	}
+}

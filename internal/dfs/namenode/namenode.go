@@ -1,0 +1,697 @@
+// Package namenode implements the file-system master: the namespace,
+// block manager, datanode registry, and the embedded Ignem master.
+package namenode
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/dfs"
+	"repro/internal/ignem"
+	"repro/internal/simclock"
+	"repro/internal/transport"
+)
+
+// Config configures a NameNode.
+type Config struct {
+	// Addr is the address the namenode listens on.
+	Addr string
+	// DefaultBlockSize applies to files created without one.
+	DefaultBlockSize int64
+	// DefaultReplication applies to files created without one.
+	DefaultReplication int
+	// HeartbeatExpiry is how long after the last heartbeat a datanode is
+	// declared dead. Default 10s.
+	HeartbeatExpiry time.Duration
+	// ExpirySweepInterval is how often dead datanodes are detected.
+	// Default 1s.
+	ExpirySweepInterval time.Duration
+	// Seed drives replica placement and the Ignem master's replica
+	// choice.
+	Seed int64
+	// ReplicationSweepInterval is how often under-replicated blocks are
+	// repaired after node failures. Zero disables re-replication.
+	// Default 5s.
+	ReplicationSweepInterval time.Duration
+	// Racks maps datanode address to rack name. When non-empty,
+	// placement follows HDFS's default rack-aware policy: the second
+	// replica goes to a different rack than the first, and the third to
+	// the second replica's rack. An empty map means flat placement.
+	Racks map[string]string
+}
+
+func (c *Config) setDefaults() {
+	if c.DefaultBlockSize <= 0 {
+		c.DefaultBlockSize = dfs.DefaultBlockSize
+	}
+	if c.DefaultReplication <= 0 {
+		c.DefaultReplication = dfs.DefaultReplication
+	}
+	if c.HeartbeatExpiry <= 0 {
+		c.HeartbeatExpiry = 10 * time.Second
+	}
+	if c.ExpirySweepInterval <= 0 {
+		c.ExpirySweepInterval = time.Second
+	}
+	if c.ReplicationSweepInterval == 0 {
+		c.ReplicationSweepInterval = 5 * time.Second
+	}
+}
+
+type fileEntry struct {
+	info   dfs.FileInfo
+	blocks []dfs.Block
+}
+
+type blockMeta struct {
+	size    int64
+	want    int                 // the file's replication factor
+	nodes   map[string]struct{} // datanode addresses with a replica
+	pinned  map[string]struct{} // addresses where Ignem has it in memory
+	healing bool                // a re-replication pull is in flight
+}
+
+type dnInfo struct {
+	addr     string
+	lastSeen time.Time
+	alive    bool
+	client   *transport.Client
+}
+
+// NameNode is the file-system master process. Start it with Start, stop
+// it with Close.
+type NameNode struct {
+	clock    simclock.Clock
+	net      transport.Network
+	cfg      Config
+	server   *transport.Server
+	listener transport.Listener
+	master   *ignem.Master
+
+	mu        sync.Mutex
+	files     map[string]*fileEntry
+	blocks    map[dfs.BlockID]*blockMeta
+	datanodes map[string]*dnInfo
+	nextBlock dfs.BlockID
+	rng       *rand.Rand
+	closed    bool
+}
+
+// New creates a NameNode (not yet serving).
+func New(clock simclock.Clock, net transport.Network, cfg Config) *NameNode {
+	cfg.setDefaults()
+	nn := &NameNode{
+		clock:     clock,
+		net:       net,
+		cfg:       cfg,
+		files:     make(map[string]*fileEntry),
+		blocks:    make(map[dfs.BlockID]*blockMeta),
+		datanodes: make(map[string]*dnInfo),
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+	}
+	nn.master = ignem.NewMaster(nn, nn, cfg.Seed+1)
+	return nn
+}
+
+// Start binds the RPC server and begins serving. It also starts the
+// datanode-expiry sweeper.
+func (nn *NameNode) Start() error {
+	l, err := nn.net.Listen(nn.cfg.Addr)
+	if err != nil {
+		return fmt.Errorf("namenode: %w", err)
+	}
+	s := transport.NewServer(nn.clock)
+	s.Handle("nn.create", wrap(nn.handleCreate))
+	s.Handle("nn.addBlock", wrap(nn.handleAddBlock))
+	s.Handle("nn.complete", wrap(nn.handleComplete))
+	s.Handle("nn.getInfo", wrap(nn.handleGetInfo))
+	s.Handle("nn.getLocations", wrap(nn.handleGetLocations))
+	s.Handle("nn.delete", wrap(nn.handleDelete))
+	s.Handle("nn.list", wrap(nn.handleList))
+	s.Handle("nn.migrate", wrap(nn.handleMigrate))
+	s.Handle("nn.evict", wrap(nn.handleEvict))
+	s.Handle("nn.register", wrap(nn.handleRegister))
+	s.Handle("nn.blockReport", wrap(nn.handleBlockReport))
+	s.Handle("nn.heartbeat", wrap(nn.handleHeartbeat))
+	s.ServeBackground(l)
+	nn.server = s
+	nn.listener = l
+	nn.clock.Go(nn.expiryLoop)
+	if nn.cfg.ReplicationSweepInterval > 0 {
+		nn.clock.Go(nn.replicationLoop)
+	}
+	return nil
+}
+
+// wrap adapts a typed handler to the transport's HandlerFunc.
+func wrap[Req, Resp any](fn func(Req) (Resp, error)) transport.HandlerFunc {
+	return func(arg any) (any, error) {
+		req, ok := arg.(Req)
+		if !ok {
+			var want Req
+			return nil, fmt.Errorf("namenode: bad request type %T, want %T", arg, want)
+		}
+		return fn(req)
+	}
+}
+
+// Close stops serving and disconnects from all datanodes.
+func (nn *NameNode) Close() {
+	nn.mu.Lock()
+	nn.closed = true
+	clients := make([]*transport.Client, 0, len(nn.datanodes))
+	for _, dn := range nn.datanodes {
+		if dn.client != nil {
+			clients = append(clients, dn.client)
+		}
+	}
+	nn.mu.Unlock()
+	for _, c := range clients {
+		c.Close()
+	}
+	if nn.listener != nil {
+		nn.listener.Close()
+	}
+	if nn.server != nil {
+		nn.server.Close()
+	}
+}
+
+// Master exposes the embedded Ignem master (for failure-injection tests
+// and the cluster harness).
+func (nn *NameNode) Master() *ignem.Master { return nn.master }
+
+// RestartMaster simulates an Ignem master failure and recovery: the new
+// master starts with an empty state and a new epoch, and the epoch bump
+// is broadcast to every live slave so they purge stale reference lists
+// immediately (the paper broadcasts the new master's address to all
+// servers; slaves reset to match the new master's empty state).
+func (nn *NameNode) RestartMaster() {
+	nn.master.Restart()
+	epoch := nn.master.Epoch()
+	for _, addr := range nn.LiveDataNodes() {
+		// Best effort: an unreachable slave purges lazily when it sees
+		// the next new-epoch command batch.
+		_ = nn.SendEvict(addr, dfs.EvictBatch{Epoch: epoch})
+	}
+}
+
+// ---- namespace handlers ----
+
+func (nn *NameNode) handleCreate(req dfs.CreateReq) (dfs.CreateResp, error) {
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	if req.Path == "" {
+		return dfs.CreateResp{}, fmt.Errorf("namenode: empty path")
+	}
+	if _, ok := nn.files[req.Path]; ok {
+		return dfs.CreateResp{}, fmt.Errorf("namenode: %s already exists", req.Path)
+	}
+	bs := req.BlockSize
+	if bs <= 0 {
+		bs = nn.cfg.DefaultBlockSize
+	}
+	rep := req.Replication
+	if rep <= 0 {
+		rep = nn.cfg.DefaultReplication
+	}
+	nn.files[req.Path] = &fileEntry{info: dfs.FileInfo{
+		Path: req.Path, BlockSize: bs, Replication: rep,
+	}}
+	return dfs.CreateResp{}, nil
+}
+
+func (nn *NameNode) handleAddBlock(req dfs.AddBlockReq) (dfs.AddBlockResp, error) {
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	f, ok := nn.files[req.Path]
+	if !ok {
+		return dfs.AddBlockResp{}, fmt.Errorf("namenode: no such file %s", req.Path)
+	}
+	if f.info.Complete {
+		return dfs.AddBlockResp{}, fmt.Errorf("namenode: %s is sealed", req.Path)
+	}
+	if req.Size <= 0 || req.Size > f.info.BlockSize {
+		return dfs.AddBlockResp{}, fmt.Errorf("namenode: bad block size %d (file block size %d)", req.Size, f.info.BlockSize)
+	}
+	targets := nn.chooseTargetsLocked(f.info.Replication)
+	if len(targets) == 0 {
+		return dfs.AddBlockResp{}, fmt.Errorf("namenode: no live datanodes")
+	}
+	nn.nextBlock++
+	b := dfs.Block{ID: nn.nextBlock, Size: req.Size}
+	meta := &blockMeta{size: req.Size, want: f.info.Replication, nodes: make(map[string]struct{}), pinned: make(map[string]struct{})}
+	for _, t := range targets {
+		meta.nodes[t] = struct{}{}
+	}
+	nn.blocks[b.ID] = meta
+	offset := f.info.Size
+	f.blocks = append(f.blocks, b)
+	f.info.Size += req.Size
+	return dfs.AddBlockResp{Located: dfs.LocatedBlock{Block: b, Offset: offset, Nodes: targets}}, nil
+}
+
+// chooseTargetsLocked picks up to rep distinct live datanodes. With rack
+// information it applies HDFS's default policy; otherwise placement is a
+// seeded random choice.
+func (nn *NameNode) chooseTargetsLocked(rep int) []string {
+	live := make([]string, 0, len(nn.datanodes))
+	for addr, dn := range nn.datanodes {
+		if dn.alive {
+			live = append(live, addr)
+		}
+	}
+	sort.Strings(live) // deterministic base order for the seeded shuffle
+	nn.rng.Shuffle(len(live), func(i, j int) { live[i], live[j] = live[j], live[i] })
+	if rep > len(live) {
+		rep = len(live)
+	}
+	if len(nn.cfg.Racks) == 0 || rep < 2 {
+		return live[:rep]
+	}
+	return nn.rackAwareTargets(live, rep)
+}
+
+// rackAwareTargets applies the HDFS default placement: first replica
+// anywhere, second on a different rack, third on the second's rack,
+// the rest wherever distinct nodes remain.
+func (nn *NameNode) rackAwareTargets(shuffled []string, rep int) []string {
+	rackOf := func(addr string) string { return nn.cfg.Racks[addr] }
+	targets := []string{shuffled[0]}
+	used := map[string]bool{shuffled[0]: true}
+
+	pick := func(want func(addr string) bool) bool {
+		for _, a := range shuffled {
+			if !used[a] && want(a) {
+				targets = append(targets, a)
+				used[a] = true
+				return true
+			}
+		}
+		return false
+	}
+
+	// Second replica: off the first rack if possible.
+	firstRack := rackOf(targets[0])
+	if len(targets) < rep {
+		if !pick(func(a string) bool { return rackOf(a) != firstRack }) {
+			pick(func(string) bool { return true })
+		}
+	}
+	// Third replica: on the second replica's rack if possible.
+	if len(targets) < rep && len(targets) >= 2 {
+		secondRack := rackOf(targets[1])
+		if !pick(func(a string) bool { return rackOf(a) == secondRack }) {
+			pick(func(string) bool { return true })
+		}
+	}
+	// Remaining replicas: any distinct node.
+	for len(targets) < rep {
+		if !pick(func(string) bool { return true }) {
+			break
+		}
+	}
+	return targets
+}
+
+func (nn *NameNode) handleComplete(req dfs.CompleteReq) (dfs.CompleteResp, error) {
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	f, ok := nn.files[req.Path]
+	if !ok {
+		return dfs.CompleteResp{}, fmt.Errorf("namenode: no such file %s", req.Path)
+	}
+	f.info.Complete = true
+	return dfs.CompleteResp{}, nil
+}
+
+func (nn *NameNode) handleGetInfo(req dfs.GetInfoReq) (dfs.GetInfoResp, error) {
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	f, ok := nn.files[req.Path]
+	if !ok {
+		return dfs.GetInfoResp{}, fmt.Errorf("namenode: no such file %s", req.Path)
+	}
+	return dfs.GetInfoResp{Info: f.info}, nil
+}
+
+func (nn *NameNode) handleGetLocations(req dfs.GetLocationsReq) (dfs.GetLocationsResp, error) {
+	blocks, err := nn.Resolve(req.Path)
+	if err != nil {
+		return dfs.GetLocationsResp{}, err
+	}
+	if req.Job != "" {
+		for i := range blocks {
+			addr := nn.master.AssignedReplica(req.Job, blocks[i].Block.ID)
+			if addr == "" {
+				continue
+			}
+			// Only report the assignment while the replica is live.
+			for _, n := range blocks[i].Nodes {
+				if n == addr {
+					blocks[i].Assigned = addr
+					break
+				}
+			}
+		}
+	}
+	return dfs.GetLocationsResp{Blocks: blocks}, nil
+}
+
+func (nn *NameNode) handleDelete(req dfs.DeleteReq) (dfs.DeleteResp, error) {
+	nn.mu.Lock()
+	f, ok := nn.files[req.Path]
+	if !ok {
+		nn.mu.Unlock()
+		return dfs.DeleteResp{}, fmt.Errorf("namenode: no such file %s", req.Path)
+	}
+	delete(nn.files, req.Path)
+	// Collect the replica-deletion work per datanode.
+	toDelete := make(map[string][]dfs.BlockID)
+	for _, b := range f.blocks {
+		if meta := nn.blocks[b.ID]; meta != nil {
+			for addr := range meta.nodes {
+				toDelete[addr] = append(toDelete[addr], b.ID)
+			}
+		}
+		delete(nn.blocks, b.ID)
+	}
+	nn.mu.Unlock()
+
+	// Best effort: a dead datanode's replicas die with it anyway.
+	for addr, ids := range toDelete {
+		c, err := nn.slaveClient(addr)
+		if err != nil {
+			continue
+		}
+		_, _ = transport.Call[dfs.DeleteBlocksResp](c, "dn.deleteBlocks", dfs.DeleteBlocksReq{Blocks: ids})
+	}
+	return dfs.DeleteResp{}, nil
+}
+
+func (nn *NameNode) handleList(req dfs.ListReq) (dfs.ListResp, error) {
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	var out []dfs.FileInfo
+	for path, f := range nn.files {
+		if len(path) >= len(req.Prefix) && path[:len(req.Prefix)] == req.Prefix {
+			out = append(out, f.info)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return dfs.ListResp{Files: out}, nil
+}
+
+func (nn *NameNode) handleMigrate(req dfs.MigrateReq) (dfs.MigrateResp, error) {
+	return nn.master.Migrate(req)
+}
+
+func (nn *NameNode) handleEvict(req dfs.EvictReq) (dfs.EvictResp, error) {
+	return nn.master.Evict(req)
+}
+
+// ---- datanode registry ----
+
+func (nn *NameNode) handleRegister(req dfs.RegisterReq) (dfs.RegisterResp, error) {
+	nn.mu.Lock()
+	dn := nn.datanodes[req.Addr]
+	if dn == nil {
+		dn = &dnInfo{addr: req.Addr}
+		nn.datanodes[req.Addr] = dn
+	}
+	stale := dn.client
+	dn.client = nil
+	dn.alive = true
+	dn.lastSeen = nn.clock.Now()
+	nn.reconcileLocked(req.Addr, req.Blocks)
+	nn.mu.Unlock()
+	if stale != nil {
+		stale.Close()
+	}
+	return dfs.RegisterResp{}, nil
+}
+
+func (nn *NameNode) handleBlockReport(req dfs.BlockReportReq) (dfs.BlockReportResp, error) {
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	if nn.datanodes[req.Addr] == nil {
+		return dfs.BlockReportResp{}, fmt.Errorf("namenode: block report from unregistered %s", req.Addr)
+	}
+	nn.reconcileLocked(req.Addr, req.Blocks)
+	return dfs.BlockReportResp{}, nil
+}
+
+// reconcileLocked makes the location map agree with a datanode's actual
+// replica inventory: entries it no longer holds are dropped; entries it
+// holds (for blocks the namespace still knows) are added back.
+func (nn *NameNode) reconcileLocked(addr string, held []dfs.BlockID) {
+	holds := make(map[dfs.BlockID]struct{}, len(held))
+	for _, id := range held {
+		holds[id] = struct{}{}
+	}
+	for id, meta := range nn.blocks {
+		if _, ok := holds[id]; ok {
+			meta.nodes[addr] = struct{}{}
+		} else {
+			delete(meta.nodes, addr)
+			delete(meta.pinned, addr)
+		}
+	}
+}
+
+func (nn *NameNode) handleHeartbeat(req dfs.HeartbeatReq) (dfs.HeartbeatResp, error) {
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	dn := nn.datanodes[req.Addr]
+	if dn == nil {
+		return dfs.HeartbeatResp{}, fmt.Errorf("namenode: heartbeat from unregistered %s", req.Addr)
+	}
+	dn.alive = true
+	dn.lastSeen = nn.clock.Now()
+	for _, id := range req.Pinned {
+		if meta := nn.blocks[id]; meta != nil {
+			meta.pinned[req.Addr] = struct{}{}
+		}
+	}
+	for _, id := range req.Unpinned {
+		if meta := nn.blocks[id]; meta != nil {
+			delete(meta.pinned, req.Addr)
+		}
+	}
+	return dfs.HeartbeatResp{}, nil
+}
+
+// expiryLoop marks datanodes dead when their heartbeats stop; the block
+// manager then reports only live replica locations, which is how the
+// Ignem master sees "an updated view with only live locations".
+func (nn *NameNode) expiryLoop() {
+	for {
+		nn.clock.Sleep(nn.cfg.ExpirySweepInterval)
+		nn.mu.Lock()
+		if nn.closed {
+			nn.mu.Unlock()
+			return
+		}
+		now := nn.clock.Now()
+		for _, dn := range nn.datanodes {
+			if dn.alive && now.Sub(dn.lastSeen) > nn.cfg.HeartbeatExpiry {
+				dn.alive = false
+				// Drop the node's pinned state: its memory is gone.
+				for _, meta := range nn.blocks {
+					delete(meta.pinned, dn.addr)
+				}
+			}
+		}
+		nn.mu.Unlock()
+	}
+}
+
+// replicationLoop repairs under-replicated blocks: for each block with
+// fewer live replicas than its file requested, a live non-holder is told
+// to pull a copy from a surviving holder.
+func (nn *NameNode) replicationLoop() {
+	for {
+		nn.clock.Sleep(nn.cfg.ReplicationSweepInterval)
+		nn.mu.Lock()
+		if nn.closed {
+			nn.mu.Unlock()
+			return
+		}
+		type job struct {
+			block  dfs.Block
+			source string
+			target string
+			meta   *blockMeta
+		}
+		var jobs []job
+		live := map[string]bool{}
+		for addr, dn := range nn.datanodes {
+			live[addr] = dn.alive
+		}
+		for id, meta := range nn.blocks {
+			if meta.healing {
+				continue
+			}
+			var holders []string
+			for addr := range meta.nodes {
+				if live[addr] {
+					holders = append(holders, addr)
+				}
+			}
+			if len(holders) == 0 || len(holders) >= meta.want {
+				continue
+			}
+			sort.Strings(holders)
+			var candidates []string
+			for addr, ok := range live {
+				if !ok {
+					continue
+				}
+				if _, holds := meta.nodes[addr]; !holds {
+					candidates = append(candidates, addr)
+				}
+			}
+			if len(candidates) == 0 {
+				continue
+			}
+			sort.Strings(candidates)
+			target := candidates[nn.rng.Intn(len(candidates))]
+			source := holders[nn.rng.Intn(len(holders))]
+			meta.healing = true
+			jobs = append(jobs, job{
+				block:  dfs.Block{ID: id, Size: meta.size},
+				source: source,
+				target: target,
+				meta:   meta,
+			})
+		}
+		nn.mu.Unlock()
+
+		for _, j := range jobs {
+			j := j
+			nn.clock.Go(func() {
+				err := nn.pullReplica(j.target, j.source, j.block)
+				nn.mu.Lock()
+				j.meta.healing = false
+				if err == nil {
+					j.meta.nodes[j.target] = struct{}{}
+				}
+				nn.mu.Unlock()
+			})
+		}
+	}
+}
+
+// pullReplica asks target to copy block from source.
+func (nn *NameNode) pullReplica(target, source string, b dfs.Block) error {
+	c, err := nn.slaveClient(target)
+	if err != nil {
+		return err
+	}
+	_, err = transport.Call[dfs.PullBlockResp](c, "dn.pullBlock", dfs.PullBlockReq{Block: b, From: source})
+	return err
+}
+
+// LiveDataNodes returns the addresses of datanodes considered alive.
+func (nn *NameNode) LiveDataNodes() []string {
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	var out []string
+	for addr, dn := range nn.datanodes {
+		if dn.alive {
+			out = append(out, addr)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ---- ignem.Resolver ----
+
+// Resolve maps a file to its blocks with live replica locations and
+// current migration state.
+func (nn *NameNode) Resolve(path string) ([]dfs.LocatedBlock, error) {
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	f, ok := nn.files[path]
+	if !ok {
+		return nil, fmt.Errorf("namenode: no such file %s", path)
+	}
+	out := make([]dfs.LocatedBlock, 0, len(f.blocks))
+	var offset int64
+	for _, b := range f.blocks {
+		lb := dfs.LocatedBlock{Block: b, Offset: offset}
+		if meta := nn.blocks[b.ID]; meta != nil {
+			for addr := range meta.nodes {
+				if dn := nn.datanodes[addr]; dn != nil && dn.alive {
+					lb.Nodes = append(lb.Nodes, addr)
+				}
+			}
+			sort.Strings(lb.Nodes)
+			for addr := range meta.pinned {
+				if dn := nn.datanodes[addr]; dn != nil && dn.alive {
+					lb.Migrated = append(lb.Migrated, addr)
+				}
+			}
+			sort.Strings(lb.Migrated)
+		}
+		offset += b.Size
+		out = append(out, lb)
+	}
+	return out, nil
+}
+
+// ---- ignem.SlaveLink ----
+
+// SendMigrate pushes a migrate batch to the slave embedded in the
+// datanode at addr.
+func (nn *NameNode) SendMigrate(addr string, batch dfs.MigrateBatch) error {
+	c, err := nn.slaveClient(addr)
+	if err != nil {
+		return err
+	}
+	_, err = transport.Call[dfs.MigrateBatchResp](c, "ignem.migrateBatch", batch)
+	return err
+}
+
+// SendEvict pushes an evict batch to the slave at addr.
+func (nn *NameNode) SendEvict(addr string, batch dfs.EvictBatch) error {
+	c, err := nn.slaveClient(addr)
+	if err != nil {
+		return err
+	}
+	_, err = transport.Call[dfs.EvictBatchResp](c, "ignem.evictBatch", batch)
+	return err
+}
+
+// slaveClient returns (dialing on demand) the command client for addr.
+func (nn *NameNode) slaveClient(addr string) (*transport.Client, error) {
+	nn.mu.Lock()
+	dn := nn.datanodes[addr]
+	if dn == nil || !dn.alive {
+		nn.mu.Unlock()
+		return nil, fmt.Errorf("namenode: datanode %s not available", addr)
+	}
+	if dn.client != nil {
+		c := dn.client
+		nn.mu.Unlock()
+		return c, nil
+	}
+	nn.mu.Unlock()
+
+	c, err := transport.Dial(nn.clock, nn.net, addr)
+	if err != nil {
+		return nil, fmt.Errorf("namenode: dial %s: %w", addr, err)
+	}
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	if dn.client != nil { // lost the dial race; keep the winner
+		defer c.Close()
+		return dn.client, nil
+	}
+	dn.client = c
+	return c, nil
+}

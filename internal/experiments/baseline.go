@@ -1,0 +1,195 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/dfs"
+	"repro/internal/mapreduce"
+	"repro/internal/metrics"
+	"repro/internal/simclock"
+)
+
+// BaselineConfig controls the hot-cache baseline comparison (the paper's
+// §I and §V argument): reactive hot-data caching (PACMan / Triple-H
+// class) accelerates repeatedly read data but can never help cold,
+// singly-read inputs — only proactive migration can.
+type BaselineConfig struct {
+	Nodes int
+	Seed  int64
+	// SinglyReadJobs each read their own cold input exactly once.
+	SinglyReadJobs int
+	// JobInputBytes sizes each singly-read input. Default 512 MB.
+	JobInputBytes int64
+	// Iterations is the iterative job's pass count over one shared
+	// input (the paper's Spark/ML scenario). Default 5.
+	Iterations int
+	// IterInputBytes sizes the iterative input. Default 4 GB.
+	IterInputBytes int64
+}
+
+func (c *BaselineConfig) setDefaults() {
+	if c.Nodes <= 0 {
+		c.Nodes = 8
+	}
+	if c.SinglyReadJobs <= 0 {
+		c.SinglyReadJobs = 10
+	}
+	if c.JobInputBytes <= 0 {
+		c.JobInputBytes = 512 << 20
+	}
+	if c.Iterations <= 0 {
+		c.Iterations = 5
+	}
+	if c.IterInputBytes <= 0 {
+		c.IterInputBytes = 4 << 30
+	}
+}
+
+// BaselineResult holds both workloads' durations per configuration.
+type BaselineResult struct {
+	Config BaselineConfig
+	// SinglyRead is the mean job duration of the singly-read workload.
+	SinglyRead map[cluster.Mode]time.Duration
+	// IterFirst and IterLater are the first-iteration and mean
+	// later-iteration durations of the iterative workload.
+	IterFirst map[cluster.Mode]time.Duration
+	IterLater map[cluster.Mode]time.Duration
+}
+
+var baselineModes = []cluster.Mode{cluster.ModeHDFS, cluster.ModeHotCache, cluster.ModeIgnem}
+
+// RunBaseline runs both workloads under HDFS, the hot-cache baseline,
+// and Ignem.
+func RunBaseline(cfg BaselineConfig) (*BaselineResult, error) {
+	cfg.setDefaults()
+	res := &BaselineResult{
+		Config:     cfg,
+		SinglyRead: make(map[cluster.Mode]time.Duration),
+		IterFirst:  make(map[cluster.Mode]time.Duration),
+		IterLater:  make(map[cluster.Mode]time.Duration),
+	}
+	for _, mode := range baselineModes {
+		mode := mode
+		ccfg := cluster.Config{Nodes: cfg.Nodes, Mode: mode, Seed: cfg.Seed}
+		err := runOnCluster(ccfg, func(v *simclock.Virtual, c *cluster.Cluster) error {
+			cl, err := c.Client()
+			if err != nil {
+				return err
+			}
+			defer cl.Close()
+
+			// Workload 1: cold, singly-read inputs (fresh logs).
+			var durs metrics.Series
+			for i := 0; i < cfg.SinglyReadJobs; i++ {
+				path := fmt.Sprintf("/once/%d", i)
+				if err := cl.WriteSyntheticFile(path, cfg.JobInputBytes, 0, dfs.DefaultReplication); err != nil {
+					return err
+				}
+				r, err := c.Engine.Run(mapreduce.Config{
+					ID:            dfs.JobID(fmt.Sprintf("once-%d", i)),
+					InputPaths:    []string{path},
+					MapRateMBps:   800,
+					UseIgnem:      c.UseIgnem(),
+					ImplicitEvict: true,
+				})
+				if err != nil {
+					return err
+				}
+				durs.AddDuration(r.Duration)
+			}
+			res.SinglyRead[mode] = time.Duration(durs.Mean() * float64(time.Second))
+
+			// Workload 2: the iterative (ML-style) job re-reading one
+			// input each pass.
+			if err := cl.WriteSyntheticFile("/iter/input", cfg.IterInputBytes, 0, dfs.DefaultReplication); err != nil {
+				return err
+			}
+			var later metrics.Series
+			for it := 0; it < cfg.Iterations; it++ {
+				jcfg := mapreduce.Config{
+					ID:          dfs.JobID(fmt.Sprintf("iter-%d", it)),
+					InputPaths:  []string{"/iter/input"},
+					MapRateMBps: 400,
+					UseIgnem:    c.UseIgnem(),
+					// An iterative application migrates on its first pass
+					// and keeps the input pinned until its final pass (the
+					// slave dedups re-migrations into reference-list adds).
+					KeepPinned: true,
+				}
+				if it > 0 {
+					// Later passes run inside the same warm application.
+					jcfg.SubmitOverhead = -1
+				}
+				r, err := c.Engine.Run(jcfg)
+				if err != nil {
+					return err
+				}
+				if it == 0 {
+					res.IterFirst[mode] = r.Duration
+				} else {
+					later.AddDuration(r.Duration)
+				}
+			}
+			res.IterLater[mode] = time.Duration(later.Mean() * float64(time.Second))
+			// The application's final act: release all iterations' pins.
+			if c.UseIgnem() {
+				for it := 0; it < cfg.Iterations; it++ {
+					if err := cl.Evict(dfs.JobID(fmt.Sprintf("iter-%d", it)), []string{"/iter/input"}); err != nil {
+						return err
+					}
+				}
+				if got := c.TotalPinnedBytes(); got != 0 {
+					return fmt.Errorf("iterative app leaked %d pinned bytes", got)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("baseline %s: %w", mode, err)
+		}
+	}
+	return res, nil
+}
+
+// Render prints the comparison the paper makes in prose: hot caching
+// matches HDFS on singly-read data (0% help) while Ignem speeds it up;
+// on iterative data both help the later passes but only Ignem also fixes
+// the cold first pass.
+func (r *BaselineResult) Render() string {
+	var b strings.Builder
+	b.WriteString(header("Baseline — reactive hot caching vs proactive migration (§I, §V)"))
+	t1 := metrics.Table{
+		Caption: fmt.Sprintf("(a) %d singly-read jobs of %s each (mean duration)",
+			r.Config.SinglyReadJobs, gb(r.Config.JobInputBytes)),
+		Header: []string{"config", "mean job (s)", "speedup vs HDFS"},
+	}
+	base := r.SinglyRead[cluster.ModeHDFS].Seconds()
+	for _, mode := range baselineModes {
+		d := r.SinglyRead[mode].Seconds()
+		t1.AddRow(mode.String(), fmt.Sprintf("%.1f", d), speedup(base, d))
+	}
+	b.WriteString(t1.String())
+
+	t2 := metrics.Table{
+		Caption: fmt.Sprintf("(b) iterative job, %s input x %d passes",
+			gb(r.Config.IterInputBytes), r.Config.Iterations),
+		Header: []string{"config", "1st pass (s)", "later passes (s)", "1st/later"},
+	}
+	for _, mode := range baselineModes {
+		first := r.IterFirst[mode].Seconds()
+		rest := r.IterLater[mode].Seconds()
+		ratio := "-"
+		if rest > 0 {
+			ratio = fmt.Sprintf("%.1fx", first/rest)
+		}
+		t2.AddRow(mode.String(), fmt.Sprintf("%.1f", first), fmt.Sprintf("%.1f", rest), ratio)
+	}
+	b.WriteString(t2.String())
+	b.WriteString("paper §I: caching cannot help singly-read inputs (PACMan's own authors\n" +
+		"report 30% of tasks read singly-accessed blocks); iterative jobs see their\n" +
+		"first pass inflated by cold reads (15x for LogReg) unless migrated.\n")
+	return b.String()
+}

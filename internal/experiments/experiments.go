@@ -1,0 +1,55 @@
+// Package experiments regenerates every table and figure in the paper's
+// evaluation (§II and §IV). Each experiment returns a typed result with
+// the measured numbers plus a Render method that prints the table/figure
+// as text, and records the paper's published values alongside for
+// comparison. The bench harness (bench_test.go) and cmd/ignem-bench both
+// drive these functions.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/simclock"
+)
+
+// WallTimeout bounds each experiment's real (wall-clock) runtime; a
+// stalled virtual-time simulation fails instead of hanging.
+const WallTimeout = 30 * time.Minute
+
+// runOnCluster starts a cluster inside a fresh virtual-time simulation,
+// runs fn, and tears everything down.
+func runOnCluster(cfg cluster.Config, fn func(v *simclock.Virtual, c *cluster.Cluster) error) error {
+	var inner error
+	err := cluster.RunVirtual(WallTimeout, func(v *simclock.Virtual) {
+		c, err := cluster.Start(v, cfg)
+		if err != nil {
+			inner = err
+			return
+		}
+		defer c.Close()
+		inner = fn(v, c)
+	})
+	if err != nil {
+		return err
+	}
+	return inner
+}
+
+// speedup formats the paper's "Speedup w.r.t HDFS" column.
+func speedup(base, other float64) string {
+	if base <= 0 {
+		return ""
+	}
+	return fmt.Sprintf("%.0f%%", (1-other/base)*100)
+}
+
+// gb renders a byte count in GB with one decimal.
+func gb(b int64) string { return fmt.Sprintf("%.1f GB", float64(b)/float64(1<<30)) }
+
+// header renders an underlined experiment title.
+func header(title string) string {
+	return fmt.Sprintf("%s\n%s\n", title, strings.Repeat("=", len(title)))
+}

@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"repro/internal/gtrace"
+)
+
+// Spec is a runnable experiment in the registry.
+type Spec struct {
+	// ID is the table/figure identifier, e.g. "fig8" or "table1".
+	ID string
+	// Title describes what the experiment reproduces.
+	Title string
+	// Run executes the experiment at paper scale and returns the
+	// rendered tables/figures plus (when available) a raw-data exporter
+	// for plotting.
+	Run func(seed int64) (string, DataWriter, error)
+}
+
+// All returns the registry of experiments, one entry per paper table or
+// figure (grouped where one run produces several).
+func All() []Spec {
+	return []Spec{
+		{
+			ID:    "fig1-2",
+			Title: "Figs 1-2: block-read and mapper-task latency on HDD/SSD/RAM",
+			Run: func(seed int64) (string, DataWriter, error) {
+				r, err := RunMedia(MediaConfig{Seed: seed})
+				if err != nil {
+					return "", nil, err
+				}
+				return r.Render(), r, nil
+			},
+		},
+		{
+			ID:    "fig3-4",
+			Title: "Figs 3-4: Google-trace lead-time sufficiency and disk utilization",
+			Run: func(seed int64) (string, DataWriter, error) {
+				r := RunTraceAnalysis(gtrace.Config{Seed: seed})
+				return r.Render(), r, nil
+			},
+		},
+		{
+			ID:    "swim",
+			Title: "Tables I-II, Figs 5-7, ablation: the SWIM trace-driven workload",
+			Run: func(seed int64) (string, DataWriter, error) {
+				r, err := RunSwim(SwimConfig{Seed: seed})
+				if err != nil {
+					return "", nil, err
+				}
+				return r.Render(), r, nil
+			},
+		},
+		{
+			ID:    "table3",
+			Title: "Table III: standalone 40 GB sort",
+			Run: func(seed int64) (string, DataWriter, error) {
+				r, err := RunSort(SortConfig{Seed: seed})
+				if err != nil {
+					return "", nil, err
+				}
+				return r.Render(), r, nil
+			},
+		},
+		{
+			ID:    "fig8",
+			Title: "Fig 8: wordcount input-size sweep with inserted lead-time",
+			Run: func(seed int64) (string, DataWriter, error) {
+				r, err := RunWordcount(WordcountConfig{Seed: seed})
+				if err != nil {
+					return "", nil, err
+				}
+				return r.Render(), r, nil
+			},
+		},
+		{
+			ID:    "baseline",
+			Title: "Baseline (§I, §V): hot-data caching vs proactive migration",
+			Run: func(seed int64) (string, DataWriter, error) {
+				r, err := RunBaseline(BaselineConfig{Seed: seed})
+				if err != nil {
+					return "", nil, err
+				}
+				return r.Render(), nil, nil
+			},
+		},
+		{
+			ID:    "media",
+			Title: "Extension (§II-B): the same job with cold data on HDD vs SSD",
+			Run: func(seed int64) (string, DataWriter, error) {
+				r, err := RunMediaSensitivity(MediaSensitivityConfig{Seed: seed})
+				if err != nil {
+					return "", nil, err
+				}
+				return r.Render(), nil, nil
+			},
+		},
+		{
+			ID:    "fig9",
+			Title: "Fig 9: Hive TPC-DS query catalog",
+			Run: func(seed int64) (string, DataWriter, error) {
+				r, err := RunHive(HiveConfig{Seed: seed})
+				if err != nil {
+					return "", nil, err
+				}
+				return r.Render(), r, nil
+			},
+		},
+	}
+}
+
+// Find returns the experiment with the given ID, or false.
+func Find(id string) (Spec, bool) {
+	for _, s := range All() {
+		if s.ID == id {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}

@@ -1,0 +1,148 @@
+package hive_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/hive"
+	"repro/internal/simclock"
+)
+
+func runSim(t *testing.T, fn func(v *simclock.Virtual)) {
+	t.Helper()
+	if err := cluster.RunVirtual(180*time.Second, fn); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCatalogShape(t *testing.T) {
+	cat := hive.Catalog()
+	if len(cat) < 8 {
+		t.Fatalf("catalog has %d queries", len(cat))
+	}
+	var prev int64
+	for _, q := range cat {
+		if q.InputBytes <= prev {
+			t.Errorf("catalog not sorted by input size at %s", q.Name)
+		}
+		prev = q.InputBytes
+		if q.Selectivity <= 0 || q.Selectivity > 1 {
+			t.Errorf("%s selectivity %v", q.Name, q.Selectivity)
+		}
+		if q.Stages < 1 {
+			t.Errorf("%s has no stages", q.Name)
+		}
+	}
+	// The three largest are q82, q25, q29 (the paper's hard cases).
+	last3 := cat[len(cat)-3:]
+	want := map[string]bool{"q82": true, "q25": true, "q29": true}
+	for _, q := range last3 {
+		if !want[q.Name] {
+			t.Errorf("largest queries are %v; expected q82/q25/q29", last3)
+		}
+	}
+}
+
+func TestQueryRunsOnCluster(t *testing.T) {
+	runSim(t, func(v *simclock.Virtual) {
+		c, err := cluster.Start(v, cluster.Config{Nodes: 4, Mode: cluster.ModeIgnem, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+
+		h := hive.New(c.Engine, true)
+		cl, err := c.Client()
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cl.Close()
+
+		// A downsized query keeps the unit test quick.
+		q := hive.Query{Name: "qtest", InputBytes: 512 << 20, Selectivity: 0.1, Stages: 2, MapRateMBps: 500}
+		if err := h.SetupTables(cl, []hive.Query{q}); err != nil {
+			t.Fatal(err)
+		}
+		res, err := h.RunQuery(q, "run1")
+		if err != nil {
+			t.Fatalf("RunQuery: %v", err)
+		}
+		if res.Duration <= 0 || res.InputBytes != q.InputBytes {
+			t.Errorf("result = %+v", res)
+		}
+		// The implicit-eviction hook plus stage completion must not leak
+		// pinned memory.
+		if got := c.TotalPinnedBytes(); got != 0 {
+			t.Errorf("pinned %d bytes after query", got)
+		}
+	})
+}
+
+func TestIgnemAcceleratesQuery(t *testing.T) {
+	run := func(mode cluster.Mode) time.Duration {
+		var dur time.Duration
+		runSim(t, func(v *simclock.Virtual) {
+			c, err := cluster.Start(v, cluster.Config{Nodes: 4, Mode: mode, Seed: 3})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+			h := hive.New(c.Engine, mode == cluster.ModeIgnem)
+			cl, _ := c.Client()
+			defer cl.Close()
+			q := hive.Query{Name: "qx", InputBytes: 1 << 30, Selectivity: 0.1, Stages: 2, MapRateMBps: 500}
+			if err := h.SetupTables(cl, []hive.Query{q}); err != nil {
+				t.Fatal(err)
+			}
+			res, err := h.RunQuery(q, "r")
+			if err != nil {
+				t.Fatal(err)
+			}
+			dur = res.Duration
+		})
+		return dur
+	}
+	hdfs := run(cluster.ModeHDFS)
+	ign := run(cluster.ModeIgnem)
+	if ign >= hdfs {
+		t.Errorf("Ignem query %v not faster than HDFS %v", ign, hdfs)
+	}
+}
+
+func TestTablePathsCoverInput(t *testing.T) {
+	h := hive.New(nil, false)
+	q := hive.Query{Name: "q1", InputBytes: (2 << 30) + 5}
+	paths := h.TablePaths(q)
+	if len(paths) != 3 {
+		t.Errorf("paths = %v", paths)
+	}
+}
+
+func TestQueryStagesChainOutputs(t *testing.T) {
+	runSim(t, func(v *simclock.Virtual) {
+		c, err := cluster.Start(v, cluster.Config{Nodes: 4, Mode: cluster.ModeHDFS, Seed: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		h := hive.New(c.Engine, false)
+		cl, _ := c.Client()
+		defer cl.Close()
+		q := hive.Query{Name: "chain", InputBytes: 256 << 20, Selectivity: 0.2, Stages: 3, MapRateMBps: 500}
+		if err := h.SetupTables(cl, []hive.Query{q}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := h.RunQuery(q, "r"); err != nil {
+			t.Fatal(err)
+		}
+		// Each stage but the last left its output parts in the DFS.
+		for stage := 0; stage < q.Stages-1; stage++ {
+			files, err := cl.List(fmt.Sprintf("/tmp/hive/chain-r/stage-%d/", stage))
+			if err != nil || len(files) == 0 {
+				t.Errorf("stage %d output missing (err %v)", stage, err)
+			}
+		}
+	})
+}

@@ -1,0 +1,202 @@
+package ignem
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"repro/internal/dfs"
+)
+
+// Resolver maps file paths to located blocks; the namenode's block
+// manager backs this.
+type Resolver interface {
+	Resolve(path string) ([]dfs.LocatedBlock, error)
+}
+
+// SlaveLink delivers command batches to a slave by datanode address; the
+// namenode backs this with RPC clients (or direct calls in tests).
+type SlaveLink interface {
+	SendMigrate(addr string, batch dfs.MigrateBatch) error
+	SendEvict(addr string, batch dfs.EvictBatch) error
+}
+
+// MasterStats is a snapshot of master activity.
+type MasterStats struct {
+	Epoch          uint64
+	ActiveJobs     int
+	MigrateReqs    int64
+	EvictReqs      int64
+	BlocksAssigned int64
+	BytesAssigned  int64
+	SendErrors     int64
+}
+
+// Master is the cluster-wide migration coordinator that runs inside the
+// namenode. It decides *what* to migrate; the slaves decide *how* and
+// *when*.
+type Master struct {
+	resolver Resolver
+	link     SlaveLink
+	rng      *rand.Rand
+
+	mu    sync.Mutex
+	epoch uint64
+	// jobs records, per job, the slave address chosen for each block so
+	// evictions go to the replica that was migrated.
+	jobs  map[dfs.JobID]map[dfs.BlockID]string
+	stats MasterStats
+}
+
+// NewMaster creates a master with the given block resolver and slave
+// link. The seed drives the random single-replica choice.
+func NewMaster(resolver Resolver, link SlaveLink, seed int64) *Master {
+	return &Master{
+		resolver: resolver,
+		link:     link,
+		rng:      rand.New(rand.NewSource(seed)),
+		epoch:    1,
+		jobs:     make(map[dfs.JobID]map[dfs.BlockID]string),
+	}
+}
+
+// Migrate handles a client migrate request: resolve files to blocks,
+// choose one replica per block at random (network bandwidth is plentiful,
+// so one in-memory copy suffices), and push batched commands to the
+// slaves. It returns how much work was enqueued.
+func (m *Master) Migrate(req dfs.MigrateReq) (dfs.MigrateResp, error) {
+	if req.Job == "" {
+		return dfs.MigrateResp{}, fmt.Errorf("ignem: migrate with empty job ID")
+	}
+	var located []dfs.LocatedBlock
+	for _, path := range req.Paths {
+		blocks, err := m.resolver.Resolve(path)
+		if err != nil {
+			return dfs.MigrateResp{}, fmt.Errorf("ignem: resolve %s: %w", path, err)
+		}
+		located = append(located, blocks...)
+	}
+	var totalSize int64
+	for _, lb := range located {
+		totalSize += lb.Block.Size
+	}
+
+	m.mu.Lock()
+	epoch := m.epoch
+	assigned := m.jobs[req.Job]
+	if assigned == nil {
+		assigned = make(map[dfs.BlockID]string)
+		m.jobs[req.Job] = assigned
+	}
+	batches := make(map[string][]dfs.MigrateCmd)
+	var blocks int
+	var bytes int64
+	for _, lb := range located {
+		if len(lb.Nodes) == 0 {
+			continue // no live replica; nothing to migrate
+		}
+		if _, dup := assigned[lb.Block.ID]; dup {
+			continue // already requested for this job
+		}
+		addr := lb.Nodes[m.rng.Intn(len(lb.Nodes))]
+		assigned[lb.Block.ID] = addr
+		batches[addr] = append(batches[addr], dfs.MigrateCmd{
+			Block:        lb.Block,
+			Job:          req.Job,
+			JobInputSize: totalSize,
+			SubmitTime:   req.SubmitTime,
+			Implicit:     req.Implicit,
+		})
+		blocks++
+		bytes += lb.Block.Size
+	}
+	m.stats.MigrateReqs++
+	m.stats.BlocksAssigned += int64(blocks)
+	m.stats.BytesAssigned += bytes
+	m.mu.Unlock()
+
+	m.sendMigrateBatches(epoch, batches)
+	return dfs.MigrateResp{Blocks: blocks, Bytes: bytes}, nil
+}
+
+func (m *Master) sendMigrateBatches(epoch uint64, batches map[string][]dfs.MigrateCmd) {
+	for _, addr := range sortedKeys(batches) {
+		if err := m.link.SendMigrate(addr, dfs.MigrateBatch{Epoch: epoch, Cmds: batches[addr]}); err != nil {
+			m.mu.Lock()
+			m.stats.SendErrors++
+			m.mu.Unlock()
+		}
+	}
+}
+
+// Evict handles a job-completion eviction: every block recorded for the
+// job is released on the slave it was assigned to, and the job's master
+// state is dropped.
+func (m *Master) Evict(req dfs.EvictReq) (dfs.EvictResp, error) {
+	m.mu.Lock()
+	epoch := m.epoch
+	assigned := m.jobs[req.Job]
+	delete(m.jobs, req.Job)
+	batches := make(map[string][]dfs.EvictCmd)
+	for id, addr := range assigned {
+		batches[addr] = append(batches[addr], dfs.EvictCmd{Block: id, Job: req.Job})
+	}
+	m.stats.EvictReqs++
+	m.mu.Unlock()
+
+	for _, addr := range sortedKeys(batches) {
+		cmds := batches[addr]
+		sort.Slice(cmds, func(i, j int) bool { return cmds[i].Block < cmds[j].Block })
+		if err := m.link.SendEvict(addr, dfs.EvictBatch{Epoch: epoch, Cmds: cmds}); err != nil {
+			m.mu.Lock()
+			m.stats.SendErrors++
+			m.mu.Unlock()
+		}
+	}
+	return dfs.EvictResp{}, nil
+}
+
+// AssignedReplica reports the replica address the master chose for a
+// (job, block) migration, or "" if none.
+func (m *Master) AssignedReplica(job dfs.JobID, block dfs.BlockID) string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.jobs[job][block]
+}
+
+// Restart simulates a master failure and recovery: the new master starts
+// with empty state and a new epoch. Slaves purge their reference lists
+// when they first see the new epoch, staying consistent with it.
+func (m *Master) Restart() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.epoch++
+	m.jobs = make(map[dfs.JobID]map[dfs.BlockID]string)
+}
+
+// Epoch returns the current master epoch.
+func (m *Master) Epoch() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.epoch
+}
+
+// Stats returns a snapshot of master activity.
+func (m *Master) Stats() MasterStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := m.stats
+	st.Epoch = m.epoch
+	st.ActiveJobs = len(m.jobs)
+	return st
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,361 @@
+package ignem
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/dfs"
+	"repro/internal/simclock"
+)
+
+// fakeResolver maps paths to located blocks.
+type fakeResolver struct {
+	files map[string][]dfs.LocatedBlock
+	err   error
+}
+
+func (r *fakeResolver) Resolve(path string) ([]dfs.LocatedBlock, error) {
+	if r.err != nil {
+		return nil, r.err
+	}
+	blocks, ok := r.files[path]
+	if !ok {
+		return nil, fmt.Errorf("no such file %s", path)
+	}
+	return blocks, nil
+}
+
+// fakeLink records batches per address.
+type fakeLink struct {
+	mu       sync.Mutex
+	migrates map[string][]dfs.MigrateBatch
+	evicts   map[string][]dfs.EvictBatch
+	err      error
+}
+
+func newFakeLink() *fakeLink {
+	return &fakeLink{
+		migrates: make(map[string][]dfs.MigrateBatch),
+		evicts:   make(map[string][]dfs.EvictBatch),
+	}
+}
+
+func (l *fakeLink) SendMigrate(addr string, b dfs.MigrateBatch) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return l.err
+	}
+	l.migrates[addr] = append(l.migrates[addr], b)
+	return nil
+}
+
+func (l *fakeLink) SendEvict(addr string, b dfs.EvictBatch) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return l.err
+	}
+	l.evicts[addr] = append(l.evicts[addr], b)
+	return nil
+}
+
+func located(id dfs.BlockID, size int64, nodes ...string) dfs.LocatedBlock {
+	return dfs.LocatedBlock{Block: dfs.Block{ID: id, Size: size}, Nodes: nodes}
+}
+
+func TestMasterMigrateAssignsOneReplicaPerBlock(t *testing.T) {
+	res := &fakeResolver{files: map[string][]dfs.LocatedBlock{
+		"/a": {located(1, 10, "dn1", "dn2", "dn3"), located(2, 20, "dn1", "dn2", "dn3")},
+		"/b": {located(3, 30, "dn2", "dn3")},
+	}}
+	link := newFakeLink()
+	m := NewMaster(res, link, 42)
+	resp, err := m.Migrate(dfs.MigrateReq{Job: "j1", Paths: []string{"/a", "/b"}, Implicit: true, SubmitTime: time.Unix(100, 0)})
+	if err != nil {
+		t.Fatalf("Migrate: %v", err)
+	}
+	if resp.Blocks != 3 || resp.Bytes != 60 {
+		t.Errorf("resp = %+v", resp)
+	}
+	var total int
+	seen := map[dfs.BlockID]bool{}
+	for _, batches := range link.migrates {
+		for _, b := range batches {
+			for _, c := range b.Cmds {
+				total++
+				if seen[c.Block.ID] {
+					t.Errorf("block %d assigned to multiple slaves", c.Block.ID)
+				}
+				seen[c.Block.ID] = true
+				if c.JobInputSize != 60 {
+					t.Errorf("JobInputSize = %d, want 60", c.JobInputSize)
+				}
+				if !c.Implicit {
+					t.Error("Implicit flag lost")
+				}
+				if c.Job != "j1" {
+					t.Errorf("Job = %s", c.Job)
+				}
+			}
+		}
+	}
+	if total != 3 {
+		t.Errorf("total commands = %d, want 3 (one replica per block)", total)
+	}
+}
+
+func TestMasterMigrateDuplicateJobBlocksSkipped(t *testing.T) {
+	res := &fakeResolver{files: map[string][]dfs.LocatedBlock{
+		"/a": {located(1, 10, "dn1")},
+	}}
+	link := newFakeLink()
+	m := NewMaster(res, link, 1)
+	if _, err := m.Migrate(dfs.MigrateReq{Job: "j1", Paths: []string{"/a"}}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := m.Migrate(dfs.MigrateReq{Job: "j1", Paths: []string{"/a"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Blocks != 0 {
+		t.Errorf("duplicate migrate enqueued %d blocks", resp.Blocks)
+	}
+}
+
+func TestMasterMigrateErrors(t *testing.T) {
+	link := newFakeLink()
+	m := NewMaster(&fakeResolver{files: map[string][]dfs.LocatedBlock{}}, link, 1)
+	if _, err := m.Migrate(dfs.MigrateReq{Job: "", Paths: []string{"/a"}}); err == nil {
+		t.Error("empty job accepted")
+	}
+	if _, err := m.Migrate(dfs.MigrateReq{Job: "j", Paths: []string{"/missing"}}); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestMasterSkipsBlocksWithNoLiveReplica(t *testing.T) {
+	res := &fakeResolver{files: map[string][]dfs.LocatedBlock{
+		"/a": {located(1, 10), located(2, 20, "dn1")},
+	}}
+	link := newFakeLink()
+	m := NewMaster(res, link, 1)
+	resp, err := m.Migrate(dfs.MigrateReq{Job: "j1", Paths: []string{"/a"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Blocks != 1 {
+		t.Errorf("Blocks = %d, want 1 (dead-replica block skipped)", resp.Blocks)
+	}
+}
+
+func TestMasterEvictRoutesToAssignedSlave(t *testing.T) {
+	res := &fakeResolver{files: map[string][]dfs.LocatedBlock{
+		"/a": {located(1, 10, "dn1"), located(2, 20, "dn2")},
+	}}
+	link := newFakeLink()
+	m := NewMaster(res, link, 7)
+	if _, err := m.Migrate(dfs.MigrateReq{Job: "j1", Paths: []string{"/a"}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Evict(dfs.EvictReq{Job: "j1"}); err != nil {
+		t.Fatal(err)
+	}
+	var evicted []dfs.BlockID
+	for addr, batches := range link.evicts {
+		for _, b := range batches {
+			for _, c := range b.Cmds {
+				evicted = append(evicted, c.Block)
+				// Eviction must go where migration went.
+				found := false
+				for _, mb := range link.migrates[addr] {
+					for _, mc := range mb.Cmds {
+						if mc.Block.ID == c.Block {
+							found = true
+						}
+					}
+				}
+				if !found {
+					t.Errorf("evict for block %d sent to %s, which never got its migrate", c.Block, addr)
+				}
+			}
+		}
+	}
+	if len(evicted) != 2 {
+		t.Errorf("evicted %d blocks, want 2", len(evicted))
+	}
+	if st := m.Stats(); st.ActiveJobs != 0 {
+		t.Errorf("ActiveJobs = %d after evict", st.ActiveJobs)
+	}
+}
+
+func TestMasterRestartBumpsEpochAndClearsState(t *testing.T) {
+	res := &fakeResolver{files: map[string][]dfs.LocatedBlock{
+		"/a": {located(1, 10, "dn1")},
+	}}
+	link := newFakeLink()
+	m := NewMaster(res, link, 7)
+	if _, err := m.Migrate(dfs.MigrateReq{Job: "j1", Paths: []string{"/a"}}); err != nil {
+		t.Fatal(err)
+	}
+	before := m.Epoch()
+	m.Restart()
+	if m.Epoch() != before+1 {
+		t.Errorf("epoch = %d, want %d", m.Epoch(), before+1)
+	}
+	if st := m.Stats(); st.ActiveJobs != 0 {
+		t.Errorf("state survived restart: %+v", st)
+	}
+	// Evicting the pre-restart job is a harmless no-op.
+	if _, err := m.Evict(dfs.EvictReq{Job: "j1"}); err != nil {
+		t.Errorf("Evict after restart: %v", err)
+	}
+}
+
+func TestMasterSendErrorCounted(t *testing.T) {
+	res := &fakeResolver{files: map[string][]dfs.LocatedBlock{
+		"/a": {located(1, 10, "dn1")},
+	}}
+	link := newFakeLink()
+	link.err = errors.New("unreachable")
+	m := NewMaster(res, link, 7)
+	if _, err := m.Migrate(dfs.MigrateReq{Job: "j1", Paths: []string{"/a"}}); err != nil {
+		t.Fatalf("Migrate should tolerate slave send failure, got %v", err)
+	}
+	if st := m.Stats(); st.SendErrors != 1 {
+		t.Errorf("SendErrors = %d", st.SendErrors)
+	}
+}
+
+// directLink wires a master straight into slaves, for end-to-end
+// master+slave tests under virtual time.
+type directLink struct {
+	slaves map[string]*Slave
+}
+
+func (l *directLink) SendMigrate(addr string, b dfs.MigrateBatch) error {
+	s, ok := l.slaves[addr]
+	if !ok {
+		return errors.New("no slave")
+	}
+	s.ApplyMigrateBatch(b)
+	return nil
+}
+
+func (l *directLink) SendEvict(addr string, b dfs.EvictBatch) error {
+	s, ok := l.slaves[addr]
+	if !ok {
+		return errors.New("no slave")
+	}
+	s.ApplyEvictBatch(b)
+	return nil
+}
+
+func TestMasterSlaveEndToEnd(t *testing.T) {
+	v := simclock.NewVirtual(epoch)
+	media := &fakeMedia{clock: v, readTime: 10 * time.Millisecond}
+	s1 := NewSlave(v, SlaveConfig{Capacity: 1 << 30}, media, nil, nil)
+	s2 := NewSlave(v, SlaveConfig{Capacity: 1 << 30}, media, nil, nil)
+	link := &directLink{slaves: map[string]*Slave{"dn1": s1, "dn2": s2}}
+	res := &fakeResolver{files: map[string][]dfs.LocatedBlock{
+		"/input": {
+			located(1, 8<<20, "dn1", "dn2"),
+			located(2, 8<<20, "dn1", "dn2"),
+			located(3, 8<<20, "dn1", "dn2"),
+		},
+	}}
+	m := NewMaster(res, link, 3)
+	v.Go(func() {
+		if _, err := m.Migrate(dfs.MigrateReq{Job: "job", Paths: []string{"/input"}, SubmitTime: v.Now()}); err != nil {
+			t.Errorf("Migrate: %v", err)
+		}
+	})
+	v.Wait()
+	pinnedTotal := 0
+	for _, s := range link.slaves {
+		st := s.Stats()
+		pinnedTotal += st.PinnedBlocks
+	}
+	if pinnedTotal != 3 {
+		t.Fatalf("pinned %d blocks across slaves, want 3", pinnedTotal)
+	}
+	v.Go(func() {
+		if _, err := m.Evict(dfs.EvictReq{Job: "job"}); err != nil {
+			t.Errorf("Evict: %v", err)
+		}
+	})
+	v.Wait()
+	for addr, s := range link.slaves {
+		if got := s.PinnedBytes(); got != 0 {
+			t.Errorf("%s still pins %d bytes after evict", addr, got)
+		}
+	}
+}
+
+// Property (no leak): for any random sequence of migrate/read/evict where
+// every job is eventually evicted, all pinned memory is released.
+func TestNoLeakProperty(t *testing.T) {
+	f := func(seed int64, nJobs, nBlocks uint8) bool {
+		jobs := int(nJobs%6) + 1
+		blocksPer := int(nBlocks%5) + 1
+		rng := rand.New(rand.NewSource(seed))
+		v := simclock.NewVirtual(epoch)
+		media := &fakeMedia{clock: v, readTime: time.Millisecond}
+		s := NewSlave(v, SlaveConfig{Capacity: 1 << 30}, media, nil, nil)
+
+		var blockID dfs.BlockID
+		type jobSpec struct {
+			id     dfs.JobID
+			blocks []dfs.Block
+			impl   bool
+		}
+		var specs []jobSpec
+		for j := 0; j < jobs; j++ {
+			spec := jobSpec{id: dfs.JobID(fmt.Sprintf("j%d", j)), impl: rng.Intn(2) == 0}
+			for b := 0; b < blocksPer; b++ {
+				blockID++
+				// Shared blocks across jobs with probability 1/3.
+				if blockID > 1 && rng.Intn(3) == 0 {
+					spec.blocks = append(spec.blocks, dfs.Block{ID: dfs.BlockID(rng.Int63n(int64(blockID)) + 1), Size: 1 << 20})
+				} else {
+					spec.blocks = append(spec.blocks, dfs.Block{ID: blockID, Size: 1 << 20})
+				}
+			}
+			specs = append(specs, spec)
+		}
+		v.Go(func() {
+			for _, spec := range specs {
+				var cmds []dfs.MigrateCmd
+				for _, b := range spec.blocks {
+					cmds = append(cmds, dfs.MigrateCmd{Block: b, Job: spec.id, JobInputSize: int64(len(spec.blocks)) << 20, SubmitTime: v.Now(), Implicit: spec.impl})
+				}
+				s.ApplyMigrateBatch(dfs.MigrateBatch{Epoch: 1, Cmds: cmds})
+				v.Sleep(time.Duration(rng.Intn(20)) * time.Millisecond)
+				// The job reads a random subset of its blocks.
+				for _, b := range spec.blocks {
+					if rng.Intn(2) == 0 {
+						s.OnBlockRead(b.ID, spec.id)
+					}
+				}
+			}
+			// Every job eventually completes and evicts.
+			for _, spec := range specs {
+				var cmds []dfs.EvictCmd
+				for _, b := range spec.blocks {
+					cmds = append(cmds, dfs.EvictCmd{Block: b.ID, Job: spec.id})
+				}
+				s.ApplyEvictBatch(dfs.EvictBatch{Epoch: 1, Cmds: cmds})
+			}
+		})
+		v.Wait()
+		return s.PinnedBytes() == 0 && s.Stats().PinnedBlocks == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,92 @@
+package ignem
+
+import (
+	"time"
+)
+
+// SpeedupModel is the analytic benefit estimator the paper sketches in
+// §IV-E: "A migration scheme that can infer the Ignem speed-up curve for
+// different jobs can potentially use this information to prioritize jobs
+// which will benefit more."
+//
+// It predicts, for a job of a given input size, what fraction of the
+// input Ignem migrates within the lead-time and the resulting relative
+// job duration versus the unmigrated baseline. The curve it produces has
+// Fig 8's shape: flat near the all-in-RAM bound while the whole input
+// fits in the lead-time window, then a declining relative benefit beyond
+// the inflection point, which "depends on the disk bandwidth and how
+// much lead-time there is".
+type SpeedupModel struct {
+	// MigrationMBps is the aggregate cluster migration bandwidth during
+	// lead-time (per-disk sequential rate times the number of slaves).
+	MigrationMBps float64
+	// ContendedMBps is the aggregate disk bandwidth the job's own
+	// concurrent task reads achieve (seek-degraded).
+	ContendedMBps float64
+	// RAMReadMBps is the aggregate rate of reads served from memory.
+	RAMReadMBps float64
+	// FixedOverhead is the input-independent part of the job: container
+	// launches, scheduling waits, shuffle and reduce work.
+	FixedOverhead time.Duration
+}
+
+// MigratedFraction predicts the fraction of inputBytes pinned before the
+// tasks read it, given the available lead-time.
+func (m SpeedupModel) MigratedFraction(inputBytes int64, lead time.Duration) float64 {
+	if inputBytes <= 0 {
+		return 1
+	}
+	migratable := m.MigrationMBps * 1e6 * lead.Seconds()
+	frac := migratable / float64(inputBytes)
+	if frac > 1 {
+		return 1
+	}
+	if frac < 0 {
+		return 0
+	}
+	return frac
+}
+
+// RelativeDuration predicts job duration relative to the unmigrated
+// baseline (1.0 = no benefit, lower is better).
+func (m SpeedupModel) RelativeDuration(inputBytes int64, lead time.Duration) float64 {
+	base := m.baseline(inputBytes)
+	if base <= 0 {
+		return 1
+	}
+	frac := m.MigratedFraction(inputBytes, lead)
+	in := float64(inputBytes)
+	readTime := (in*(1-frac))/(m.ContendedMBps*1e6) + (in*frac)/(m.RAMReadMBps*1e6)
+	return (m.FixedOverhead.Seconds() + readTime) / base
+}
+
+// Benefit predicts the absolute job-duration saving, the quantity a
+// benefit-aware migration scheduler would rank jobs by.
+func (m SpeedupModel) Benefit(inputBytes int64, lead time.Duration) time.Duration {
+	base := m.baseline(inputBytes)
+	rel := m.RelativeDuration(inputBytes, lead)
+	return time.Duration(base * (1 - rel) * float64(time.Second))
+}
+
+// baseline is the predicted unmigrated job duration in seconds.
+func (m SpeedupModel) baseline(inputBytes int64) float64 {
+	return m.FixedOverhead.Seconds() + float64(inputBytes)/(m.ContendedMBps*1e6)
+}
+
+// InflectionBytes returns the input size beyond which the relative
+// benefit starts to decline: the largest input fully migratable within
+// the lead-time (the paper's Fig 8 inflection, 2 GB on their testbed).
+func (m SpeedupModel) InflectionBytes(lead time.Duration) int64 {
+	return int64(m.MigrationMBps * 1e6 * lead.Seconds())
+}
+
+// DefaultSpeedupModel returns a model calibrated to this repository's
+// 8-node HDD cluster defaults.
+func DefaultSpeedupModel(nodes int) SpeedupModel {
+	return SpeedupModel{
+		MigrationMBps: 117 * float64(nodes), // one-at-a-time sequential reads
+		ContendedMBps: 81 * float64(nodes),  // ~10 concurrent readers per disk
+		RAMReadMBps:   1500 * float64(nodes),
+		FixedOverhead: 11 * time.Second, // submit overhead + scheduling + reduce
+	}
+}

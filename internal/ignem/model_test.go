@@ -1,0 +1,90 @@
+package ignem
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSpeedupModelShape(t *testing.T) {
+	m := DefaultSpeedupModel(8)
+	lead := 10 * time.Second
+
+	// Fully migratable inputs track the RAM bound: strong benefit.
+	small := m.RelativeDuration(1<<30, lead)
+	if small >= 1 || m.MigratedFraction(1<<30, lead) != 1 {
+		t.Errorf("1GB: rel=%.2f frac=%.2f", small, m.MigratedFraction(1<<30, lead))
+	}
+
+	// The curve declines to a minimum around the inflection, then the
+	// relative benefit erodes (Fig 8's shape).
+	inflection := m.InflectionBytes(lead)
+	atInflection := m.RelativeDuration(inflection, lead)
+	beyond := m.RelativeDuration(4*inflection, lead)
+	if !(atInflection < small) {
+		t.Errorf("benefit should improve towards the inflection: %.3f vs %.3f", atInflection, small)
+	}
+	if !(beyond > atInflection) {
+		t.Errorf("relative benefit should erode beyond the inflection: %.3f vs %.3f", beyond, atInflection)
+	}
+
+	// Inflection scales linearly with lead-time.
+	if m.InflectionBytes(2*lead) != 2*inflection {
+		t.Error("inflection not linear in lead-time")
+	}
+}
+
+func TestSpeedupModelMatchesMeasuredFig8(t *testing.T) {
+	// The measured Fig 8 run (EXPERIMENTS.md): Ignem relative durations
+	// ~0.88 at 1 GB and ~0.74 at 24 GB with ~11s of natural lead-time.
+	m := DefaultSpeedupModel(8)
+	lead := 11 * time.Second
+	if got := m.RelativeDuration(1<<30, lead); got < 0.75 || got > 0.98 {
+		t.Errorf("1GB predicted rel = %.2f, measured ~0.88", got)
+	}
+	if got := m.RelativeDuration(24<<30, lead); got < 0.55 || got > 0.92 {
+		t.Errorf("24GB predicted rel = %.2f, measured ~0.75", got)
+	}
+}
+
+func TestBenefitOrdering(t *testing.T) {
+	// Benefit-aware prioritization (§IV-E): with a fixed lead-time, a
+	// job near the inflection benefits more in absolute terms than a
+	// tiny job.
+	m := DefaultSpeedupModel(8)
+	lead := 10 * time.Second
+	tiny := m.Benefit(64<<20, lead)
+	mid := m.Benefit(m.InflectionBytes(lead), lead)
+	if mid <= tiny {
+		t.Errorf("benefit(inflection)=%v not above benefit(64MB)=%v", mid, tiny)
+	}
+}
+
+func TestSpeedupModelProperties(t *testing.T) {
+	m := DefaultSpeedupModel(8)
+	f := func(sizeMB uint16, leadSec uint8) bool {
+		size := int64(sizeMB)<<20 + 1
+		lead := time.Duration(leadSec) * time.Second
+		frac := m.MigratedFraction(size, lead)
+		rel := m.RelativeDuration(size, lead)
+		// Fraction in [0,1]; relative duration in (0,1]: migration never
+		// hurts in the model (it ignores the +10s insertion case).
+		return frac >= 0 && frac <= 1 && rel > 0 && rel <= 1.0001
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSpeedupModelEdgeCases(t *testing.T) {
+	m := DefaultSpeedupModel(8)
+	if m.MigratedFraction(0, time.Second) != 1 {
+		t.Error("zero input should be fully migratable")
+	}
+	if m.MigratedFraction(1<<30, -time.Second) != 0 {
+		t.Error("negative lead should migrate nothing")
+	}
+	if b := m.Benefit(0, time.Second); b < 0 {
+		t.Errorf("negative benefit %v", b)
+	}
+}

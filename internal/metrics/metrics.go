@@ -1,0 +1,180 @@
+// Package metrics collects and summarizes experiment measurements: sample
+// series with percentile queries, histograms, CDFs, time-series
+// utilization tracks, and plain-text table/figure rendering for the
+// benchmark harness.
+package metrics
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Series is a concurrency-safe collection of float64 samples.
+// The zero value is ready to use.
+type Series struct {
+	mu     sync.Mutex
+	vals   []float64
+	sorted bool
+}
+
+// Add appends a sample.
+func (s *Series) Add(v float64) {
+	s.mu.Lock()
+	s.vals = append(s.vals, v)
+	s.sorted = false
+	s.mu.Unlock()
+}
+
+// AddDuration appends a duration sample in seconds.
+func (s *Series) AddDuration(d time.Duration) { s.Add(d.Seconds()) }
+
+// Len reports the number of samples.
+func (s *Series) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.vals)
+}
+
+// Mean returns the arithmetic mean, or 0 for an empty series.
+func (s *Series) Mean() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.vals) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range s.vals {
+		sum += v
+	}
+	return sum / float64(len(s.vals))
+}
+
+// Sum returns the total of all samples.
+func (s *Series) Sum() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sum := 0.0
+	for _, v := range s.vals {
+		sum += v
+	}
+	return sum
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) using
+// nearest-rank interpolation, or 0 for an empty series.
+func (s *Series) Percentile(p float64) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.vals) == 0 {
+		return 0
+	}
+	s.sortLocked()
+	if p <= 0 {
+		return s.vals[0]
+	}
+	if p >= 100 {
+		return s.vals[len(s.vals)-1]
+	}
+	rank := p / 100 * float64(len(s.vals)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s.vals[lo]
+	}
+	frac := rank - float64(lo)
+	return s.vals[lo]*(1-frac) + s.vals[hi]*frac
+}
+
+// Median returns the 50th percentile.
+func (s *Series) Median() float64 { return s.Percentile(50) }
+
+// Min returns the smallest sample, or 0 for an empty series.
+func (s *Series) Min() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.vals) == 0 {
+		return 0
+	}
+	s.sortLocked()
+	return s.vals[0]
+}
+
+// Max returns the largest sample, or 0 for an empty series.
+func (s *Series) Max() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.vals) == 0 {
+		return 0
+	}
+	s.sortLocked()
+	return s.vals[len(s.vals)-1]
+}
+
+// Stddev returns the population standard deviation.
+func (s *Series) Stddev() float64 {
+	mean := s.Mean()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.vals) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range s.vals {
+		d := v - mean
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(s.vals)))
+}
+
+// Values returns a copy of the samples in insertion-independent (sorted)
+// order.
+func (s *Series) Values() []float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sortLocked()
+	out := make([]float64, len(s.vals))
+	copy(out, s.vals)
+	return out
+}
+
+func (s *Series) sortLocked() {
+	if !s.sorted {
+		sort.Float64s(s.vals)
+		s.sorted = true
+	}
+}
+
+// CDF computes the empirical cumulative distribution of the series at the
+// given number of evenly spaced quantiles (plus min and max).
+func (s *Series) CDF(points int) []CDFPoint {
+	vals := s.Values()
+	if len(vals) == 0 || points < 2 {
+		return nil
+	}
+	out := make([]CDFPoint, 0, points)
+	for i := 0; i < points; i++ {
+		frac := float64(i) / float64(points-1)
+		idx := int(frac * float64(len(vals)-1))
+		out = append(out, CDFPoint{Value: vals[idx], Fraction: frac})
+	}
+	return out
+}
+
+// CDFPoint is one point of an empirical CDF: Fraction of samples are
+// less than or equal to Value.
+type CDFPoint struct {
+	Value    float64
+	Fraction float64
+}
+
+// FractionBelow reports the fraction of samples strictly below limit.
+func (s *Series) FractionBelow(limit float64) float64 {
+	vals := s.Values()
+	if len(vals) == 0 {
+		return 0
+	}
+	n := sort.SearchFloat64s(vals, limit)
+	return float64(n) / float64(len(vals))
+}

@@ -1,0 +1,311 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func seriesOf(vals ...float64) *Series {
+	var s Series
+	for _, v := range vals {
+		s.Add(v)
+	}
+	return &s
+}
+
+func TestSeriesBasics(t *testing.T) {
+	s := seriesOf(4, 1, 3, 2, 5)
+	if got := s.Len(); got != 5 {
+		t.Errorf("Len = %d", got)
+	}
+	if got := s.Mean(); got != 3 {
+		t.Errorf("Mean = %v", got)
+	}
+	if got := s.Sum(); got != 15 {
+		t.Errorf("Sum = %v", got)
+	}
+	if got := s.Median(); got != 3 {
+		t.Errorf("Median = %v", got)
+	}
+	if got := s.Min(); got != 1 {
+		t.Errorf("Min = %v", got)
+	}
+	if got := s.Max(); got != 5 {
+		t.Errorf("Max = %v", got)
+	}
+	if got := s.Stddev(); math.Abs(got-math.Sqrt(2)) > 1e-9 {
+		t.Errorf("Stddev = %v", got)
+	}
+}
+
+func TestSeriesEmpty(t *testing.T) {
+	var s Series
+	if s.Mean() != 0 || s.Median() != 0 || s.Min() != 0 || s.Max() != 0 || s.Stddev() != 0 {
+		t.Error("empty series should report zeros")
+	}
+	if s.CDF(10) != nil {
+		t.Error("empty CDF should be nil")
+	}
+}
+
+func TestPercentileInterpolation(t *testing.T) {
+	s := seriesOf(0, 10)
+	cases := []struct{ p, want float64 }{
+		{0, 0}, {25, 2.5}, {50, 5}, {75, 7.5}, {100, 10}, {-5, 0}, {200, 10},
+	}
+	for _, c := range cases {
+		if got := s.Percentile(c.p); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestAddDuration(t *testing.T) {
+	var s Series
+	s.AddDuration(1500 * time.Millisecond)
+	if got := s.Mean(); got != 1.5 {
+		t.Errorf("AddDuration mean = %v", got)
+	}
+}
+
+func TestFractionBelow(t *testing.T) {
+	s := seriesOf(1, 2, 3, 4, 5)
+	if got := s.FractionBelow(3); got != 0.4 {
+		t.Errorf("FractionBelow(3) = %v, want 0.4", got)
+	}
+	if got := s.FractionBelow(100); got != 1 {
+		t.Errorf("FractionBelow(100) = %v", got)
+	}
+	if got := s.FractionBelow(0); got != 0 {
+		t.Errorf("FractionBelow(0) = %v", got)
+	}
+}
+
+// Property: the CDF is monotonically non-decreasing in both value and
+// fraction, and spans min..max.
+func TestCDFMonotoneProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		var s Series
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			s.Add(v)
+		}
+		if s.Len() < 2 {
+			return true
+		}
+		cdf := s.CDF(20)
+		for i := 1; i < len(cdf); i++ {
+			if cdf[i].Value < cdf[i-1].Value || cdf[i].Fraction < cdf[i-1].Fraction {
+				return false
+			}
+		}
+		return cdf[0].Value == s.Min() && cdf[len(cdf)-1].Value == s.Max()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: percentiles are monotone in p and bounded by min/max.
+func TestPercentileMonotoneProperty(t *testing.T) {
+	f := func(raw []float64, ps []float64) bool {
+		var s Series
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			s.Add(v)
+		}
+		if s.Len() == 0 {
+			return true
+		}
+		clean := make([]float64, 0, len(ps))
+		for _, p := range ps {
+			if !math.IsNaN(p) {
+				clean = append(clean, math.Mod(math.Abs(p), 100))
+			}
+		}
+		sort.Float64s(clean)
+		prev := math.Inf(-1)
+		for _, p := range clean {
+			v := s.Percentile(p)
+			if v < prev || v < s.Min() || v > s.Max() {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := Table{Caption: "TABLE I", Header: []string{"config", "duration (s)", "speedup"}}
+	tbl.AddRow("HDFS", "14.4", "")
+	tbl.AddRow("Ignem", "12.7", "12%")
+	out := tbl.String()
+	for _, want := range []string{"TABLE I", "config", "Ignem", "12%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // caption, header, rule, 2 rows
+		t.Errorf("table has %d lines, want 5:\n%s", len(lines), out)
+	}
+}
+
+func TestHistogramRendering(t *testing.T) {
+	s := seriesOf(0.001, 0.01, 0.01, 0.1, 1, 10)
+	out := Histogram("Fig 1a", s, 5)
+	if !strings.Contains(out, "Fig 1a (n=6)") {
+		t.Errorf("missing caption: %s", out)
+	}
+	if strings.Count(out, "\n") != 6 { // caption + 5 buckets
+		t.Errorf("wrong bucket count:\n%s", out)
+	}
+	// All samples accounted for.
+	total := 0
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n")[1:] {
+		fields := strings.Fields(strings.NewReplacer("[", " ", ",", " ", ")", " ").Replace(line))
+		if len(fields) >= 3 {
+			var n int
+			if _, err := fmt.Sscan(fields[2], &n); err == nil {
+				total += n
+			}
+		}
+	}
+	if total != 6 {
+		t.Errorf("histogram lost samples: %d of 6\n%s", total, out)
+	}
+}
+
+func TestRenderCDF(t *testing.T) {
+	out := RenderCDF("Fig 2", 5, map[string]*Series{
+		"hdd": seriesOf(1, 2, 3),
+		"ram": seriesOf(0.1, 0.2, 0.3),
+	})
+	if !strings.Contains(out, "hdd") || !strings.Contains(out, "ram") {
+		t.Errorf("missing labels:\n%s", out)
+	}
+	if strings.Count(out, "\n") != 7 { // caption + header + 5 points
+		t.Errorf("wrong line count:\n%s", out)
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	out := BarChart("Fig 5", "%", []BarEntry{{"small", 8.8}, {"large", 25}})
+	if !strings.Contains(out, "small") || !strings.Contains(out, "25") {
+		t.Errorf("bar chart missing entries:\n%s", out)
+	}
+}
+
+func TestTimelineWindowMeans(t *testing.T) {
+	start := time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC)
+	var tl Timeline
+	tl.Add(start.Add(10*time.Second), 1)
+	tl.Add(start.Add(20*time.Second), 3)
+	tl.Add(start.Add(70*time.Second), 10)
+	means := tl.WindowMeans(start, time.Minute)
+	if len(means) != 2 {
+		t.Fatalf("got %d windows, want 2: %v", len(means), means)
+	}
+	if means[0] != 2 || means[1] != 10 {
+		t.Errorf("window means = %v, want [2 10]", means)
+	}
+}
+
+func TestTimelineGapsYieldZeroWindows(t *testing.T) {
+	start := time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC)
+	var tl Timeline
+	tl.Add(start, 5)
+	tl.Add(start.Add(3*time.Minute), 7)
+	means := tl.WindowMeans(start, time.Minute)
+	if len(means) != 4 {
+		t.Fatalf("got %d windows: %v", len(means), means)
+	}
+	if means[1] != 0 || means[2] != 0 {
+		t.Errorf("gap windows not zero: %v", means)
+	}
+}
+
+func TestTimelineNonZero(t *testing.T) {
+	start := time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC)
+	var tl Timeline
+	tl.Add(start, 0)
+	tl.Add(start.Add(time.Second), 4)
+	tl.Add(start.Add(2*time.Second), 0)
+	tl.Add(start.Add(3*time.Second), 6)
+	nz := tl.NonZero()
+	if nz.Len() != 2 || nz.Mean() != 5 {
+		t.Errorf("NonZero: len=%d mean=%v", nz.Len(), nz.Mean())
+	}
+	if tl.Mean() != 2.5 {
+		t.Errorf("Mean = %v", tl.Mean())
+	}
+	if tl.Len() != 4 {
+		t.Errorf("Len = %v", tl.Len())
+	}
+	if got := len(tl.Samples()); got != 4 {
+		t.Errorf("Samples len = %d", got)
+	}
+}
+
+func TestHistogramEmptyAndDegenerate(t *testing.T) {
+	var empty Series
+	out := Histogram("empty", &empty, 5)
+	if !strings.Contains(out, "(n=0)") {
+		t.Errorf("empty histogram: %q", out)
+	}
+	// All-equal samples must not divide by zero.
+	same := seriesOf(2, 2, 2)
+	out = Histogram("same", same, 4)
+	if !strings.Contains(out, "(n=3)") {
+		t.Errorf("degenerate histogram:\n%s", out)
+	}
+	if Histogram("none", same, 0) == "" {
+		t.Error("zero buckets should still render the caption")
+	}
+}
+
+func TestBarChartEmptyAndZero(t *testing.T) {
+	if out := BarChart("none", "s", nil); !strings.Contains(out, "none") {
+		t.Errorf("empty chart: %q", out)
+	}
+	out := BarChart("zeros", "s", []BarEntry{{"a", 0}})
+	if !strings.Contains(out, "a") {
+		t.Errorf("zero chart: %q", out)
+	}
+}
+
+func TestSeriesValuesIsCopy(t *testing.T) {
+	s := seriesOf(3, 1, 2)
+	vals := s.Values()
+	vals[0] = 99
+	if s.Min() == 99 {
+		t.Error("Values returned internal storage")
+	}
+}
+
+func TestTimelineWindowMeansEdge(t *testing.T) {
+	var tl Timeline
+	if got := tl.WindowMeans(time.Now(), time.Minute); got != nil {
+		t.Errorf("empty timeline windows = %v", got)
+	}
+	tl.Add(time.Now(), 1)
+	if got := tl.WindowMeans(time.Now(), 0); got != nil {
+		t.Errorf("zero window = %v", got)
+	}
+}

@@ -1,0 +1,166 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Table renders experiment results as the paper's tables: a caption, a
+// header row, and aligned columns.
+type Table struct {
+	Caption string
+	Header  []string
+	Rows    [][]string
+}
+
+// AddRow appends a row of cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders the table as aligned plain text.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Caption != "" {
+		fmt.Fprintf(&b, "%s\n", t.Caption)
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	writeRow(dashes(widths))
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+func dashes(widths []int) []string {
+	out := make([]string, len(widths))
+	for i, w := range widths {
+		out[i] = strings.Repeat("-", w)
+	}
+	return out
+}
+
+// Histogram renders a fixed-width ASCII histogram of the series using
+// logarithmic buckets, in the style of the paper's Fig 1.
+func Histogram(caption string, s *Series, buckets int) string {
+	vals := s.Values()
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (n=%d)\n", caption, len(vals))
+	if len(vals) == 0 || buckets < 1 {
+		return b.String()
+	}
+	min, max := vals[0], vals[len(vals)-1]
+	if min <= 0 {
+		min = 1e-9
+	}
+	if max <= min {
+		max = min * 1.0001
+	}
+	logMin, logMax := math.Log10(min), math.Log10(max)
+	counts := make([]int, buckets)
+	for _, v := range vals {
+		if v < min {
+			v = min
+		}
+		idx := int((math.Log10(v) - logMin) / (logMax - logMin) * float64(buckets))
+		if idx >= buckets {
+			idx = buckets - 1
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		counts[idx]++
+	}
+	peak := 0
+	for _, c := range counts {
+		if c > peak {
+			peak = c
+		}
+	}
+	for i, c := range counts {
+		lo := math.Pow(10, logMin+float64(i)/float64(buckets)*(logMax-logMin))
+		hi := math.Pow(10, logMin+float64(i+1)/float64(buckets)*(logMax-logMin))
+		bar := ""
+		if peak > 0 {
+			bar = strings.Repeat("#", c*40/peak)
+		}
+		fmt.Fprintf(&b, "[%9.3g, %9.3g) %6d %s\n", lo, hi, c, bar)
+	}
+	return b.String()
+}
+
+// RenderCDF renders one or more labelled CDFs side by side as text, in
+// the style of the paper's Fig 2 and Fig 6.
+func RenderCDF(caption string, points int, labelled map[string]*Series) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", caption)
+	labels := make([]string, 0, len(labelled))
+	for l := range labelled {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	fmt.Fprintf(&b, "%8s", "frac")
+	for _, l := range labels {
+		fmt.Fprintf(&b, "  %12s", l)
+	}
+	b.WriteByte('\n')
+	for i := 0; i < points; i++ {
+		frac := float64(i) / float64(points-1)
+		fmt.Fprintf(&b, "%8.2f", frac)
+		for _, l := range labels {
+			fmt.Fprintf(&b, "  %12.4g", labelled[l].Percentile(frac*100))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// BarChart renders labelled values as horizontal bars, in the style of
+// the paper's Fig 5, Fig 8 and Fig 9.
+func BarChart(caption, unit string, entries []BarEntry) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", caption)
+	maxVal, maxLabel := 0.0, 0
+	for _, e := range entries {
+		if e.Value > maxVal {
+			maxVal = e.Value
+		}
+		if len(e.Label) > maxLabel {
+			maxLabel = len(e.Label)
+		}
+	}
+	for _, e := range entries {
+		bar := ""
+		if maxVal > 0 {
+			bar = strings.Repeat("#", int(e.Value/maxVal*40+0.5))
+		}
+		fmt.Fprintf(&b, "%-*s %10.3g %s %s\n", maxLabel, e.Label, e.Value, unit, bar)
+	}
+	return b.String()
+}
+
+// BarEntry is one bar of a BarChart.
+type BarEntry struct {
+	Label string
+	Value float64
+}

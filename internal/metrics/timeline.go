@@ -1,0 +1,108 @@
+package metrics
+
+import (
+	"sync"
+	"time"
+)
+
+// Timeline records (timestamp, value) samples, used for the paper's Fig 4
+// disk-utilization plots and Fig 7 memory-occupancy histograms.
+// The zero value is ready to use.
+type Timeline struct {
+	mu      sync.Mutex
+	samples []TimelineSample
+}
+
+// TimelineSample is one timestamped observation.
+type TimelineSample struct {
+	At    time.Time
+	Value float64
+}
+
+// Add appends a sample. Timestamps should be non-decreasing.
+func (tl *Timeline) Add(at time.Time, v float64) {
+	tl.mu.Lock()
+	tl.samples = append(tl.samples, TimelineSample{At: at, Value: v})
+	tl.mu.Unlock()
+}
+
+// Len reports the number of samples.
+func (tl *Timeline) Len() int {
+	tl.mu.Lock()
+	defer tl.mu.Unlock()
+	return len(tl.samples)
+}
+
+// Samples returns a copy of all samples in insertion order.
+func (tl *Timeline) Samples() []TimelineSample {
+	tl.mu.Lock()
+	defer tl.mu.Unlock()
+	out := make([]TimelineSample, len(tl.samples))
+	copy(out, tl.samples)
+	return out
+}
+
+// Mean returns the unweighted mean of sample values.
+func (tl *Timeline) Mean() float64 {
+	tl.mu.Lock()
+	defer tl.mu.Unlock()
+	if len(tl.samples) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, s := range tl.samples {
+		sum += s.Value
+	}
+	return sum / float64(len(tl.samples))
+}
+
+// WindowMeans aggregates samples into fixed windows starting at start and
+// returns the per-window means, as the paper does when averaging server
+// disk utilization over 5-minute windows.
+func (tl *Timeline) WindowMeans(start time.Time, window time.Duration) []float64 {
+	tl.mu.Lock()
+	defer tl.mu.Unlock()
+	if len(tl.samples) == 0 || window <= 0 {
+		return nil
+	}
+	var out []float64
+	var sum float64
+	var n int
+	idx := 0
+	for _, s := range tl.samples {
+		w := int(s.At.Sub(start) / window)
+		if w < 0 {
+			continue
+		}
+		for w > idx {
+			out = append(out, mean(sum, n))
+			sum, n = 0, 0
+			idx++
+		}
+		sum += s.Value
+		n++
+	}
+	out = append(out, mean(sum, n))
+	return out
+}
+
+// NonZero returns a Series of only the non-zero sample values (the paper's
+// Fig 7 excludes idle periods).
+func (tl *Timeline) NonZero() *Series {
+	tl.mu.Lock()
+	defer tl.mu.Unlock()
+	var s Series
+	for _, sample := range tl.samples {
+		if sample.Value != 0 {
+			s.Add(sample.Value)
+		}
+	}
+	return &s
+}
+
+func mean(sum float64, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}

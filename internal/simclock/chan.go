@@ -1,0 +1,166 @@
+package simclock
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Chan is a clock-aware mailbox: an unbounded FIFO channel whose blocking
+// receive integrates with the Clock's runnable accounting, so the virtual
+// clock can advance while receivers wait.
+//
+// Sends never block (the buffer is unbounded); this keeps producers out of
+// the park/unpark protocol entirely, which makes simulation components
+// much easier to reason about. Use it as a mailbox between components, not
+// as a synchronization barrier.
+type Chan[T any] struct {
+	clock Clock
+
+	mu      sync.Mutex
+	buf     []T
+	waiters []*waiter[T]
+	closed  bool
+}
+
+// NewChan returns an empty mailbox bound to clock.
+func NewChan[T any](clock Clock) *Chan[T] {
+	return &Chan[T]{clock: clock}
+}
+
+// waiter represents one parked receiver. Exactly one waker — a sender, a
+// Close, or a timeout — wins the fired flag and delivers the outcome.
+type waiter[T any] struct {
+	fired    atomic.Bool
+	wake     chan struct{}
+	val      T
+	ok       bool
+	timedOut bool
+}
+
+// timeoutFire implements timeoutTarget: the timeout path for RecvTimeout.
+func (w *waiter[T]) timeoutFire() bool {
+	if !w.fired.CompareAndSwap(false, true) {
+		return false
+	}
+	w.timedOut = true
+	close(w.wake)
+	return true
+}
+
+// Send appends v to the mailbox, waking a parked receiver if any. It
+// reports false (and drops v) if the mailbox is closed.
+func (c *Chan[T]) Send(v T) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return false
+	}
+	for len(c.waiters) > 0 {
+		w := c.waiters[0]
+		c.waiters = c.waiters[1:]
+		if w.fired.CompareAndSwap(false, true) {
+			w.val = v
+			w.ok = true
+			c.clock.unparkOne()
+			close(w.wake)
+			return true
+		}
+	}
+	c.buf = append(c.buf, v)
+	return true
+}
+
+// Recv removes and returns the next value. It blocks (cooperatively with
+// the clock) until a value arrives or the mailbox is closed; ok is false
+// only when the mailbox is closed and drained.
+func (c *Chan[T]) Recv() (v T, ok bool) {
+	c.mu.Lock()
+	if len(c.buf) > 0 {
+		v = c.takeLocked()
+		c.mu.Unlock()
+		return v, true
+	}
+	if c.closed {
+		c.mu.Unlock()
+		return v, false
+	}
+	w := &waiter[T]{wake: make(chan struct{})}
+	c.waiters = append(c.waiters, w)
+	c.mu.Unlock()
+
+	c.clock.parkPrepare()
+	<-w.wake
+	return w.val, w.ok
+}
+
+// RecvTimeout is Recv with a deadline d. timedOut reports that the
+// deadline elapsed first; in that case ok is false.
+func (c *Chan[T]) RecvTimeout(d time.Duration) (v T, ok, timedOut bool) {
+	c.mu.Lock()
+	if len(c.buf) > 0 {
+		v = c.takeLocked()
+		c.mu.Unlock()
+		return v, true, false
+	}
+	if c.closed {
+		c.mu.Unlock()
+		return v, false, false
+	}
+	w := &waiter[T]{wake: make(chan struct{})}
+	c.waiters = append(c.waiters, w)
+	c.mu.Unlock()
+
+	cancel := c.clock.afterFunc(d, w)
+	c.clock.parkPrepare()
+	<-w.wake
+	cancel()
+	return w.val, w.ok, w.timedOut
+}
+
+// Close closes the mailbox: parked receivers wake with ok=false, buffered
+// values remain receivable, and future sends are dropped. Closing twice
+// is a no-op.
+func (c *Chan[T]) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return
+	}
+	c.closed = true
+	for _, w := range c.waiters {
+		if w.fired.CompareAndSwap(false, true) {
+			c.clock.unparkOne()
+			close(w.wake)
+		}
+	}
+	c.waiters = nil
+}
+
+// TryRecv removes and returns the next value without blocking.
+func (c *Chan[T]) TryRecv() (v T, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.buf) == 0 {
+		return v, false
+	}
+	return c.takeLocked(), true
+}
+
+// Len reports the number of buffered values.
+func (c *Chan[T]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.buf)
+}
+
+func (c *Chan[T]) takeLocked() T {
+	v := c.buf[0]
+	var zero T
+	c.buf[0] = zero // release the reference for the garbage collector
+	c.buf = c.buf[1:]
+	if len(c.buf) == 0 {
+		c.buf = nil // reset backing array once drained
+	}
+	return v
+}

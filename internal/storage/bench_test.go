@@ -1,0 +1,24 @@
+package storage
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/simclock"
+)
+
+// BenchmarkDeviceConcurrentReads measures the simulation cost of the
+// granule round-robin under contention (the experiment hot path).
+func BenchmarkDeviceConcurrentReads(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		v := simclock.NewVirtual(time.Unix(0, 0))
+		dev := MustNewDevice(v, HDDSpec())
+		wg := simclock.NewWaitGroup(v)
+		for r := 0; r < 10; r++ {
+			wg.Go(func() { _ = dev.Read(64 << 20) })
+		}
+		done := make(chan struct{})
+		v.Go(func() { wg.Wait(); close(done) })
+		<-done
+	}
+}

@@ -1,0 +1,42 @@
+package transport
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/simclock"
+)
+
+// BenchmarkInmemRPC measures round-trip cost on the in-memory transport,
+// the dominant per-event overhead of whole-cluster experiments.
+func BenchmarkInmemRPC(b *testing.B) {
+	v := simclock.NewVirtual(time.Unix(0, 0))
+	net := NewInmemNetwork(v)
+	srv := NewServer(v)
+	srv.Handle("echo", func(arg any) (any, error) { return arg, nil })
+	l, err := net.Listen("nn")
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv.ServeBackground(l)
+	defer srv.Close()
+
+	done := make(chan struct{})
+	b.ResetTimer()
+	v.Go(func() {
+		defer close(done)
+		c, err := Dial(v, net, "nn")
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		defer c.Close()
+		for i := 0; i < b.N; i++ {
+			if _, err := c.Call("echo", 42); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	<-done
+}

@@ -1,0 +1,257 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/simclock"
+)
+
+// HandlerFunc serves one RPC method. It receives the call body and
+// returns the reply body. Handlers run on their own goroutine and may
+// block on clock-aware waits.
+type HandlerFunc func(arg any) (any, error)
+
+// Server dispatches inbound calls to registered handlers.
+type Server struct {
+	clock simclock.Clock
+
+	mu       sync.Mutex
+	handlers map[string]HandlerFunc
+	conns    map[Conn]struct{}
+	closed   bool
+}
+
+// NewServer creates a server; register handlers with Handle, then call
+// Serve with a listener.
+func NewServer(clock simclock.Clock) *Server {
+	return &Server{
+		clock:    clock,
+		handlers: make(map[string]HandlerFunc),
+		conns:    make(map[Conn]struct{}),
+	}
+}
+
+// Handle registers fn for method. Registering after Serve has started is
+// allowed; re-registering a method replaces it.
+func (s *Server) Handle(method string, fn HandlerFunc) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.handlers[method] = fn
+}
+
+// Serve accepts connections from l until l closes. It returns once the
+// accept loop exits; per-connection service continues on goroutines.
+func (s *Server) Serve(l Listener) {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.clock.Go(func() { s.serveConn(conn) })
+	}
+}
+
+// ServeBackground runs Serve on its own goroutine.
+func (s *Server) ServeBackground(l Listener) {
+	s.clock.Go(func() { s.Serve(l) })
+}
+
+func (s *Server) serveConn(conn Conn) {
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	for {
+		m, err := conn.Recv()
+		if err != nil {
+			return
+		}
+		if m.Reply {
+			continue // stray reply; ignore
+		}
+		s.mu.Lock()
+		fn, ok := s.handlers[m.Method]
+		s.mu.Unlock()
+		s.clock.Go(func() {
+			reply := Message{ID: m.ID, Reply: true}
+			if !ok {
+				reply.Err = fmt.Sprintf("unknown method %q", m.Method)
+			} else if body, err := safeCall(fn, m.Method, m.Body); err != nil {
+				reply.Err = err.Error()
+			} else {
+				reply.Body = body
+			}
+			// Best effort: the conn may have closed while handling.
+			_ = conn.Send(reply)
+		})
+	}
+}
+
+// safeCall runs a handler, converting a panic into an error reply so one
+// bad request cannot take the server down.
+func safeCall(fn HandlerFunc, method string, body any) (out any, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("handler %s panicked: %v", method, r)
+		}
+	}()
+	return fn(body)
+}
+
+// Close stops accepting work and closes all live connections.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	conns := make([]Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+// Client issues calls over a single connection, multiplexing concurrent
+// requests by ID.
+type Client struct {
+	clock   simclock.Clock
+	conn    Conn
+	timeout time.Duration
+
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]*simclock.Chan[Message]
+	closed  bool
+}
+
+// ClientOption configures a Client.
+type ClientOption func(*Client)
+
+// WithCallTimeout sets the default per-call deadline (default 30s of
+// simulated time).
+func WithCallTimeout(d time.Duration) ClientOption {
+	return func(c *Client) { c.timeout = d }
+}
+
+// NewClient wraps conn and starts the reply-dispatch loop.
+func NewClient(clock simclock.Clock, conn Conn, opts ...ClientOption) *Client {
+	c := &Client{
+		clock:   clock,
+		conn:    conn,
+		timeout: 30 * time.Second,
+		pending: make(map[uint64]*simclock.Chan[Message]),
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	clock.Go(c.recvLoop)
+	return c
+}
+
+// Dial connects to addr on net and returns a ready client.
+func Dial(clock simclock.Clock, net Network, addr string, opts ...ClientOption) (*Client, error) {
+	conn, err := net.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(clock, conn, opts...), nil
+}
+
+func (c *Client) recvLoop() {
+	for {
+		m, err := c.conn.Recv()
+		if err != nil {
+			c.failAll()
+			return
+		}
+		if !m.Reply {
+			continue
+		}
+		c.mu.Lock()
+		ch, ok := c.pending[m.ID]
+		delete(c.pending, m.ID)
+		c.mu.Unlock()
+		if ok {
+			ch.Send(m)
+		}
+	}
+}
+
+func (c *Client) failAll() {
+	c.mu.Lock()
+	pending := c.pending
+	c.pending = make(map[uint64]*simclock.Chan[Message])
+	c.closed = true
+	c.mu.Unlock()
+	for _, ch := range pending {
+		ch.Close()
+	}
+}
+
+// Call invokes method with arg and returns the reply body. It blocks up
+// to the client's timeout of simulated time.
+func (c *Client) Call(method string, arg any) (any, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	c.nextID++
+	id := c.nextID
+	ch := simclock.NewChan[Message](c.clock)
+	c.pending[id] = ch
+	c.mu.Unlock()
+
+	if err := c.conn.Send(Message{ID: id, Method: method, Body: arg}); err != nil {
+		c.drop(id)
+		return nil, err
+	}
+	m, ok, timedOut := ch.RecvTimeout(c.timeout)
+	if timedOut {
+		c.drop(id)
+		return nil, fmt.Errorf("%w: %s after %v", ErrTimeout, method, c.timeout)
+	}
+	if !ok {
+		return nil, ErrClosed
+	}
+	if m.Err != "" {
+		return nil, &RemoteError{Method: method, Msg: m.Err}
+	}
+	return m.Body, nil
+}
+
+func (c *Client) drop(id uint64) {
+	c.mu.Lock()
+	delete(c.pending, id)
+	c.mu.Unlock()
+}
+
+// Close tears down the connection; in-flight calls fail with ErrClosed.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Call is the typed convenience wrapper around Client.Call.
+func Call[Resp any](c *Client, method string, arg any) (Resp, error) {
+	var zero Resp
+	body, err := c.Call(method, arg)
+	if err != nil {
+		return zero, err
+	}
+	resp, ok := body.(Resp)
+	if !ok {
+		return zero, fmt.Errorf("transport: %s: reply type %T, want %T", method, body, zero)
+	}
+	return resp, nil
+}

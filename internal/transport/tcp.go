@@ -1,0 +1,84 @@
+package transport
+
+import (
+	"encoding/gob"
+	"net"
+	"sync"
+)
+
+// RegisterType registers a concrete message-body type for gob encoding on
+// the TCP transport. Call it once per type, typically from an init in the
+// package that defines the wire structs.
+func RegisterType(v any) { gob.Register(v) }
+
+// TCPNetwork is the real-socket Network. It must be used with the real
+// clock: socket reads block natively, which would stall a virtual clock.
+type TCPNetwork struct{}
+
+var _ Network = TCPNetwork{}
+
+// NewTCPNetwork returns the TCP transport.
+func NewTCPNetwork() TCPNetwork { return TCPNetwork{} }
+
+// Listen binds a TCP listener on addr (host:port; use 127.0.0.1:0 for an
+// ephemeral port and read it back with Addr).
+func (TCPNetwork) Listen(addr string) (Listener, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &tcpListener{l: l}, nil
+}
+
+// Dial connects to a TCP RPC endpoint.
+func (TCPNetwork) Dial(addr string) (Conn, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return newTCPConn(c), nil
+}
+
+type tcpListener struct{ l net.Listener }
+
+var _ Listener = (*tcpListener)(nil)
+
+func (t *tcpListener) Accept() (Conn, error) {
+	c, err := t.l.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return newTCPConn(c), nil
+}
+
+func (t *tcpListener) Close() error { return t.l.Close() }
+func (t *tcpListener) Addr() string { return t.l.Addr().String() }
+
+type tcpConn struct {
+	c   net.Conn
+	enc *gob.Encoder
+	dec *gob.Decoder
+	wmu sync.Mutex // serializes writers into the gob stream
+}
+
+var _ Conn = (*tcpConn)(nil)
+
+func newTCPConn(c net.Conn) *tcpConn {
+	return &tcpConn{c: c, enc: gob.NewEncoder(c), dec: gob.NewDecoder(c)}
+}
+
+func (t *tcpConn) Send(m Message) error {
+	t.wmu.Lock()
+	defer t.wmu.Unlock()
+	return t.enc.Encode(&m)
+}
+
+func (t *tcpConn) Recv() (Message, error) {
+	var m Message
+	if err := t.dec.Decode(&m); err != nil {
+		return Message{}, err
+	}
+	return m, nil
+}
+
+func (t *tcpConn) Close() error { return t.c.Close() }

@@ -1,0 +1,90 @@
+// Package transport provides the RPC fabric for the Ignem cluster: a
+// message-oriented client/server layer over two interchangeable
+// transports.
+//
+//   - The in-memory transport connects components inside one process and
+//     charges simulated network latency and bandwidth through a Clock, so
+//     whole-cluster experiments run under virtual time.
+//   - The TCP transport runs the same RPC protocol over real sockets with
+//     gob encoding, for live multi-process deployments.
+//
+// Messages are plain structs. Anything sent over TCP must be registered
+// with RegisterType (a thin wrapper over gob.Register).
+package transport
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Errors returned by the RPC layer.
+var (
+	// ErrClosed indicates the connection or endpoint has shut down.
+	ErrClosed = errors.New("transport: closed")
+	// ErrTimeout indicates a call deadline elapsed before the reply.
+	ErrTimeout = errors.New("transport: call timed out")
+)
+
+// RemoteError is a failure reported by the remote handler rather than by
+// the transport itself.
+type RemoteError struct {
+	Method string
+	Msg    string
+}
+
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("transport: remote %s: %s", e.Method, e.Msg)
+}
+
+// Conn is a bidirectional, ordered message pipe.
+type Conn interface {
+	// Send transmits one message. It never blocks for simulated network
+	// time (delivery latency is charged on the receiving side's queue).
+	Send(m Message) error
+	// Recv blocks until the next message arrives or the conn closes.
+	Recv() (Message, error)
+	// Close tears down both directions.
+	Close() error
+}
+
+// Listener accepts inbound connections.
+type Listener interface {
+	Accept() (Conn, error)
+	Close() error
+	Addr() string
+}
+
+// Network abstracts connection establishment so the cluster wiring is
+// identical for in-memory and TCP deployments.
+type Network interface {
+	Listen(addr string) (Listener, error)
+	Dial(addr string) (Conn, error)
+}
+
+// Message is the RPC wire unit.
+type Message struct {
+	// ID correlates a reply with its call.
+	ID uint64
+	// Method names the remote handler; empty on replies.
+	Method string
+	// Reply distinguishes replies from calls.
+	Reply bool
+	// Body carries the call argument or reply value.
+	Body any
+	// Err carries a handler failure on replies.
+	Err string
+}
+
+// Sized lets a message body declare its simulated wire size, so the
+// in-memory transport can charge bandwidth for bulk transfers (block
+// data) rather than just per-message latency.
+type Sized interface {
+	WireSize() int64
+}
+
+func wireSize(body any) int64 {
+	if s, ok := body.(Sized); ok {
+		return s.WireSize()
+	}
+	return 256 // nominal size of a small control message
+}

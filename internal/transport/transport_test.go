@@ -1,0 +1,427 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/simclock"
+)
+
+var epoch = time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC)
+
+type echoReq struct{ Text string }
+type echoResp struct{ Text string }
+
+type bulkResp struct {
+	N int64
+}
+
+func (b bulkResp) WireSize() int64 { return b.N }
+
+func startEchoServer(t *testing.T, clock simclock.Clock, net Network, addr string) *Server {
+	t.Helper()
+	srv := NewServer(clock)
+	srv.Handle("echo", func(arg any) (any, error) {
+		req, ok := arg.(echoReq)
+		if !ok {
+			return nil, fmt.Errorf("bad arg %T", arg)
+		}
+		return echoResp{Text: req.Text}, nil
+	})
+	srv.Handle("fail", func(any) (any, error) {
+		return nil, errors.New("boom")
+	})
+	srv.Handle("slow", func(any) (any, error) {
+		clock.Sleep(time.Hour)
+		return echoResp{}, nil
+	})
+	srv.Handle("bulk", func(arg any) (any, error) {
+		n := arg.(echoReq)
+		var size int64
+		fmt.Sscan(n.Text, &size)
+		return bulkResp{N: size}, nil
+	})
+	l, err := net.Listen(addr)
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	srv.ServeBackground(l)
+	return srv
+}
+
+func TestInmemEcho(t *testing.T) {
+	v := simclock.NewVirtual(epoch)
+	net := NewInmemNetwork(v)
+	startEchoServer(t, v, net, "nn")
+	var got echoResp
+	v.Run(func() {
+		c, err := Dial(v, net, "nn")
+		if err != nil {
+			t.Errorf("Dial: %v", err)
+			return
+		}
+		defer c.Close()
+		got, err = Call[echoResp](c, "echo", echoReq{Text: "hello"})
+		if err != nil {
+			t.Errorf("Call: %v", err)
+		}
+	})
+	if got.Text != "hello" {
+		t.Errorf("echo = %q", got.Text)
+	}
+}
+
+func TestInmemLatencyCharged(t *testing.T) {
+	v := simclock.NewVirtual(epoch)
+	net := NewInmemNetwork(v, WithLatency(5*time.Millisecond))
+	startEchoServer(t, v, net, "nn")
+	v.Run(func() {
+		c, _ := Dial(v, net, "nn")
+		defer c.Close()
+		start := v.Now()
+		if _, err := Call[echoResp](c, "echo", echoReq{Text: "x"}); err != nil {
+			t.Errorf("Call: %v", err)
+		}
+		rtt := v.Now().Sub(start)
+		if rtt < 10*time.Millisecond {
+			t.Errorf("RTT %v below 2x one-way latency", rtt)
+		}
+		if rtt > 15*time.Millisecond {
+			t.Errorf("RTT %v unexpectedly high", rtt)
+		}
+	})
+}
+
+func TestInmemBandwidthChargedForSizedBodies(t *testing.T) {
+	v := simclock.NewVirtual(epoch)
+	net := NewInmemNetwork(v, WithBandwidthMBps(100), WithLatency(0))
+	startEchoServer(t, v, net, "nn")
+	v.Run(func() {
+		c, _ := Dial(v, net, "nn")
+		defer c.Close()
+		start := v.Now()
+		// 100 MB at 100 MB/s should take ~1s on the reply direction.
+		if _, err := Call[bulkResp](c, "bulk", echoReq{Text: "100000000"}); err != nil {
+			t.Errorf("Call: %v", err)
+		}
+		d := v.Now().Sub(start)
+		if d < 900*time.Millisecond || d > 1500*time.Millisecond {
+			t.Errorf("bulk transfer took %v, want ~1s", d)
+		}
+	})
+}
+
+func TestRemoteErrorPropagates(t *testing.T) {
+	v := simclock.NewVirtual(epoch)
+	net := NewInmemNetwork(v)
+	startEchoServer(t, v, net, "nn")
+	v.Run(func() {
+		c, _ := Dial(v, net, "nn")
+		defer c.Close()
+		_, err := c.Call("fail", echoReq{})
+		var re *RemoteError
+		if !errors.As(err, &re) || re.Msg != "boom" {
+			t.Errorf("err = %v, want RemoteError(boom)", err)
+		}
+	})
+}
+
+func TestUnknownMethod(t *testing.T) {
+	v := simclock.NewVirtual(epoch)
+	net := NewInmemNetwork(v)
+	startEchoServer(t, v, net, "nn")
+	v.Run(func() {
+		c, _ := Dial(v, net, "nn")
+		defer c.Close()
+		_, err := c.Call("nope", echoReq{})
+		if err == nil || !strings.Contains(err.Error(), "unknown method") {
+			t.Errorf("err = %v", err)
+		}
+	})
+}
+
+func TestCallTimeout(t *testing.T) {
+	v := simclock.NewVirtual(epoch)
+	net := NewInmemNetwork(v)
+	startEchoServer(t, v, net, "nn")
+	v.Run(func() {
+		c, _ := Dial(v, net, "nn", WithCallTimeout(2*time.Second))
+		defer c.Close()
+		start := v.Now()
+		_, err := c.Call("slow", echoReq{})
+		if !errors.Is(err, ErrTimeout) {
+			t.Errorf("err = %v, want ErrTimeout", err)
+		}
+		if d := v.Now().Sub(start); d < 2*time.Second || d > 3*time.Second {
+			t.Errorf("timeout after %v, want ~2s", d)
+		}
+	})
+}
+
+func TestConcurrentCallsMultiplex(t *testing.T) {
+	v := simclock.NewVirtual(epoch)
+	net := NewInmemNetwork(v)
+	startEchoServer(t, v, net, "nn")
+	var mu sync.Mutex
+	results := map[string]bool{}
+	v.Run(func() {
+		c, _ := Dial(v, net, "nn")
+		defer c.Close()
+		wg := simclock.NewWaitGroup(v)
+		for i := 0; i < 20; i++ {
+			i := i
+			wg.Go(func() {
+				want := fmt.Sprintf("msg-%d", i)
+				got, err := Call[echoResp](c, "echo", echoReq{Text: want})
+				if err != nil {
+					t.Errorf("Call: %v", err)
+					return
+				}
+				mu.Lock()
+				results[got.Text] = true
+				mu.Unlock()
+			})
+		}
+		wg.Wait()
+	})
+	if len(results) != 20 {
+		t.Errorf("got %d distinct replies, want 20", len(results))
+	}
+}
+
+func TestDialUnknownAddr(t *testing.T) {
+	v := simclock.NewVirtual(epoch)
+	net := NewInmemNetwork(v)
+	if _, err := net.Dial("missing"); err == nil {
+		t.Error("Dial to unknown addr succeeded")
+	}
+}
+
+func TestDuplicateListen(t *testing.T) {
+	v := simclock.NewVirtual(epoch)
+	net := NewInmemNetwork(v)
+	if _, err := net.Listen("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Listen("a"); err == nil {
+		t.Error("duplicate Listen succeeded")
+	}
+}
+
+func TestServerCloseFailsInFlightCalls(t *testing.T) {
+	v := simclock.NewVirtual(epoch)
+	net := NewInmemNetwork(v)
+	srv := startEchoServer(t, v, net, "nn")
+	v.Run(func() {
+		c, _ := Dial(v, net, "nn")
+		done := simclock.NewChan[error](v)
+		v.Go(func() {
+			_, err := c.Call("slow", echoReq{})
+			done.Send(err)
+		})
+		v.Sleep(time.Second)
+		srv.Close()
+		err, _ := done.Recv()
+		if err == nil {
+			t.Error("in-flight call survived server close")
+		}
+	})
+}
+
+func TestClientCloseFailsPending(t *testing.T) {
+	v := simclock.NewVirtual(epoch)
+	net := NewInmemNetwork(v)
+	startEchoServer(t, v, net, "nn")
+	v.Run(func() {
+		c, _ := Dial(v, net, "nn")
+		done := simclock.NewChan[error](v)
+		v.Go(func() {
+			_, err := c.Call("slow", echoReq{})
+			done.Send(err)
+		})
+		v.Sleep(time.Second)
+		c.Close()
+		err, _ := done.Recv()
+		if !errors.Is(err, ErrClosed) {
+			t.Errorf("err = %v, want ErrClosed", err)
+		}
+		if _, err := c.Call("echo", echoReq{}); !errors.Is(err, ErrClosed) {
+			t.Errorf("post-close call err = %v", err)
+		}
+	})
+}
+
+func TestTypedCallWrongType(t *testing.T) {
+	v := simclock.NewVirtual(epoch)
+	net := NewInmemNetwork(v)
+	startEchoServer(t, v, net, "nn")
+	v.Run(func() {
+		c, _ := Dial(v, net, "nn")
+		defer c.Close()
+		_, err := Call[int](c, "echo", echoReq{Text: "x"})
+		if err == nil || !strings.Contains(err.Error(), "reply type") {
+			t.Errorf("err = %v", err)
+		}
+	})
+}
+
+func TestTCPEcho(t *testing.T) {
+	RegisterType(echoReq{})
+	RegisterType(echoResp{})
+	clock := simclock.NewReal()
+	tnet := NewTCPNetwork()
+	srv := NewServer(clock)
+	srv.Handle("echo", func(arg any) (any, error) {
+		return echoResp{Text: arg.(echoReq).Text}, nil
+	})
+	l, err := tnet.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer l.Close()
+	srv.ServeBackground(l)
+	defer srv.Close()
+
+	c, err := Dial(clock, tnet, l.Addr(), WithCallTimeout(5*time.Second))
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer c.Close()
+	got, err := Call[echoResp](c, "echo", echoReq{Text: "over tcp"})
+	if err != nil {
+		t.Fatalf("Call: %v", err)
+	}
+	if got.Text != "over tcp" {
+		t.Errorf("echo = %q", got.Text)
+	}
+}
+
+func TestTCPConcurrentClients(t *testing.T) {
+	RegisterType(echoReq{})
+	RegisterType(echoResp{})
+	clock := simclock.NewReal()
+	tnet := NewTCPNetwork()
+	srv := NewServer(clock)
+	srv.Handle("echo", func(arg any) (any, error) {
+		return echoResp{Text: arg.(echoReq).Text}, nil
+	})
+	l, err := tnet.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	srv.ServeBackground(l)
+	defer srv.Close()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 5; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := Dial(clock, tnet, l.Addr(), WithCallTimeout(5*time.Second))
+			if err != nil {
+				t.Errorf("Dial: %v", err)
+				return
+			}
+			defer c.Close()
+			for j := 0; j < 10; j++ {
+				want := fmt.Sprintf("c%d-m%d", i, j)
+				got, err := Call[echoResp](c, "echo", echoReq{Text: want})
+				if err != nil || got.Text != want {
+					t.Errorf("call %s: got %q err %v", want, got.Text, err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestHandlerPanicBecomesError(t *testing.T) {
+	v := simclock.NewVirtual(epoch)
+	net := NewInmemNetwork(v)
+	srv := NewServer(v)
+	srv.Handle("boom", func(any) (any, error) { panic("kaboom") })
+	srv.Handle("ok", func(arg any) (any, error) { return arg, nil })
+	l, err := net.Listen("nn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.ServeBackground(l)
+	defer srv.Close()
+	v.Run(func() {
+		c, _ := Dial(v, net, "nn")
+		defer c.Close()
+		_, err := c.Call("boom", 1)
+		if err == nil || !strings.Contains(err.Error(), "panicked") {
+			t.Errorf("err = %v", err)
+		}
+		// The server survives and keeps handling other calls.
+		if got, err := c.Call("ok", 7); err != nil || got != 7 {
+			t.Errorf("post-panic call: %v %v", got, err)
+		}
+	})
+}
+
+// Property: per-connection message order is preserved regardless of
+// payload sizes (the pump serializes transmission).
+func TestInmemOrderingProperty(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		if len(sizes) == 0 || len(sizes) > 30 {
+			return true
+		}
+		v := simclock.NewVirtual(epoch)
+		net := NewInmemNetwork(v, WithBandwidthMBps(10))
+		l, err := net.Listen("srv")
+		if err != nil {
+			return false
+		}
+		var got []uint64
+		vDone := make(chan struct{})
+		v.Go(func() {
+			defer close(vDone)
+			recvDone := simclock.NewChan[struct{}](v)
+			v.Go(func() {
+				conn, err := l.Accept()
+				if err != nil {
+					return
+				}
+				for i := 0; i < len(sizes); i++ {
+					m, err := conn.Recv()
+					if err != nil {
+						return
+					}
+					got = append(got, m.ID)
+				}
+				recvDone.Send(struct{}{})
+			})
+			conn, err := net.Dial("srv")
+			if err != nil {
+				return
+			}
+			for i, sz := range sizes {
+				_ = conn.Send(Message{ID: uint64(i), Body: bulkResp{N: int64(sz) * 1000}})
+			}
+			recvDone.Recv()
+			conn.Close()
+		})
+		<-vDone
+		if len(got) != len(sizes) {
+			return false
+		}
+		for i, id := range got {
+			if id != uint64(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
