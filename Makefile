@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all test race vet bench experiments examples tidy
+.PHONY: all test race vet bench bench-read experiments examples tidy
 
 all: vet test
 
@@ -18,6 +18,11 @@ vet:
 # Regenerate every paper table and figure as benchmarks.
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x -run XXX .
+
+# Read-path throughput benchmarks (striped ReadFile, Reader read-ahead)
+# on both transports; machine-readable records land in BENCH_read.json.
+bench-read:
+	$(GO) run ./cmd/ignem-bench -readbench BENCH_read.json
 
 # Regenerate every paper table and figure as rendered text (plus CSVs in
 # ./data for plotting).

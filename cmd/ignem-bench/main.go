@@ -4,8 +4,12 @@
 //
 //	ignem-bench [-seed N] [experiment ...]
 //	ignem-bench -list
+//	ignem-bench -readbench BENCH_read.json
 //
 // With no experiment arguments, every experiment runs in order.
+// -readbench instead runs the read-path throughput benchmarks (striped
+// ReadFile and Reader read-ahead on both transports) and writes the
+// machine-readable records to the given file.
 package main
 
 import (
@@ -15,12 +19,14 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/readbench"
 )
 
 func main() {
 	seed := flag.Int64("seed", 1, "random seed for workload generation and placement")
 	list := flag.Bool("list", false, "list available experiments and exit")
 	out := flag.String("out", "", "directory to write raw CSV data for plotting")
+	readJSON := flag.String("readbench", "", "run the read benchmarks and write JSON records to this file")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: %s [-seed N] [experiment ...]\n\nExperiments:\n", os.Args[0])
 		for _, s := range experiments.All() {
@@ -33,6 +39,24 @@ func main() {
 		for _, s := range experiments.All() {
 			fmt.Printf("%-8s %s\n", s.ID, s.Title)
 		}
+		return
+	}
+
+	if *readJSON != "" {
+		start := time.Now()
+		results, err := readbench.RunAll()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ignem-bench: readbench: %v\n", err)
+			os.Exit(1)
+		}
+		for _, r := range results {
+			fmt.Printf("%-42s %12d ns/op %10.1f blocks/s\n", r.Name, r.NsPerOp, r.BlocksPerSec)
+		}
+		if err := readbench.WriteJSON(*readJSON, results); err != nil {
+			fmt.Fprintf(os.Stderr, "ignem-bench: readbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("[read benchmarks completed in %v wall time; records in %s]\n", time.Since(start).Round(time.Millisecond), *readJSON)
 		return
 	}
 

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/dfs"
@@ -36,6 +37,8 @@ func WithLocalAddr(addr string) Option {
 }
 
 // WithReadObserver installs a callback invoked after every block read.
+// Striped reads and Reader prefetching invoke it from multiple
+// goroutines; the callback must do its own locking.
 func WithReadObserver(fn func(BlockReadEvent)) Option {
 	return func(c *Client) { c.observer = fn }
 }
@@ -45,6 +48,30 @@ func WithSeed(seed int64) Option {
 	return func(c *Client) { c.rng = rand.New(rand.NewSource(seed)) }
 }
 
+// WithReadParallelism bounds how many blocks ReadFile keeps in flight at
+// once (default 4). n <= 1 restores the historical one-block-at-a-time
+// read path.
+func WithReadParallelism(n int) Option {
+	return func(c *Client) {
+		if n < 1 {
+			n = 1
+		}
+		c.readPar = n
+	}
+}
+
+// WithReadAhead sets how many blocks beyond the current one a Reader
+// opened by this client prefetches (default 2). n = 0 disables
+// read-ahead: each block is fetched on demand, exactly once.
+func WithReadAhead(n int) Option {
+	return func(c *Client) {
+		if n < 0 {
+			n = 0
+		}
+		c.readAhead = n
+	}
+}
+
 // Client is a DFS client handle. It is safe for concurrent use.
 type Client struct {
 	clock     simclock.Clock
@@ -52,6 +79,8 @@ type Client struct {
 	nn        *transport.Client
 	localAddr string
 	observer  func(BlockReadEvent)
+	readPar   int
+	readAhead int
 
 	mu  sync.Mutex
 	dns map[string]*transport.Client
@@ -65,11 +94,13 @@ func New(clock simclock.Clock, net transport.Network, nnAddr string, opts ...Opt
 		return nil, fmt.Errorf("dfs client: %w", err)
 	}
 	c := &Client{
-		clock: clock,
-		net:   net,
-		nn:    nn,
-		dns:   make(map[string]*transport.Client),
-		rng:   rand.New(rand.NewSource(1)),
+		clock:     clock,
+		net:       net,
+		nn:        nn,
+		dns:       make(map[string]*transport.Client),
+		rng:       rand.New(rand.NewSource(1)),
+		readPar:   DefaultReadParallelism,
+		readAhead: DefaultReadAhead,
 	}
 	for _, o := range opts {
 		o(c)
@@ -286,7 +317,15 @@ func (c *Client) WriteSyntheticFile(path string, size int64, blockSize int64, re
 // replica. A failed replica is forgotten and the read transparently
 // fails over to the remaining holders.
 func (c *Client) ReadBlock(lb dfs.LocatedBlock, job dfs.JobID) (dfs.ReadBlockResp, error) {
-	first := c.chooseReplica(lb)
+	return c.readBlockFrom1st(lb, job, c.chooseReplica(lb))
+}
+
+// readBlockFrom1st is ReadBlock with the first replica already chosen.
+// The striped read path and the Reader's prefetcher pre-choose replicas
+// on the issuing goroutine so the seeded replica-choice rng is drawn in
+// block order, keeping simulations deterministic regardless of how the
+// worker goroutines are scheduled.
+func (c *Client) readBlockFrom1st(lb dfs.LocatedBlock, job dfs.JobID, first string) (dfs.ReadBlockResp, error) {
 	if first == "" {
 		return dfs.ReadBlockResp{}, fmt.Errorf("dfs client: block %d has no live replica", lb.Block.ID)
 	}
@@ -386,21 +425,82 @@ func (c *Client) pick(addrs []string) string {
 	return addrs[c.rng.Intn(len(addrs))]
 }
 
-// ReadFile reads a whole file sequentially on behalf of job and returns
-// its real bytes (nil for synthetic files). The time spent is the
-// simulated read time of each block in turn.
+// DefaultReadParallelism is how many blocks ReadFile keeps in flight
+// unless WithReadParallelism overrides it.
+const DefaultReadParallelism = 4
+
+// DefaultReadAhead is how many blocks beyond the current one a Reader
+// prefetches unless WithReadAhead overrides it.
+const DefaultReadAhead = 2
+
+// ReadFile reads a whole file on behalf of job and returns its real
+// bytes (nil for synthetic files). Blocks are fetched by a bounded
+// worker pool (WithReadParallelism, default 4) striped across the file,
+// so independent replicas stream concurrently; bytes are assembled in
+// block order. Each block keeps the usual migration-aware replica choice
+// and per-block failover.
 func (c *Client) ReadFile(path string, job dfs.JobID) ([]byte, error) {
 	blocks, err := c.Locations(path)
 	if err != nil {
 		return nil, err
 	}
-	var out []byte
-	for _, lb := range blocks {
-		resp, err := c.ReadBlock(lb, job)
-		if err != nil {
-			return nil, err
+	return c.ReadBlocks(blocks, job)
+}
+
+// ReadBlocks fetches the given blocks with the client's read parallelism
+// and returns their bytes concatenated in slice order.
+func (c *Client) ReadBlocks(blocks []dfs.LocatedBlock, job dfs.JobID) ([]byte, error) {
+	par := c.readPar
+	if par > len(blocks) {
+		par = len(blocks)
+	}
+	if par <= 1 {
+		var out []byte
+		for _, lb := range blocks {
+			resp, err := c.ReadBlock(lb, job)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, resp.Data...)
 		}
-		out = append(out, resp.Data...)
+		return out, nil
+	}
+
+	// Pre-choose every block's first replica on this goroutine so the
+	// seeded rng is consumed in block order (determinism), then let the
+	// pool race over the block list via a shared cursor.
+	firsts := make([]string, len(blocks))
+	for i, lb := range blocks {
+		firsts[i] = c.chooseReplica(lb)
+	}
+	resps := make([]dfs.ReadBlockResp, len(blocks))
+	errs := make([]error, len(blocks))
+	var cursor atomic.Int64
+	var failed atomic.Bool
+	wg := simclock.NewWaitGroup(c.clock)
+	for w := 0; w < par; w++ {
+		wg.Go(func() {
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= len(blocks) || failed.Load() {
+					return
+				}
+				resp, err := c.readBlockFrom1st(blocks[i], job, firsts[i])
+				resps[i], errs[i] = resp, err
+				if err != nil {
+					failed.Store(true) // stop issuing new fetches
+				}
+			}
+		})
+	}
+	wg.Wait()
+
+	var out []byte
+	for i := range blocks {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		out = append(out, resps[i].Data...)
 	}
 	return out, nil
 }

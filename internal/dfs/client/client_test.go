@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"io"
+	"sync"
 	"testing"
 	"time"
 
@@ -230,9 +231,12 @@ func TestMigrateThenReadFromMemory(t *testing.T) {
 			return true
 		}, "migration state at namenode")
 
+		var evmu sync.Mutex
 		var events []client.BlockReadEvent
 		c2 := mc.client(t, client.WithReadObserver(func(ev client.BlockReadEvent) {
+			evmu.Lock()
 			events = append(events, ev)
+			evmu.Unlock()
 		}))
 		defer c2.Close()
 		if _, err := c2.ReadFile("/input", "job1"); err != nil {

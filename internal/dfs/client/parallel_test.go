@@ -1,0 +1,167 @@
+package client_test
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/dfs"
+	"repro/internal/dfs/client"
+	"repro/internal/simclock"
+)
+
+// writeBlocky writes nBlocks distinct-content blocks of blockSize bytes.
+func writeBlocky(t *testing.T, c *client.Client, path string, nBlocks, blockSize, replication int) []byte {
+	t.Helper()
+	data := make([]byte, 0, nBlocks*blockSize)
+	for b := 0; b < nBlocks; b++ {
+		data = append(data, bytes.Repeat([]byte{byte('A' + b)}, blockSize)...)
+	}
+	if err := c.WriteFile(path, data, int64(blockSize), replication); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	return data
+}
+
+// TestReadFileStripedRoundTrip checks byte-order assembly: with 4 workers
+// racing over 8 blocks, the result is still the file's bytes in order.
+func TestReadFileStripedRoundTrip(t *testing.T) {
+	runSim(t, func(v *simclock.Virtual) {
+		mc := startMini(t, v, miniConfig{nodes: 6})
+		defer mc.close()
+		c := mc.client(t, client.WithReadParallelism(4))
+		defer c.Close()
+		data := writeBlocky(t, c, "/f", 8, 4096, 2)
+		got, err := c.ReadFile("/f", "j")
+		if err != nil {
+			t.Fatalf("ReadFile: %v", err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Errorf("striped read corrupted: got %d bytes, want %d", len(got), len(data))
+		}
+	})
+}
+
+// TestReadFileStripedMatchesSerialReplicaChoice pins the determinism
+// contract: a striped read draws the seeded replica-choice rng in block
+// order, so with the same seed it reads every block from the same
+// replica a serial read would have picked.
+func TestReadFileStripedMatchesSerialReplicaChoice(t *testing.T) {
+	readAddrs := func(v *simclock.Virtual, mc *miniCluster, par int) map[dfs.BlockID]string {
+		var mu sync.Mutex
+		addrs := map[dfs.BlockID]string{}
+		c := mc.client(t,
+			client.WithSeed(42),
+			client.WithReadParallelism(par),
+			client.WithReadObserver(func(ev client.BlockReadEvent) {
+				mu.Lock()
+				addrs[ev.Block] = ev.Addr
+				mu.Unlock()
+			}))
+		defer c.Close()
+		if _, err := c.ReadFile("/f", "j"); err != nil {
+			t.Fatalf("ReadFile(par=%d): %v", par, err)
+		}
+		return addrs
+	}
+	runSim(t, func(v *simclock.Virtual) {
+		mc := startMini(t, v, miniConfig{nodes: 6})
+		defer mc.close()
+		setup := mc.client(t)
+		defer setup.Close()
+		writeBlocky(t, setup, "/f", 8, 4096, 3)
+		serial := readAddrs(v, mc, 1)
+		striped := readAddrs(v, mc, 4)
+		if len(serial) != 8 || len(striped) != 8 {
+			t.Fatalf("serial read %d blocks, striped %d, want 8", len(serial), len(striped))
+		}
+		for id, addr := range serial {
+			if striped[id] != addr {
+				t.Errorf("block %d: striped read from %s, serial from %s", id, striped[id], addr)
+			}
+		}
+	})
+}
+
+// TestReadFileStripedFailsOver kills one replica holder (without waiting
+// for namenode expiry) and expects the striped read to fail over.
+func TestReadFileStripedFailsOver(t *testing.T) {
+	runSim(t, func(v *simclock.Virtual) {
+		mc := startMini(t, v, miniConfig{nodes: 4})
+		defer mc.close()
+		c := mc.client(t, client.WithReadParallelism(4))
+		defer c.Close()
+		data := writeBlocky(t, c, "/f", 8, 4096, 2)
+		mc.dns[0].Close()
+		got, err := c.ReadFile("/f", "j")
+		if err != nil {
+			t.Fatalf("striped read did not fail over: %v", err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Errorf("failover read corrupted: got %d bytes", len(got))
+		}
+	})
+}
+
+// TestReadFileStripedAllReplicasDead surfaces the per-block error when no
+// replica of some block survives.
+func TestReadFileStripedAllReplicasDead(t *testing.T) {
+	runSim(t, func(v *simclock.Virtual) {
+		mc := startMini(t, v, miniConfig{nodes: 3})
+		defer mc.close()
+		c := mc.client(t, client.WithReadParallelism(4))
+		defer c.Close()
+		writeBlocky(t, c, "/f", 8, 4096, 2)
+		for _, dn := range mc.dns {
+			dn.Close()
+		}
+		if _, err := c.ReadFile("/f", "j"); err == nil {
+			t.Error("striped read succeeded with every replica dead")
+		}
+	})
+}
+
+// TestReadFileStripedFasterThanSerial compares simulated wall-clock time:
+// 4 workers over 8 one-MiB blocks spread across 8 datanodes must beat the
+// serial read by a wide margin.
+func TestReadFileStripedFasterThanSerial(t *testing.T) {
+	runSim(t, func(v *simclock.Virtual) {
+		mc := startMini(t, v, miniConfig{nodes: 8})
+		defer mc.close()
+		setup := mc.client(t)
+		defer setup.Close()
+		writeBlocky(t, setup, "/f", 8, 1<<20, 2)
+
+		elapsed := func(par int) time.Duration {
+			c := mc.client(t, client.WithReadParallelism(par))
+			defer c.Close()
+			start := v.Now()
+			if _, err := c.ReadFile("/f", "j"); err != nil {
+				t.Fatalf("ReadFile(par=%d): %v", par, err)
+			}
+			return v.Now().Sub(start)
+		}
+		serial := elapsed(1)
+		striped := elapsed(4)
+		if striped*2 > serial {
+			t.Errorf("striped read %v not ≥2x faster than serial %v", striped, serial)
+		}
+	})
+}
+
+// TestWithReadParallelismClampsToOne makes sure par<=1 (and tiny files)
+// use the historical serial path and still round-trip.
+func TestWithReadParallelismClampsToOne(t *testing.T) {
+	runSim(t, func(v *simclock.Virtual) {
+		mc := startMini(t, v, miniConfig{})
+		defer mc.close()
+		c := mc.client(t, client.WithReadParallelism(-3))
+		defer c.Close()
+		data := writeBlocky(t, c, "/f", 3, 4096, 2)
+		got, err := c.ReadFile("/f", "j")
+		if err != nil || !bytes.Equal(got, data) {
+			t.Errorf("serial-clamped read: %d bytes, err %v", len(got), err)
+		}
+	})
+}

@@ -3,13 +3,24 @@ package client
 import (
 	"fmt"
 	"io"
+	"sort"
+	"sync"
 
 	"repro/internal/dfs"
+	"repro/internal/simclock"
 )
 
 // Reader streams a DFS file as an io.ReadSeeker. Blocks are fetched on
-// demand (with the usual migration-aware replica choice) and one block is
-// buffered at a time, so sequential reads fetch each block exactly once.
+// demand (with the usual migration-aware replica choice) and, when the
+// client's read-ahead is non-zero, the next blocks are prefetched
+// asynchronously while the consumer drains the current one, so
+// sequential streaming overlaps compute with I/O. Fetched blocks live in
+// a small LRU window so a prefetched block is fetched exactly once.
+//
+// All prefetch concurrency goes through the client's Clock (clock.Go,
+// simclock.Cond), so it is deterministic under the virtual clock and
+// truly concurrent under the real one. A Reader may not be shared
+// between goroutines without external locking, like most io.Readers.
 type Reader struct {
 	c      *Client
 	path   string
@@ -17,8 +28,22 @@ type Reader struct {
 	blocks []dfs.LocatedBlock
 	size   int64
 	pos    int64
+	ahead  int
 
-	buf      []byte // bytes of the currently cached block
+	// The prefetch window. mu also serializes the fetch goroutines'
+	// result delivery; cond wakes consumers waiting on an in-flight
+	// block. cache holds at most ahead+2 blocks (current, the read-ahead
+	// window, and one just-left block for short backward seeks).
+	mu       sync.Mutex
+	cond     *simclock.Cond
+	cache    map[int][]byte // block index -> materialized bytes
+	lastUse  map[int]int64  // block index -> LRU tick of last touch
+	tick     int64
+	inflight map[int]bool
+	errs     map[int]error // failed fetches, consumed (and retried) by Read
+	curr     int           // block index the consumer last read; LRU-protected
+
+	buf      []byte // bytes of the current block
 	bufStart int64  // file offset of buf[0]
 }
 
@@ -26,7 +51,8 @@ var _ io.ReadSeeker = (*Reader)(nil)
 
 // Open returns a Reader over path on behalf of job. The file's block
 // layout is resolved once; reads fail over across replicas like
-// ReadBlock does.
+// ReadBlock does. The reader inherits the client's read-ahead window
+// (WithReadAhead, default 2 blocks).
 func (c *Client) Open(path string, job dfs.JobID) (*Reader, error) {
 	blocks, err := c.LocationsForJob(path, job)
 	if err != nil {
@@ -36,14 +62,30 @@ func (c *Client) Open(path string, job dfs.JobID) (*Reader, error) {
 	for _, lb := range blocks {
 		size += lb.Block.Size
 	}
-	return &Reader{c: c, path: path, job: job, blocks: blocks, size: size}, nil
+	r := &Reader{
+		c:        c,
+		path:     path,
+		job:      job,
+		blocks:   blocks,
+		size:     size,
+		ahead:    c.readAhead,
+		cache:    make(map[int][]byte),
+		lastUse:  make(map[int]int64),
+		inflight: make(map[int]bool),
+		errs:     make(map[int]error),
+		curr:     -1,
+	}
+	r.cond = simclock.NewCond(c.clock, &r.mu)
+	return r, nil
 }
 
 // Size returns the file's length in bytes.
 func (r *Reader) Size() int64 { return r.size }
 
-// Read implements io.Reader. Reading a synthetic (sized-only) file is an
-// error: it has no materialized bytes.
+// Read implements io.Reader. A read that crosses a block boundary
+// returns the bytes up to the boundary (a short read, as io.Reader
+// permits). Reading a synthetic (sized-only) file is an error: it has no
+// materialized bytes.
 func (r *Reader) Read(p []byte) (int, error) {
 	if r.pos >= r.size {
 		return 0, io.EOF
@@ -60,7 +102,8 @@ func (r *Reader) Read(p []byte) (int, error) {
 	return n, nil
 }
 
-// Seek implements io.Seeker.
+// Seek implements io.Seeker. Seeking past EOF is allowed; the next Read
+// returns io.EOF.
 func (r *Reader) Seek(offset int64, whence int) (int64, error) {
 	var abs int64
 	switch whence {
@@ -80,25 +123,103 @@ func (r *Reader) Seek(offset int64, whence int) (int64, error) {
 	return abs, nil
 }
 
-// ensure fetches the block containing file offset pos into the buffer.
+// blockIndex returns the index of the block containing file offset pos,
+// or -1 when pos is outside the file.
+func (r *Reader) blockIndex(pos int64) int {
+	i := sort.Search(len(r.blocks), func(i int) bool {
+		return r.blocks[i].Offset+r.blocks[i].Block.Size > pos
+	})
+	if i == len(r.blocks) || pos < r.blocks[i].Offset {
+		return -1
+	}
+	return i
+}
+
+// ensure makes the block containing pos the current buffer, fetching it
+// (and kicking off read-ahead for its successors) as needed.
 func (r *Reader) ensure(pos int64) error {
 	if r.buf != nil && pos >= r.bufStart && pos < r.bufStart+int64(len(r.buf)) {
 		return nil
 	}
-	for _, lb := range r.blocks {
-		if pos < lb.Offset || pos >= lb.Offset+lb.Block.Size {
-			continue
-		}
-		resp, err := r.c.ReadBlock(lb, r.job)
-		if err != nil {
-			return err
-		}
-		if resp.Data == nil {
-			return fmt.Errorf("dfs client: %s is synthetic (sized only); it has no bytes to stream", r.path)
-		}
-		r.buf = resp.Data
-		r.bufStart = lb.Offset
-		return nil
+	bi := r.blockIndex(pos)
+	if bi < 0 {
+		return fmt.Errorf("dfs client: offset %d outside %s (size %d)", pos, r.path, r.size)
 	}
-	return fmt.Errorf("dfs client: offset %d outside %s (size %d)", pos, r.path, r.size)
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.curr = bi
+	r.startFetchLocked(bi)
+	for i := bi + 1; i <= bi+r.ahead && i < len(r.blocks); i++ {
+		r.startFetchLocked(i)
+	}
+	for r.cache[bi] == nil && r.errs[bi] == nil {
+		r.cond.Wait()
+	}
+	if err := r.errs[bi]; err != nil {
+		delete(r.errs, bi) // the next Read retries the fetch
+		return err
+	}
+	r.touchLocked(bi)
+	r.buf = r.cache[bi]
+	r.bufStart = r.blocks[bi].Offset
+	return nil
+}
+
+// startFetchLocked spawns an asynchronous fetch of block i unless it is
+// already cached, in flight, or recently failed (the failure is held for
+// the consumer to observe). The first replica is chosen here, on the
+// consumer's goroutine, so rng draws stay in deterministic order.
+func (r *Reader) startFetchLocked(i int) {
+	if r.cache[i] != nil || r.inflight[i] || r.errs[i] != nil {
+		return
+	}
+	r.inflight[i] = true
+	lb := r.blocks[i]
+	first := r.c.chooseReplica(lb)
+	r.c.clock.Go(func() {
+		resp, err := r.c.readBlockFrom1st(lb, r.job, first)
+		if err == nil && resp.Data == nil {
+			err = fmt.Errorf("dfs client: %s is synthetic (sized only); it has no bytes to stream", r.path)
+		}
+		r.mu.Lock()
+		delete(r.inflight, i)
+		if err != nil {
+			r.errs[i] = err
+		} else {
+			r.cache[i] = resp.Data
+			r.touchLocked(i)
+			r.evictLocked()
+		}
+		r.cond.Broadcast()
+		r.mu.Unlock()
+	})
+}
+
+// touchLocked marks block i most recently used.
+func (r *Reader) touchLocked(i int) {
+	r.tick++
+	r.lastUse[i] = r.tick
+}
+
+// evictLocked bounds the window to ahead+2 cached blocks, dropping the
+// least recently used block that is not the consumer's current one.
+func (r *Reader) evictLocked() {
+	max := r.ahead + 2
+	for len(r.cache) > max {
+		victim, oldest := -1, int64(1<<62)
+		for i := range r.cache {
+			if i == r.curr {
+				continue
+			}
+			if r.lastUse[i] < oldest {
+				victim, oldest = i, r.lastUse[i]
+			}
+		}
+		if victim < 0 {
+			return
+		}
+		delete(r.cache, victim)
+		delete(r.lastUse, victim)
+	}
 }

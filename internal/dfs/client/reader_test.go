@@ -1,0 +1,182 @@
+package client_test
+
+import (
+	"bytes"
+	"io"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/dfs"
+	"repro/internal/dfs/client"
+	"repro/internal/simclock"
+)
+
+// TestReaderBoundaryAndSeekCases pins down the io.ReadSeeker contract at
+// block edges: a Read crossing a block boundary returns a short read, a
+// backward seek re-reads earlier bytes, and a seek past EOF makes the
+// next Read return io.EOF.
+func TestReaderBoundaryAndSeekCases(t *testing.T) {
+	// 20 bytes over 8-byte blocks: blocks [0,8) [8,16) [16,20).
+	data := []byte("0123456789abcdefghij")
+	cases := []struct {
+		name    string
+		seekOff int64
+		whence  int
+		bufLen  int
+		wantN   int
+		want    string
+		wantErr error
+	}{
+		{name: "within block", seekOff: 1, whence: io.SeekStart, bufLen: 4, wantN: 4, want: "1234"},
+		{name: "to boundary is short", seekOff: 4, whence: io.SeekStart, bufLen: 16, wantN: 4, want: "4567"},
+		{name: "from boundary", seekOff: 8, whence: io.SeekStart, bufLen: 4, wantN: 4, want: "89ab"},
+		{name: "backward seek", seekOff: 2, whence: io.SeekStart, bufLen: 3, wantN: 3, want: "234"},
+		{name: "into last short block", seekOff: 17, whence: io.SeekStart, bufLen: 8, wantN: 3, want: "hij"},
+		{name: "seek to EOF", seekOff: 0, whence: io.SeekEnd, bufLen: 4, wantN: 0, wantErr: io.EOF},
+		{name: "seek past EOF", seekOff: 7, whence: io.SeekEnd, bufLen: 4, wantN: 0, wantErr: io.EOF},
+		{name: "seek far past EOF", seekOff: 1 << 20, whence: io.SeekStart, bufLen: 1, wantN: 0, wantErr: io.EOF},
+	}
+	runSim(t, func(v *simclock.Virtual) {
+		mc := startMini(t, v, miniConfig{})
+		defer mc.close()
+		c := mc.client(t)
+		defer c.Close()
+		if err := c.WriteFile("/f", data, 8, 2); err != nil {
+			t.Fatal(err)
+		}
+		r, err := c.Open("/f", "job")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tc := range cases {
+			if _, err := r.Seek(tc.seekOff, tc.whence); err != nil {
+				t.Errorf("%s: seek: %v", tc.name, err)
+				continue
+			}
+			buf := make([]byte, tc.bufLen)
+			n, err := r.Read(buf)
+			if err != tc.wantErr {
+				t.Errorf("%s: err = %v, want %v", tc.name, err, tc.wantErr)
+			}
+			if n != tc.wantN {
+				t.Errorf("%s: n = %d, want %d", tc.name, n, tc.wantN)
+			}
+			if got := string(buf[:n]); got != tc.want {
+				t.Errorf("%s: read %q, want %q", tc.name, got, tc.want)
+			}
+		}
+		// After EOF a backward seek makes the reader usable again.
+		if _, err := r.Seek(-2, io.SeekEnd); err != nil {
+			t.Fatal(err)
+		}
+		tail, err := io.ReadAll(r)
+		if err != nil || string(tail) != "ij" {
+			t.Errorf("tail after EOF recovery = %q, %v", tail, err)
+		}
+	})
+}
+
+// TestReaderReadAheadFetchesEachBlockOnce streams a file sequentially
+// and checks the prefetcher does not fetch any block twice.
+func TestReaderReadAheadFetchesEachBlockOnce(t *testing.T) {
+	runSim(t, func(v *simclock.Virtual) {
+		mc := startMini(t, v, miniConfig{})
+		defer mc.close()
+		data := bytes.Repeat([]byte("abcdefgh"), 4096) // 32 KB over 4 KB blocks
+		setup := mc.client(t)
+		defer setup.Close()
+		if err := setup.WriteFile("/f", data, 4096, 2); err != nil {
+			t.Fatal(err)
+		}
+		var cmu sync.Mutex
+		counts := map[dfs.BlockID]int{}
+		c := mc.client(t, client.WithReadAhead(3), client.WithReadObserver(func(ev client.BlockReadEvent) {
+			cmu.Lock()
+			counts[ev.Block]++
+			cmu.Unlock()
+		}))
+		defer c.Close()
+		r, err := c.Open("/f", "job")
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := io.ReadAll(r)
+		if err != nil || !bytes.Equal(got, data) {
+			t.Fatalf("streamed %d bytes, err %v", len(got), err)
+		}
+		if len(counts) != 8 {
+			t.Errorf("observed %d distinct blocks, want 8", len(counts))
+		}
+		for id, n := range counts {
+			if n != 1 {
+				t.Errorf("block %d fetched %d times", id, n)
+			}
+		}
+	})
+}
+
+// TestReaderReadAheadOverlapsCompute shows the point of read-ahead: a
+// consumer that alternates reading a block with processing it finishes
+// sooner (in simulated time) when the next blocks are prefetched during
+// the processing phase.
+func TestReaderReadAheadOverlapsCompute(t *testing.T) {
+	runSim(t, func(v *simclock.Virtual) {
+		mc := startMini(t, v, miniConfig{})
+		defer mc.close()
+		const blockSize, nBlocks = 1 << 20, 8
+		data := bytes.Repeat([]byte("x"), blockSize*nBlocks)
+		setup := mc.client(t)
+		defer setup.Close()
+		if err := setup.WriteFile("/f", data, blockSize, 2); err != nil {
+			t.Fatal(err)
+		}
+		stream := func(ahead int) time.Duration {
+			c := mc.client(t, client.WithReadAhead(ahead))
+			defer c.Close()
+			r, err := c.Open("/f", "job")
+			if err != nil {
+				t.Fatal(err)
+			}
+			buf := make([]byte, blockSize)
+			start := v.Now()
+			for {
+				_, err := io.ReadFull(r, buf)
+				if err == io.EOF || err == io.ErrUnexpectedEOF {
+					break
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+				v.Sleep(20 * time.Millisecond) // per-block compute
+			}
+			return v.Now().Sub(start)
+		}
+		serial := stream(0)
+		overlapped := stream(3)
+		if overlapped >= serial {
+			t.Errorf("read-ahead did not overlap: ahead=3 took %v, ahead=0 took %v", overlapped, serial)
+		}
+	})
+}
+
+// TestReaderSyntheticRejectedWithReadAhead keeps the synthetic-file
+// error on the prefetching path.
+func TestReaderSyntheticRejectedWithReadAhead(t *testing.T) {
+	runSim(t, func(v *simclock.Virtual) {
+		mc := startMini(t, v, miniConfig{})
+		defer mc.close()
+		c := mc.client(t, client.WithReadAhead(4))
+		defer c.Close()
+		if err := c.WriteSyntheticFile("/s", 4<<20, 1<<20, 1); err != nil {
+			t.Fatal(err)
+		}
+		r, err := c.Open("/s", "job")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.Read(make([]byte, 16)); err == nil {
+			t.Error("streaming a synthetic file succeeded")
+		}
+	})
+}

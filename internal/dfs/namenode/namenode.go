@@ -91,13 +91,27 @@ type NameNode struct {
 	listener transport.Listener
 	master   *ignem.Master
 
-	mu        sync.Mutex
+	// mu guards the namespace: files, blocks (and each blockMeta's
+	// contents), nextBlock, and closed. Metadata lookups (getInfo,
+	// getLocations, list, Resolve) take it in read mode so they never
+	// contend with each other.
+	mu        sync.RWMutex
 	files     map[string]*fileEntry
 	blocks    map[dfs.BlockID]*blockMeta
-	datanodes map[string]*dnInfo
 	nextBlock dfs.BlockID
-	rng       *rand.Rand
 	closed    bool
+
+	// dnmu guards the datanode registry: the datanodes map and every
+	// dnInfo's fields. Splitting it from mu keeps heartbeats and
+	// registrations off the namespace lock. When both locks are held,
+	// mu is acquired before dnmu; never the reverse.
+	dnmu      sync.RWMutex
+	datanodes map[string]*dnInfo
+
+	// rngMu guards the placement rng. It is a leaf lock: nothing else is
+	// acquired while holding it.
+	rngMu sync.Mutex
+	rng   *rand.Rand
 }
 
 // New creates a NameNode (not yet serving).
@@ -162,13 +176,15 @@ func wrap[Req, Resp any](fn func(Req) (Resp, error)) transport.HandlerFunc {
 func (nn *NameNode) Close() {
 	nn.mu.Lock()
 	nn.closed = true
+	nn.mu.Unlock()
+	nn.dnmu.Lock()
 	clients := make([]*transport.Client, 0, len(nn.datanodes))
 	for _, dn := range nn.datanodes {
 		if dn.client != nil {
 			clients = append(clients, dn.client)
 		}
 	}
-	nn.mu.Unlock()
+	nn.dnmu.Unlock()
 	for _, c := range clients {
 		c.Close()
 	}
@@ -256,16 +272,21 @@ func (nn *NameNode) handleAddBlock(req dfs.AddBlockReq) (dfs.AddBlockResp, error
 
 // chooseTargetsLocked picks up to rep distinct live datanodes. With rack
 // information it applies HDFS's default policy; otherwise placement is a
-// seeded random choice.
+// seeded random choice. Called with mu held; takes dnmu (read) and rngMu
+// itself.
 func (nn *NameNode) chooseTargetsLocked(rep int) []string {
+	nn.dnmu.RLock()
 	live := make([]string, 0, len(nn.datanodes))
 	for addr, dn := range nn.datanodes {
 		if dn.alive {
 			live = append(live, addr)
 		}
 	}
+	nn.dnmu.RUnlock()
 	sort.Strings(live) // deterministic base order for the seeded shuffle
+	nn.rngMu.Lock()
 	nn.rng.Shuffle(len(live), func(i, j int) { live[i], live[j] = live[j], live[i] })
+	nn.rngMu.Unlock()
 	if rep > len(live) {
 		rep = len(live)
 	}
@@ -329,8 +350,8 @@ func (nn *NameNode) handleComplete(req dfs.CompleteReq) (dfs.CompleteResp, error
 }
 
 func (nn *NameNode) handleGetInfo(req dfs.GetInfoReq) (dfs.GetInfoResp, error) {
-	nn.mu.Lock()
-	defer nn.mu.Unlock()
+	nn.mu.RLock()
+	defer nn.mu.RUnlock()
 	f, ok := nn.files[req.Path]
 	if !ok {
 		return dfs.GetInfoResp{}, fmt.Errorf("namenode: no such file %s", req.Path)
@@ -393,8 +414,8 @@ func (nn *NameNode) handleDelete(req dfs.DeleteReq) (dfs.DeleteResp, error) {
 }
 
 func (nn *NameNode) handleList(req dfs.ListReq) (dfs.ListResp, error) {
-	nn.mu.Lock()
-	defer nn.mu.Unlock()
+	nn.mu.RLock()
+	defer nn.mu.RUnlock()
 	var out []dfs.FileInfo
 	for path, f := range nn.files {
 		if len(path) >= len(req.Prefix) && path[:len(req.Prefix)] == req.Prefix {
@@ -416,7 +437,7 @@ func (nn *NameNode) handleEvict(req dfs.EvictReq) (dfs.EvictResp, error) {
 // ---- datanode registry ----
 
 func (nn *NameNode) handleRegister(req dfs.RegisterReq) (dfs.RegisterResp, error) {
-	nn.mu.Lock()
+	nn.dnmu.Lock()
 	dn := nn.datanodes[req.Addr]
 	if dn == nil {
 		dn = &dnInfo{addr: req.Addr}
@@ -426,6 +447,8 @@ func (nn *NameNode) handleRegister(req dfs.RegisterReq) (dfs.RegisterResp, error
 	dn.client = nil
 	dn.alive = true
 	dn.lastSeen = nn.clock.Now()
+	nn.dnmu.Unlock()
+	nn.mu.Lock()
 	nn.reconcileLocked(req.Addr, req.Blocks)
 	nn.mu.Unlock()
 	if stale != nil {
@@ -435,11 +458,14 @@ func (nn *NameNode) handleRegister(req dfs.RegisterReq) (dfs.RegisterResp, error
 }
 
 func (nn *NameNode) handleBlockReport(req dfs.BlockReportReq) (dfs.BlockReportResp, error) {
-	nn.mu.Lock()
-	defer nn.mu.Unlock()
-	if nn.datanodes[req.Addr] == nil {
+	nn.dnmu.RLock()
+	registered := nn.datanodes[req.Addr] != nil
+	nn.dnmu.RUnlock()
+	if !registered {
 		return dfs.BlockReportResp{}, fmt.Errorf("namenode: block report from unregistered %s", req.Addr)
 	}
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
 	nn.reconcileLocked(req.Addr, req.Blocks)
 	return dfs.BlockReportResp{}, nil
 }
@@ -463,14 +489,22 @@ func (nn *NameNode) reconcileLocked(addr string, held []dfs.BlockID) {
 }
 
 func (nn *NameNode) handleHeartbeat(req dfs.HeartbeatReq) (dfs.HeartbeatResp, error) {
-	nn.mu.Lock()
-	defer nn.mu.Unlock()
+	nn.dnmu.Lock()
 	dn := nn.datanodes[req.Addr]
 	if dn == nil {
+		nn.dnmu.Unlock()
 		return dfs.HeartbeatResp{}, fmt.Errorf("namenode: heartbeat from unregistered %s", req.Addr)
 	}
 	dn.alive = true
 	dn.lastSeen = nn.clock.Now()
+	nn.dnmu.Unlock()
+	// The steady-state heartbeat carries no pin deltas; only touch the
+	// namespace lock when there is pinned state to record.
+	if len(req.Pinned) == 0 && len(req.Unpinned) == 0 {
+		return dfs.HeartbeatResp{}, nil
+	}
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
 	for _, id := range req.Pinned {
 		if meta := nn.blocks[id]; meta != nil {
 			meta.pinned[req.Addr] = struct{}{}
@@ -490,19 +524,30 @@ func (nn *NameNode) handleHeartbeat(req dfs.HeartbeatReq) (dfs.HeartbeatResp, er
 func (nn *NameNode) expiryLoop() {
 	for {
 		nn.clock.Sleep(nn.cfg.ExpirySweepInterval)
-		nn.mu.Lock()
-		if nn.closed {
-			nn.mu.Unlock()
+		nn.mu.RLock()
+		closed := nn.closed
+		nn.mu.RUnlock()
+		if closed {
 			return
 		}
 		now := nn.clock.Now()
+		var died []string
+		nn.dnmu.Lock()
 		for _, dn := range nn.datanodes {
 			if dn.alive && now.Sub(dn.lastSeen) > nn.cfg.HeartbeatExpiry {
 				dn.alive = false
-				// Drop the node's pinned state: its memory is gone.
-				for _, meta := range nn.blocks {
-					delete(meta.pinned, dn.addr)
-				}
+				died = append(died, dn.addr)
+			}
+		}
+		nn.dnmu.Unlock()
+		if len(died) == 0 {
+			continue
+		}
+		// Drop the dead nodes' pinned state: their memory is gone.
+		nn.mu.Lock()
+		for _, meta := range nn.blocks {
+			for _, addr := range died {
+				delete(meta.pinned, addr)
 			}
 		}
 		nn.mu.Unlock()
@@ -528,9 +573,11 @@ func (nn *NameNode) replicationLoop() {
 		}
 		var jobs []job
 		live := map[string]bool{}
+		nn.dnmu.RLock()
 		for addr, dn := range nn.datanodes {
 			live[addr] = dn.alive
 		}
+		nn.dnmu.RUnlock()
 		for id, meta := range nn.blocks {
 			if meta.healing {
 				continue
@@ -558,8 +605,10 @@ func (nn *NameNode) replicationLoop() {
 				continue
 			}
 			sort.Strings(candidates)
+			nn.rngMu.Lock()
 			target := candidates[nn.rng.Intn(len(candidates))]
 			source := holders[nn.rng.Intn(len(holders))]
+			nn.rngMu.Unlock()
 			meta.healing = true
 			jobs = append(jobs, job{
 				block:  dfs.Block{ID: id, Size: meta.size},
@@ -597,8 +646,8 @@ func (nn *NameNode) pullReplica(target, source string, b dfs.Block) error {
 
 // LiveDataNodes returns the addresses of datanodes considered alive.
 func (nn *NameNode) LiveDataNodes() []string {
-	nn.mu.Lock()
-	defer nn.mu.Unlock()
+	nn.dnmu.RLock()
+	defer nn.dnmu.RUnlock()
 	var out []string
 	for addr, dn := range nn.datanodes {
 		if dn.alive {
@@ -612,10 +661,13 @@ func (nn *NameNode) LiveDataNodes() []string {
 // ---- ignem.Resolver ----
 
 // Resolve maps a file to its blocks with live replica locations and
-// current migration state.
+// current migration state. It is the read hot path: both locks are taken
+// in read mode (mu before dnmu), so concurrent lookups never serialize.
 func (nn *NameNode) Resolve(path string) ([]dfs.LocatedBlock, error) {
-	nn.mu.Lock()
-	defer nn.mu.Unlock()
+	nn.mu.RLock()
+	defer nn.mu.RUnlock()
+	nn.dnmu.RLock()
+	defer nn.dnmu.RUnlock()
 	f, ok := nn.files[path]
 	if !ok {
 		return nil, fmt.Errorf("namenode: no such file %s", path)
@@ -669,25 +721,25 @@ func (nn *NameNode) SendEvict(addr string, batch dfs.EvictBatch) error {
 
 // slaveClient returns (dialing on demand) the command client for addr.
 func (nn *NameNode) slaveClient(addr string) (*transport.Client, error) {
-	nn.mu.Lock()
+	nn.dnmu.Lock()
 	dn := nn.datanodes[addr]
 	if dn == nil || !dn.alive {
-		nn.mu.Unlock()
+		nn.dnmu.Unlock()
 		return nil, fmt.Errorf("namenode: datanode %s not available", addr)
 	}
 	if dn.client != nil {
 		c := dn.client
-		nn.mu.Unlock()
+		nn.dnmu.Unlock()
 		return c, nil
 	}
-	nn.mu.Unlock()
+	nn.dnmu.Unlock()
 
 	c, err := transport.Dial(nn.clock, nn.net, addr)
 	if err != nil {
 		return nil, fmt.Errorf("namenode: dial %s: %w", addr, err)
 	}
-	nn.mu.Lock()
-	defer nn.mu.Unlock()
+	nn.dnmu.Lock()
+	defer nn.dnmu.Unlock()
 	if dn.client != nil { // lost the dial race; keep the winner
 		defer c.Close()
 		return dn.client, nil

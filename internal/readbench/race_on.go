@@ -1,0 +1,5 @@
+//go:build race
+
+package readbench
+
+const raceEnabled = true

@@ -1,0 +1,252 @@
+// Package readbench hosts the read-path throughput benchmarks: striped
+// ReadFile versus the serial path, and Reader streaming with and without
+// read-ahead, on both the in-memory and the TCP transport. The benchmark
+// bodies are exported so the same code runs under `go test -bench` and
+// from cmd/ignem-bench, which emits machine-readable BENCH_read.json.
+//
+// The clusters run on the real clock (scaled 4x so the modeled HDD seeks
+// charge 2ms instead of 8ms): wall-clock speedups here are the product
+// claim, not simulated figures.
+package readbench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"testing"
+
+	"repro/internal/dfs"
+	"repro/internal/dfs/client"
+	"repro/internal/dfs/datanode"
+	"repro/internal/dfs/namenode"
+	"repro/internal/simclock"
+	"repro/internal/storage"
+	"repro/internal/transport"
+)
+
+// Benchmark geometry: an 8-block file striped over 12 HDD datanodes with
+// replication 2. Eight blocks at parallelism 4 is the acceptance
+// scenario for the parallel read path; the extra nodes keep random
+// replica choice from queueing two streams on one disk too often.
+const (
+	Blocks    = 8
+	BlockSize = 1 << 20
+	Nodes     = 12
+	timeScale = 4
+)
+
+// Transport selects the wire under benchmark.
+type Transport string
+
+const (
+	Inmem Transport = "inmem"
+	TCP   Transport = "tcp"
+)
+
+// Result is one benchmark record of BENCH_read.json.
+type Result struct {
+	Name         string  `json:"name"`
+	NsPerOp      int64   `json:"ns_per_op"`
+	BlocksPerSec float64 `json:"blocks_per_sec"`
+}
+
+// Cluster is a running benchmark cluster with the input file in place.
+type Cluster struct {
+	Clock  simclock.Clock
+	Net    transport.Network
+	NNAddr string
+
+	nn  *namenode.NameNode
+	dns []*datanode.DataNode
+	in  []byte
+}
+
+// Start brings up a namenode, Nodes HDD datanodes, and the 8-block input
+// file on the chosen transport, all on the scaled real clock.
+func Start(kind Transport) (*Cluster, error) {
+	clock := simclock.NewScaledReal(timeScale)
+	c := &Cluster{Clock: clock}
+	addr := func(i int) string { return fmt.Sprintf("dn%d", i) }
+	switch kind {
+	case Inmem:
+		c.Net = transport.NewInmemNetwork(clock)
+		c.NNAddr = "nn"
+	case TCP:
+		dfs.RegisterWire()
+		net := transport.NewTCPNetwork()
+		c.Net = net
+		ephemeral := func() (string, error) {
+			l, err := net.Listen("127.0.0.1:0")
+			if err != nil {
+				return "", err
+			}
+			defer l.Close()
+			return l.Addr(), nil
+		}
+		a, err := ephemeral()
+		if err != nil {
+			return nil, err
+		}
+		c.NNAddr = a
+		addr = func(int) string {
+			a, err := ephemeral()
+			if err != nil {
+				a = ""
+			}
+			return a
+		}
+	default:
+		return nil, fmt.Errorf("readbench: unknown transport %q", kind)
+	}
+
+	nn := namenode.New(c.Clock, c.Net, namenode.Config{Addr: c.NNAddr, Seed: 7})
+	if err := nn.Start(); err != nil {
+		return nil, err
+	}
+	c.nn = nn
+	for i := 0; i < Nodes; i++ {
+		a := addr(i)
+		if a == "" {
+			c.Close()
+			return nil, fmt.Errorf("readbench: no ephemeral port for datanode %d", i)
+		}
+		dn, err := datanode.New(c.Clock, c.Net, datanode.Config{
+			Addr: a, NameNodeAddr: c.NNAddr, Media: storage.HDDSpec(),
+		})
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		if err := dn.Start(); err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.dns = append(c.dns, dn)
+	}
+
+	c.in = bytes.Repeat([]byte("ignem-read-bench"), Blocks*BlockSize/16)
+	cl, err := c.Client()
+	if err != nil {
+		c.Close()
+		return nil, err
+	}
+	defer cl.Close()
+	if err := cl.WriteFile("/bench/input", c.in, BlockSize, 2); err != nil {
+		c.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// Client dials a fresh client into the cluster.
+func (c *Cluster) Client(opts ...client.Option) (*client.Client, error) {
+	return client.New(c.Clock, c.Net, c.NNAddr, opts...)
+}
+
+// Close tears the cluster down.
+func (c *Cluster) Close() {
+	for _, dn := range c.dns {
+		dn.Close()
+	}
+	if c.nn != nil {
+		c.nn.Close()
+	}
+}
+
+// BenchReadFile is the ReadFile benchmark body: whole-file reads with the
+// given parallelism. par 1 is the serial baseline.
+func BenchReadFile(b *testing.B, c *Cluster, par int) {
+	cl, err := c.Client(client.WithReadParallelism(par))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cl.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		got, err := cl.ReadFile("/bench/input", "bench")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(got) != len(c.in) {
+			b.Fatalf("read %d bytes, want %d", len(got), len(c.in))
+		}
+	}
+	b.SetBytes(int64(len(c.in)))
+}
+
+// BenchReaderStream is the Reader benchmark body: sequential streaming
+// with the given read-ahead window (0 disables prefetch).
+func BenchReaderStream(b *testing.B, c *Cluster, ahead int) {
+	cl, err := c.Client(client.WithReadAhead(ahead))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cl.Close()
+	buf := make([]byte, BlockSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := cl.Open("/bench/input", "bench")
+		if err != nil {
+			b.Fatal(err)
+		}
+		var n int64
+		for {
+			m, err := r.Read(buf)
+			n += int64(m)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		if n != int64(len(c.in)) {
+			b.Fatalf("streamed %d bytes, want %d", n, len(c.in))
+		}
+	}
+	b.SetBytes(int64(len(c.in)))
+}
+
+// RunAll executes every benchmark config via testing.Benchmark and
+// returns the records for BENCH_read.json. Each transport shares one
+// cluster across its configs so TCP port churn stays bounded.
+func RunAll() ([]Result, error) {
+	var out []Result
+	for _, kind := range []Transport{Inmem, TCP} {
+		c, err := Start(kind)
+		if err != nil {
+			return nil, fmt.Errorf("readbench: start %s: %w", kind, err)
+		}
+		configs := []struct {
+			name string
+			body func(*testing.B)
+		}{
+			{"BenchmarkReadFileSerial", func(b *testing.B) { BenchReadFile(b, c, 1) }},
+			{"BenchmarkReadFileParallel", func(b *testing.B) { BenchReadFile(b, c, 4) }},
+			{"BenchmarkReaderStream", func(b *testing.B) { BenchReaderStream(b, c, 0) }},
+			{"BenchmarkReaderStreamReadAhead", func(b *testing.B) { BenchReaderStream(b, c, client.DefaultReadAhead) }},
+		}
+		for _, cfg := range configs {
+			r := testing.Benchmark(cfg.body)
+			ns := r.NsPerOp()
+			res := Result{Name: cfg.name + "/" + string(kind), NsPerOp: ns}
+			if ns > 0 {
+				res.BlocksPerSec = Blocks * 1e9 / float64(ns)
+			}
+			out = append(out, res)
+		}
+		c.Close()
+	}
+	return out, nil
+}
+
+// WriteJSON writes the records to path, one indented JSON array.
+func WriteJSON(path string, results []Result) error {
+	data, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

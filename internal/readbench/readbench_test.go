@@ -1,0 +1,84 @@
+package readbench
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/dfs/client"
+)
+
+func withCluster(b *testing.B, fn func(b *testing.B, c *Cluster)) {
+	for _, kind := range []Transport{Inmem, TCP} {
+		b.Run(string(kind), func(b *testing.B) {
+			c, err := Start(kind)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer c.Close()
+			fn(b, c)
+		})
+	}
+}
+
+func BenchmarkReadFileSerial(b *testing.B) {
+	withCluster(b, func(b *testing.B, c *Cluster) { BenchReadFile(b, c, 1) })
+}
+
+func BenchmarkReadFileParallel(b *testing.B) {
+	withCluster(b, func(b *testing.B, c *Cluster) { BenchReadFile(b, c, 4) })
+}
+
+func BenchmarkReaderStream(b *testing.B) {
+	withCluster(b, func(b *testing.B, c *Cluster) { BenchReaderStream(b, c, 0) })
+}
+
+func BenchmarkReaderStreamReadAhead(b *testing.B) {
+	withCluster(b, func(b *testing.B, c *Cluster) { BenchReaderStream(b, c, client.DefaultReadAhead) })
+}
+
+// TestParallelSpeedupRealClock pins the acceptance bar without needing
+// -bench: on the in-memory transport under the real clock, a striped
+// read with parallelism 4 is at least 2x faster than the serial read of
+// the same 8-block file. The modeled HDD seek dominates both sides, so
+// the ratio is stable even on a loaded machine.
+func TestParallelSpeedupRealClock(t *testing.T) {
+	c, err := Start(Inmem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	elapsed := func(par int) time.Duration {
+		cl, err := c.Client(client.WithReadParallelism(par))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cl.Close()
+		// One warmup read so connection dials don't skew either side.
+		if _, err := cl.ReadFile("/bench/input", "bench"); err != nil {
+			t.Fatal(err)
+		}
+		const iters = 3
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			if _, err := cl.ReadFile("/bench/input", "bench"); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return time.Since(start) / iters
+	}
+
+	serial := elapsed(1)
+	striped := elapsed(4)
+	// Under -race the detector's instrumentation taxes the four-worker
+	// side much harder than the serial side, so only the direction is
+	// asserted there; the 2x bar is enforced on the normal build.
+	bar := 2.0
+	if raceEnabled {
+		bar = 1.2
+	}
+	if float64(striped)*bar > float64(serial) {
+		t.Errorf("striped read %v is not ≥%.1fx faster than serial %v", striped, bar, serial)
+	}
+	t.Logf("serial %v, striped(par=4) %v, speedup %.2fx", serial, striped, float64(serial)/float64(striped))
+}

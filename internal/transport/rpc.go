@@ -233,10 +233,18 @@ func (c *Client) Call(method string, arg any) (any, error) {
 	return m.Body, nil
 }
 
+// drop abandons a pending call after a timeout or send failure. The
+// call's mailbox is closed so a reply that arrives later (recvLoop may
+// already hold a reference to it) is dropped by Chan.Send instead of
+// being buffered in a mailbox nobody will ever receive from.
 func (c *Client) drop(id uint64) {
 	c.mu.Lock()
+	ch, ok := c.pending[id]
 	delete(c.pending, id)
 	c.mu.Unlock()
+	if ok {
+		ch.Close()
+	}
 }
 
 // Close tears down the connection; in-flight calls fail with ErrClosed.

@@ -163,6 +163,52 @@ func TestCallTimeout(t *testing.T) {
 	})
 }
 
+// Regression test for the late-reply leak: a reply that arrives after
+// Call has timed out and dropped its ID must be discarded (the dropped
+// call's mailbox is closed), not buffered forever, and must never be
+// delivered to a later call. The simulation must still quiesce.
+func TestLateReplyAfterTimeoutDiscarded(t *testing.T) {
+	v := simclock.NewVirtual(epoch)
+	net := NewInmemNetwork(v)
+	srv := NewServer(v)
+	srv.Handle("lag", func(arg any) (any, error) {
+		v.Sleep(10 * time.Second) // replies well after the caller gave up
+		return echoResp{Text: "stale"}, nil
+	})
+	srv.Handle("echo", func(arg any) (any, error) {
+		return echoResp{Text: arg.(echoReq).Text}, nil
+	})
+	l, err := net.Listen("nn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.ServeBackground(l)
+	defer srv.Close()
+
+	v.Run(func() {
+		c, _ := Dial(v, net, "nn", WithCallTimeout(2*time.Second))
+		defer c.Close()
+		if _, err := c.Call("lag", echoReq{}); !errors.Is(err, ErrTimeout) {
+			t.Errorf("err = %v, want ErrTimeout", err)
+		}
+		// A fresh call issued while the stale reply is still in flight
+		// must get its own reply, not the stale one.
+		got, err := Call[echoResp](c, "echo", echoReq{Text: "fresh"})
+		if err != nil || got.Text != "fresh" {
+			t.Errorf("post-timeout call = %q, %v", got.Text, err)
+		}
+		// Let the stale reply arrive and be discarded; the connection
+		// keeps working afterwards.
+		v.Sleep(15 * time.Second)
+		got, err = Call[echoResp](c, "echo", echoReq{Text: "after"})
+		if err != nil || got.Text != "after" {
+			t.Errorf("post-stale-reply call = %q, %v", got.Text, err)
+		}
+	})
+	// v.Run returning proves the simulation quiesced: nothing is left
+	// runnable and no timer leaked with the dropped call's mailbox.
+}
+
 func TestConcurrentCallsMultiplex(t *testing.T) {
 	v := simclock.NewVirtual(epoch)
 	net := NewInmemNetwork(v)
