@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all test race vet bench bench-read experiments examples tidy
+.PHONY: all test race vet bench bench-read bench-write experiments examples tidy
 
 all: vet test
 
@@ -23,6 +23,11 @@ bench:
 # on both transports; machine-readable records land in BENCH_read.json.
 bench-read:
 	$(GO) run ./cmd/ignem-bench -readbench BENCH_read.json
+
+# Write-path throughput benchmarks (pipelined Writer vs serial ingest)
+# on both transports; machine-readable records land in BENCH_write.json.
+bench-write:
+	$(GO) run ./cmd/ignem-bench -writebench BENCH_write.json
 
 # Regenerate every paper table and figure as rendered text (plus CSVs in
 # ./data for plotting).

@@ -5,11 +5,13 @@
 //	ignem-bench [-seed N] [experiment ...]
 //	ignem-bench -list
 //	ignem-bench -readbench BENCH_read.json
+//	ignem-bench -writebench BENCH_write.json
 //
 // With no experiment arguments, every experiment runs in order.
 // -readbench instead runs the read-path throughput benchmarks (striped
 // ReadFile and Reader read-ahead on both transports) and writes the
-// machine-readable records to the given file.
+// machine-readable records to the given file; -writebench does the same
+// for the write path (pipelined Writer vs serial ingest).
 package main
 
 import (
@@ -20,6 +22,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/readbench"
+	"repro/internal/writebench"
 )
 
 func main() {
@@ -27,6 +30,7 @@ func main() {
 	list := flag.Bool("list", false, "list available experiments and exit")
 	out := flag.String("out", "", "directory to write raw CSV data for plotting")
 	readJSON := flag.String("readbench", "", "run the read benchmarks and write JSON records to this file")
+	writeJSON := flag.String("writebench", "", "run the write benchmarks and write JSON records to this file")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: %s [-seed N] [experiment ...]\n\nExperiments:\n", os.Args[0])
 		for _, s := range experiments.All() {
@@ -57,6 +61,24 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("[read benchmarks completed in %v wall time; records in %s]\n", time.Since(start).Round(time.Millisecond), *readJSON)
+		return
+	}
+
+	if *writeJSON != "" {
+		start := time.Now()
+		results, err := writebench.RunAll()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ignem-bench: writebench: %v\n", err)
+			os.Exit(1)
+		}
+		for _, r := range results {
+			fmt.Printf("%-42s %12d ns/op %10.1f blocks/s\n", r.Name, r.NsPerOp, r.BlocksPerSec)
+		}
+		if err := writebench.WriteJSON(*writeJSON, results); err != nil {
+			fmt.Fprintf(os.Stderr, "ignem-bench: writebench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("[write benchmarks completed in %v wall time; records in %s]\n", time.Since(start).Round(time.Millisecond), *writeJSON)
 		return
 	}
 

@@ -222,8 +222,11 @@ func (c *Cluster) NodeAddrs() []string {
 	return out
 }
 
-// Client opens a new DFS client against the cluster.
+// Client opens a new DFS client against the cluster. Writes default to
+// the serial path so seeded virtual-clock experiments keep bit-identical
+// timing; callers can still opt in with WithWriteParallelism.
 func (c *Cluster) Client(opts ...client.Option) (*client.Client, error) {
+	opts = append([]client.Option{client.WithWriteParallelism(1)}, opts...)
 	return client.New(c.Clock, c.Net, NameNodeAddr, opts...)
 }
 

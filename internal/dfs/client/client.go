@@ -72,6 +72,19 @@ func WithReadAhead(n int) Option {
 	}
 }
 
+// WithWriteParallelism bounds how many blocks a Writer keeps in flight at
+// once (default 4): each full block is shipped to its datanode pipeline
+// by a worker while the caller keeps buffering. n <= 1 restores the
+// historical one-block-at-a-time write path.
+func WithWriteParallelism(n int) Option {
+	return func(c *Client) {
+		if n < 1 {
+			n = 1
+		}
+		c.writePar = n
+	}
+}
+
 // Client is a DFS client handle. It is safe for concurrent use.
 type Client struct {
 	clock     simclock.Clock
@@ -81,6 +94,7 @@ type Client struct {
 	observer  func(BlockReadEvent)
 	readPar   int
 	readAhead int
+	writePar  int
 
 	mu  sync.Mutex
 	dns map[string]*transport.Client
@@ -101,6 +115,7 @@ func New(clock simclock.Clock, net transport.Network, nnAddr string, opts ...Opt
 		rng:       rand.New(rand.NewSource(1)),
 		readPar:   DefaultReadParallelism,
 		readAhead: DefaultReadAhead,
+		writePar:  DefaultWriteParallelism,
 	}
 	for _, o := range opts {
 		o(c)
@@ -133,7 +148,7 @@ func (c *Client) Create(path string, blockSize int64, replication int) (*Writer,
 	if err != nil {
 		return nil, err
 	}
-	return &Writer{c: c, path: path, blockSize: info.BlockSize}, nil
+	return newWriter(c, path, info.BlockSize), nil
 }
 
 // Info fetches file metadata.
@@ -190,123 +205,6 @@ func (c *Client) Migrate(job dfs.JobID, paths []string, implicit bool) (dfs.Migr
 func (c *Client) Evict(job dfs.JobID, paths []string) error {
 	_, err := transport.Call[dfs.EvictResp](c.nn, "nn.evict", dfs.EvictReq{Job: job, Paths: paths})
 	return err
-}
-
-// ---- write path ----
-
-// Writer streams a file into the DFS block by block.
-type Writer struct {
-	c         *Client
-	path      string
-	blockSize int64
-	buf       []byte
-	closed    bool
-}
-
-// Write buffers p, flushing full blocks to the cluster.
-func (w *Writer) Write(p []byte) (int, error) {
-	if w.closed {
-		return 0, fmt.Errorf("dfs client: write to closed writer")
-	}
-	w.buf = append(w.buf, p...)
-	for int64(len(w.buf)) >= w.blockSize {
-		if err := w.flushBlock(w.buf[:w.blockSize], nil); err != nil {
-			return 0, err
-		}
-		w.buf = w.buf[w.blockSize:]
-	}
-	return len(p), nil
-}
-
-// WriteSynthetic appends size bytes of synthetic (unmaterialized) data,
-// used by experiment-scale workloads so terabyte files don't allocate
-// terabytes. Mixing Write and WriteSynthetic on one file is not allowed.
-func (w *Writer) WriteSynthetic(size int64) error {
-	if w.closed {
-		return fmt.Errorf("dfs client: write to closed writer")
-	}
-	if len(w.buf) > 0 {
-		return fmt.Errorf("dfs client: cannot mix real and synthetic writes")
-	}
-	for size > 0 {
-		n := size
-		if n > w.blockSize {
-			n = w.blockSize
-		}
-		if err := w.flushBlock(nil, &n); err != nil {
-			return err
-		}
-		size -= n
-	}
-	return nil
-}
-
-// flushBlock allocates a block at the namenode and writes it to every
-// replica target.
-func (w *Writer) flushBlock(data []byte, synthSize *int64) error {
-	size := int64(len(data))
-	if synthSize != nil {
-		size = *synthSize
-	}
-	resp, err := transport.Call[dfs.AddBlockResp](w.c.nn, "nn.addBlock", dfs.AddBlockReq{Path: w.path, Size: size})
-	if err != nil {
-		return fmt.Errorf("dfs client: addBlock: %w", err)
-	}
-	lb := resp.Located
-	if len(lb.Nodes) == 0 {
-		return fmt.Errorf("dfs client: block %d allocated with no targets", lb.Block.ID)
-	}
-	// HDFS-style pipeline: send once to the first target, which stores
-	// its replica and forwards down the chain.
-	req := dfs.WriteBlockReq{Block: lb.Block, Data: data, Pipeline: lb.Nodes[1:]}
-	dc, err := w.c.datanode(lb.Nodes[0])
-	if err != nil {
-		return err
-	}
-	if _, err := transport.Call[dfs.WriteBlockResp](dc, "dn.writeBlock", req); err != nil {
-		return fmt.Errorf("dfs client: write block %d via %s: %w", lb.Block.ID, lb.Nodes[0], err)
-	}
-	return nil
-}
-
-// Close flushes the remaining partial block and seals the file.
-func (w *Writer) Close() error {
-	if w.closed {
-		return nil
-	}
-	w.closed = true
-	if len(w.buf) > 0 {
-		if err := w.flushBlock(w.buf, nil); err != nil {
-			return err
-		}
-		w.buf = nil
-	}
-	_, err := transport.Call[dfs.CompleteResp](w.c.nn, "nn.complete", dfs.CompleteReq{Path: w.path})
-	return err
-}
-
-// WriteFile creates path and writes data in one call.
-func (c *Client) WriteFile(path string, data []byte, blockSize int64, replication int) error {
-	w, err := c.Create(path, blockSize, replication)
-	if err != nil {
-		return err
-	}
-	if _, err := w.Write(data); err != nil {
-		return err
-	}
-	return w.Close()
-}
-
-// WriteSyntheticFile creates path with size bytes of synthetic data.
-func (c *Client) WriteSyntheticFile(path string, size int64, blockSize int64, replication int) error {
-	w, err := c.Create(path, blockSize, replication)
-	if err != nil {
-		return err
-	}
-	if err := w.WriteSynthetic(size); err != nil {
-		return err
-	}
-	return w.Close()
 }
 
 // ---- read path ----

@@ -1,0 +1,334 @@
+package client
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/dfs"
+	"repro/internal/simclock"
+	"repro/internal/transport"
+)
+
+// DefaultWriteParallelism is how many blocks a Writer keeps in flight
+// unless WithWriteParallelism overrides it.
+const DefaultWriteParallelism = 4
+
+// writeMode distinguishes real-byte files from synthetic (size-only)
+// files; the two cannot be mixed in one file.
+type writeMode int
+
+const (
+	modeUnset writeMode = iota
+	modeReal
+	modeSynthetic
+)
+
+// Writer streams a file into the DFS block by block. With write
+// parallelism > 1 (the default) it keeps a bounded window of blocks in
+// flight: each full block is shipped to its datanode pipeline by a
+// worker goroutine while the caller keeps buffering, and block
+// allocation is batched (one nn.addBlocks round trip per window) on the
+// caller's goroutine so blocks are appended — and placement is drawn —
+// in file order regardless of worker scheduling. Errors from in-flight
+// blocks surface on the next Write, WriteSynthetic, or Close.
+//
+// A Writer is not safe for concurrent use.
+type Writer struct {
+	c         *Client
+	path      string
+	blockSize int64
+	par       int
+	buf       []byte
+	closed    bool
+	mode      writeMode
+
+	// mu guards the in-flight window; cond is signalled when a worker
+	// completes. werr is sticky: the first in-flight failure fails every
+	// subsequent call.
+	mu       sync.Mutex
+	cond     *simclock.Cond
+	inflight int
+	werr     error
+}
+
+func newWriter(c *Client, path string, blockSize int64) *Writer {
+	w := &Writer{c: c, path: path, blockSize: blockSize, par: c.writePar}
+	w.cond = simclock.NewCond(c.clock, &w.mu)
+	return w
+}
+
+// Write buffers p, flushing full blocks to the cluster. The returned
+// count is the number of bytes of p the writer consumed — on error after
+// some bytes were buffered or handed to a flush it reports those bytes
+// as consumed, so a caller that retries from the count does not
+// duplicate data.
+func (w *Writer) Write(p []byte) (int, error) {
+	if w.closed {
+		return 0, fmt.Errorf("dfs client: write to closed writer")
+	}
+	if w.mode == modeSynthetic {
+		return 0, fmt.Errorf("dfs client: cannot mix real and synthetic writes")
+	}
+	if err := w.asyncErr(); err != nil {
+		return 0, err
+	}
+	if len(p) == 0 {
+		return 0, nil
+	}
+	w.mode = modeReal
+	w.buf = append(w.buf, p...)
+	if err := w.flushFullBlocks(); err != nil {
+		// Everything in p is already in the writer's buffer or window.
+		return len(p), err
+	}
+	return len(p), nil
+}
+
+// flushFullBlocks drains every full block in the buffer. Serial writers
+// allocate and ship one block per round trip; parallel writers allocate
+// a window of blocks in one nn.addBlocks call and hand each to the
+// bounded in-flight window.
+func (w *Writer) flushFullBlocks() error {
+	for int64(len(w.buf)) >= w.blockSize {
+		if w.par <= 1 {
+			if err := w.flushBlock(w.buf[:w.blockSize], nil); err != nil {
+				return err
+			}
+			w.buf = w.buf[w.blockSize:]
+			continue
+		}
+		n := int(int64(len(w.buf)) / w.blockSize)
+		if n > w.par {
+			n = w.par
+		}
+		sizes := make([]int64, n)
+		for i := range sizes {
+			sizes[i] = w.blockSize
+		}
+		lbs, err := w.c.addBlocks(w.path, sizes)
+		if err != nil {
+			return err
+		}
+		for _, lb := range lbs {
+			data := w.buf[:w.blockSize]
+			w.buf = w.buf[w.blockSize:]
+			if err := w.dispatch(lb, data); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteSynthetic appends size bytes of synthetic (unmaterialized) data,
+// used by experiment-scale workloads so terabyte files don't allocate
+// terabytes. Mixing Write and WriteSynthetic on one file is not allowed.
+func (w *Writer) WriteSynthetic(size int64) error {
+	if w.closed {
+		return fmt.Errorf("dfs client: write to closed writer")
+	}
+	if w.mode == modeReal || len(w.buf) > 0 {
+		return fmt.Errorf("dfs client: cannot mix real and synthetic writes")
+	}
+	if size < 0 {
+		return fmt.Errorf("dfs client: negative synthetic size %d", size)
+	}
+	if err := w.asyncErr(); err != nil {
+		return err
+	}
+	if size == 0 {
+		return nil
+	}
+	w.mode = modeSynthetic
+	if w.par <= 1 {
+		for size > 0 {
+			n := size
+			if n > w.blockSize {
+				n = w.blockSize
+			}
+			if err := w.flushBlock(nil, &n); err != nil {
+				return err
+			}
+			size -= n
+		}
+		return nil
+	}
+	for size > 0 {
+		var sizes []int64
+		for len(sizes) < w.par && size > 0 {
+			n := size
+			if n > w.blockSize {
+				n = w.blockSize
+			}
+			sizes = append(sizes, n)
+			size -= n
+		}
+		lbs, err := w.c.addBlocks(w.path, sizes)
+		if err != nil {
+			return err
+		}
+		for _, lb := range lbs {
+			if err := w.dispatch(lb, nil); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// flushBlock allocates a block at the namenode and writes it to every
+// replica target — the serial write path.
+func (w *Writer) flushBlock(data []byte, synthSize *int64) error {
+	size := int64(len(data))
+	if synthSize != nil {
+		size = *synthSize
+	}
+	resp, err := transport.Call[dfs.AddBlockResp](w.c.nn, "nn.addBlock", dfs.AddBlockReq{Path: w.path, Size: size})
+	if err != nil {
+		return fmt.Errorf("dfs client: addBlock: %w", err)
+	}
+	return w.c.sendBlock(resp.Located, data, false)
+}
+
+// dispatch hands one allocated block to the in-flight window, blocking
+// (on the clock) while the window is full. A sticky in-flight error
+// aborts the dispatch and is returned instead.
+func (w *Writer) dispatch(lb dfs.LocatedBlock, data []byte) error {
+	w.mu.Lock()
+	for w.inflight >= w.par && w.werr == nil {
+		w.cond.Wait()
+	}
+	if w.werr != nil {
+		err := w.werr
+		w.mu.Unlock()
+		return err
+	}
+	w.inflight++
+	w.mu.Unlock()
+	w.c.clock.Go(func() {
+		err := w.c.sendBlock(lb, data, true)
+		w.mu.Lock()
+		if err != nil && w.werr == nil {
+			w.werr = err
+		}
+		w.inflight--
+		w.cond.Broadcast()
+		w.mu.Unlock()
+	})
+	return nil
+}
+
+// drain waits for the in-flight window to empty and returns the sticky
+// error, if any.
+func (w *Writer) drain() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for w.inflight > 0 {
+		w.cond.Wait()
+	}
+	return w.werr
+}
+
+// asyncErr reports the sticky in-flight error without waiting.
+func (w *Writer) asyncErr() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.werr
+}
+
+// Close flushes the remaining partial block, drains the in-flight
+// window, and seals the file. The writer is marked closed and its buffer
+// released even when a flush fails, so a retried Close is a no-op rather
+// than a second flush or nn.complete.
+func (w *Writer) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	var flushErr error
+	if len(w.buf) > 0 {
+		if w.par <= 1 {
+			flushErr = w.flushBlock(w.buf, nil)
+		} else if flushErr = w.asyncErr(); flushErr == nil {
+			var lbs []dfs.LocatedBlock
+			lbs, flushErr = w.c.addBlocks(w.path, []int64{int64(len(w.buf))})
+			if flushErr == nil {
+				flushErr = w.dispatch(lbs[0], w.buf)
+			}
+		}
+	}
+	if err := w.drain(); flushErr == nil {
+		flushErr = err
+	}
+	w.buf = nil
+	if flushErr != nil {
+		return flushErr
+	}
+	_, err := transport.Call[dfs.CompleteResp](w.c.nn, "nn.complete", dfs.CompleteReq{Path: w.path})
+	return err
+}
+
+// sendBlock writes one allocated block to its replica pipeline:
+// HDFS-style, the client sends once to the first target, which stores
+// its replica and forwards down the chain. eager asks the datanodes to
+// overlap their local store with the downstream forward.
+func (c *Client) sendBlock(lb dfs.LocatedBlock, data []byte, eager bool) error {
+	if len(lb.Nodes) == 0 {
+		return fmt.Errorf("dfs client: block %d allocated with no targets", lb.Block.ID)
+	}
+	req := dfs.WriteBlockReq{Block: lb.Block, Data: data, Pipeline: lb.Nodes[1:], EagerPipeline: eager}
+	dc, err := c.datanode(lb.Nodes[0])
+	if err != nil {
+		return err
+	}
+	if _, err := transport.Call[dfs.WriteBlockResp](dc, "dn.writeBlock", req); err != nil {
+		return fmt.Errorf("dfs client: write block %d via %s: %w", lb.Block.ID, lb.Nodes[0], err)
+	}
+	return nil
+}
+
+// addBlocks allocates len(sizes) blocks for path in one namenode round
+// trip (a plain nn.addBlock when the window holds a single block).
+func (c *Client) addBlocks(path string, sizes []int64) ([]dfs.LocatedBlock, error) {
+	if len(sizes) == 1 {
+		resp, err := transport.Call[dfs.AddBlockResp](c.nn, "nn.addBlock", dfs.AddBlockReq{Path: path, Size: sizes[0]})
+		if err != nil {
+			return nil, fmt.Errorf("dfs client: addBlock: %w", err)
+		}
+		return []dfs.LocatedBlock{resp.Located}, nil
+	}
+	resp, err := transport.Call[dfs.AddBlocksResp](c.nn, "nn.addBlocks", dfs.AddBlocksReq{Path: path, Sizes: sizes})
+	if err != nil {
+		return nil, fmt.Errorf("dfs client: addBlocks: %w", err)
+	}
+	if len(resp.Located) != len(sizes) {
+		return nil, fmt.Errorf("dfs client: addBlocks returned %d blocks, want %d", len(resp.Located), len(sizes))
+	}
+	return resp.Located, nil
+}
+
+// WriteFile creates path and writes data in one call.
+func (c *Client) WriteFile(path string, data []byte, blockSize int64, replication int) error {
+	w, err := c.Create(path, blockSize, replication)
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write(data); err != nil {
+		_ = w.Close() // drain in-flight blocks; the write already failed
+		return err
+	}
+	return w.Close()
+}
+
+// WriteSyntheticFile creates path with size bytes of synthetic data.
+func (c *Client) WriteSyntheticFile(path string, size int64, blockSize int64, replication int) error {
+	w, err := c.Create(path, blockSize, replication)
+	if err != nil {
+		return err
+	}
+	if err := w.WriteSynthetic(size); err != nil {
+		_ = w.Close()
+		return err
+	}
+	return w.Close()
+}

@@ -244,31 +244,58 @@ func (dn *DataNode) handleWriteBlock(req dfs.WriteBlockReq) (dfs.WriteBlockResp,
 	if size <= 0 {
 		return dfs.WriteBlockResp{}, fmt.Errorf("datanode: empty block %d", req.Block.ID)
 	}
+	// Forward along the HDFS-style write pipeline and wait for the
+	// downstream ack; a broken chain fails the whole write so the client
+	// can retry against fresh targets. An eager pipeline overlaps the
+	// forward with the local buffer-cache write; otherwise the node
+	// stores, then forwards — the historical ordering, kept so
+	// timing-sensitive virtual-clock runs are unchanged.
+	forward := func() error {
+		next, err := dn.peer(req.Pipeline[0])
+		if err != nil {
+			return err
+		}
+		fwd := req
+		fwd.Pipeline = req.Pipeline[1:]
+		if _, err := transport.Call[dfs.WriteBlockResp](next, "dn.writeBlock", fwd); err != nil {
+			return fmt.Errorf("datanode: pipeline to %s: %w", req.Pipeline[0], err)
+		}
+		return nil
+	}
+	var wg *simclock.WaitGroup
+	var fwdErr error
+	if req.EagerPipeline && len(req.Pipeline) > 0 {
+		wg = simclock.NewWaitGroup(dn.clock)
+		wg.Go(func() { fwdErr = forward() })
+	}
+
 	// Writes land in the buffer cache (the paper: "the buffer cache can
 	// absorb writes"), so they are charged at RAM speed, not disk speed.
 	if err := dn.ram.Write(size); err != nil {
+		if wg != nil {
+			wg.Wait()
+		}
 		return dfs.WriteBlockResp{}, fmt.Errorf("datanode: write block %d: %w", req.Block.ID, err)
 	}
 	dn.mu.Lock()
 	if dn.closed {
 		dn.mu.Unlock()
+		if wg != nil {
+			wg.Wait()
+		}
 		return dfs.WriteBlockResp{}, fmt.Errorf("datanode: closed")
 	}
 	dn.blocks[req.Block.ID] = &storedBlock{size: size, data: req.Data}
 	dn.mu.Unlock()
 
-	// Forward along the HDFS-style write pipeline and wait for the
-	// downstream ack; a broken chain fails the whole write so the client
-	// can retry against fresh targets.
-	if len(req.Pipeline) > 0 {
-		next, err := dn.peer(req.Pipeline[0])
-		if err != nil {
-			return dfs.WriteBlockResp{}, err
+	if wg != nil {
+		wg.Wait()
+		if fwdErr != nil {
+			return dfs.WriteBlockResp{}, fwdErr
 		}
-		fwd := req
-		fwd.Pipeline = req.Pipeline[1:]
-		if _, err := transport.Call[dfs.WriteBlockResp](next, "dn.writeBlock", fwd); err != nil {
-			return dfs.WriteBlockResp{}, fmt.Errorf("datanode: pipeline to %s: %w", req.Pipeline[0], err)
+	} else if len(req.Pipeline) > 0 {
+		if err := forward(); err != nil {
+			return dfs.WriteBlockResp{}, err
 		}
 	}
 	return dfs.WriteBlockResp{}, nil

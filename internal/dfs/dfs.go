@@ -88,6 +88,22 @@ type AddBlockResp struct {
 	Located LocatedBlock
 }
 
+// AddBlocksReq allocates the next len(Sizes) blocks of an open file in
+// one call, taking the namenode's namespace lock once per window instead
+// of once per block. Blocks are appended to the file in Sizes order, and
+// placement draws the seeded rng in that same order, so a batched
+// allocation is bit-identical to the equivalent sequence of AddBlockReq
+// calls. Used by the parallel write path.
+type AddBlocksReq struct {
+	Path  string
+	Sizes []int64 // payload bytes per block (each <= BlockSize)
+}
+
+// AddBlocksResp returns the allocated blocks, in request order.
+type AddBlocksResp struct {
+	Located []LocatedBlock
+}
+
 // CompleteReq seals a file.
 type CompleteReq struct{ Path string }
 
@@ -195,11 +211,16 @@ type BlockReportResp struct{}
 // declares a synthetic block used by experiment-scale workloads.
 // Pipeline lists the remaining downstream replica targets: the receiving
 // datanode stores its copy and forwards the block along the chain, as
-// the HDFS write pipeline does.
+// the HDFS write pipeline does. EagerPipeline overlaps the local
+// buffer-cache write with the downstream forward (set by the parallel
+// write path); when false the datanode stores, then forwards — the
+// historical ordering, kept for virtual-clock runs whose figures are
+// timing-sensitive.
 type WriteBlockReq struct {
-	Block    Block
-	Data     []byte
-	Pipeline []string
+	Block         Block
+	Data          []byte
+	Pipeline      []string
+	EagerPipeline bool
 }
 
 // WireSize charges the network for the payload.
@@ -301,6 +322,7 @@ func RegisterWire() {
 	for _, v := range []any{
 		CreateReq{}, CreateResp{},
 		AddBlockReq{}, AddBlockResp{},
+		AddBlocksReq{}, AddBlocksResp{},
 		CompleteReq{}, CompleteResp{},
 		GetInfoReq{}, GetInfoResp{},
 		GetLocationsReq{}, GetLocationsResp{},

@@ -23,6 +23,10 @@ func TestWireRoundTrip(t *testing.T) {
 			Block: Block{ID: 7, Size: 99}, Offset: 4,
 			Nodes: []string{"a", "b"}, Migrated: []string{"a"}, Assigned: "a",
 		}},
+		AddBlocksReq{Path: "/f", Sizes: []int64{123, 456}},
+		AddBlocksResp{Located: []LocatedBlock{{
+			Block: Block{ID: 7, Size: 99}, Offset: 4, Nodes: []string{"a", "b"},
+		}}},
 		CompleteReq{Path: "/f"},
 		GetInfoReq{Path: "/f"},
 		GetInfoResp{Info: FileInfo{Path: "/f", Size: 9, BlockSize: 3, Replication: 2, Complete: true}},
@@ -36,7 +40,7 @@ func TestWireRoundTrip(t *testing.T) {
 		EvictReq{Job: "j", Paths: []string{"/f"}},
 		RegisterReq{Addr: "dn"},
 		HeartbeatReq{Addr: "dn", PinnedBytes: 5, Pinned: []BlockID{1}, Unpinned: []BlockID{2}},
-		WriteBlockReq{Block: Block{ID: 3, Size: 4}, Data: []byte("xy")},
+		WriteBlockReq{Block: Block{ID: 3, Size: 4}, Data: []byte("xy"), Pipeline: []string{"dn1"}, EagerPipeline: true},
 		ReadBlockReq{Block: 3, Job: "j", Local: true},
 		ReadBlockResp{Data: []byte("xy"), Size: 2, FromMemory: true, Local: true},
 		DeleteBlocksReq{Blocks: []BlockID{1, 2}},

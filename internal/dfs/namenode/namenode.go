@@ -140,6 +140,7 @@ func (nn *NameNode) Start() error {
 	s := transport.NewServer(nn.clock)
 	s.Handle("nn.create", wrap(nn.handleCreate))
 	s.Handle("nn.addBlock", wrap(nn.handleAddBlock))
+	s.Handle("nn.addBlocks", wrap(nn.handleAddBlocks))
 	s.Handle("nn.complete", wrap(nn.handleComplete))
 	s.Handle("nn.getInfo", wrap(nn.handleGetInfo))
 	s.Handle("nn.getLocations", wrap(nn.handleGetLocations))
@@ -243,31 +244,79 @@ func (nn *NameNode) handleCreate(req dfs.CreateReq) (dfs.CreateResp, error) {
 func (nn *NameNode) handleAddBlock(req dfs.AddBlockReq) (dfs.AddBlockResp, error) {
 	nn.mu.Lock()
 	defer nn.mu.Unlock()
-	f, ok := nn.files[req.Path]
+	f, err := nn.openFileLocked(req.Path, []int64{req.Size})
+	if err != nil {
+		return dfs.AddBlockResp{}, err
+	}
+	lb, err := nn.allocateBlockLocked(f, req.Size)
+	if err != nil {
+		return dfs.AddBlockResp{}, err
+	}
+	return dfs.AddBlockResp{Located: lb}, nil
+}
+
+// handleAddBlocks allocates a window of blocks under one namespace-lock
+// acquisition. Placement is drawn per block in request order, so a batch
+// yields the same targets the equivalent addBlock sequence would.
+// Validation is all-or-nothing: a bad size anywhere rejects the batch
+// before any block is allocated.
+func (nn *NameNode) handleAddBlocks(req dfs.AddBlocksReq) (dfs.AddBlocksResp, error) {
+	if len(req.Sizes) == 0 {
+		return dfs.AddBlocksResp{}, fmt.Errorf("namenode: addBlocks with no sizes")
+	}
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	f, err := nn.openFileLocked(req.Path, req.Sizes)
+	if err != nil {
+		return dfs.AddBlocksResp{}, err
+	}
+	out := make([]dfs.LocatedBlock, 0, len(req.Sizes))
+	for _, size := range req.Sizes {
+		lb, err := nn.allocateBlockLocked(f, size)
+		if err != nil {
+			return dfs.AddBlocksResp{}, err
+		}
+		out = append(out, lb)
+	}
+	return dfs.AddBlocksResp{Located: out}, nil
+}
+
+// openFileLocked looks up an open (unsealed) file and validates the
+// proposed block sizes against its block size. Called with mu held.
+func (nn *NameNode) openFileLocked(path string, sizes []int64) (*fileEntry, error) {
+	f, ok := nn.files[path]
 	if !ok {
-		return dfs.AddBlockResp{}, fmt.Errorf("namenode: no such file %s", req.Path)
+		return nil, fmt.Errorf("namenode: no such file %s", path)
 	}
 	if f.info.Complete {
-		return dfs.AddBlockResp{}, fmt.Errorf("namenode: %s is sealed", req.Path)
+		return nil, fmt.Errorf("namenode: %s is sealed", path)
 	}
-	if req.Size <= 0 || req.Size > f.info.BlockSize {
-		return dfs.AddBlockResp{}, fmt.Errorf("namenode: bad block size %d (file block size %d)", req.Size, f.info.BlockSize)
+	for _, size := range sizes {
+		if size <= 0 || size > f.info.BlockSize {
+			return nil, fmt.Errorf("namenode: bad block size %d (file block size %d)", size, f.info.BlockSize)
+		}
 	}
+	return f, nil
+}
+
+// allocateBlockLocked appends one block to f with freshly chosen replica
+// targets. Called with mu held.
+func (nn *NameNode) allocateBlockLocked(f *fileEntry, size int64) (dfs.LocatedBlock, error) {
 	targets := nn.chooseTargetsLocked(f.info.Replication)
 	if len(targets) == 0 {
-		return dfs.AddBlockResp{}, fmt.Errorf("namenode: no live datanodes")
+		return dfs.LocatedBlock{}, fmt.Errorf("namenode: no live datanodes")
 	}
 	nn.nextBlock++
-	b := dfs.Block{ID: nn.nextBlock, Size: req.Size}
-	meta := &blockMeta{size: req.Size, want: f.info.Replication, nodes: make(map[string]struct{}), pinned: make(map[string]struct{})}
+	b := dfs.Block{ID: nn.nextBlock, Size: size}
+	meta := &blockMeta{size: size, want: f.info.Replication, nodes: make(map[string]struct{}), pinned: make(map[string]struct{})}
 	for _, t := range targets {
 		meta.nodes[t] = struct{}{}
 	}
 	nn.blocks[b.ID] = meta
 	offset := f.info.Size
 	f.blocks = append(f.blocks, b)
-	f.info.Size += req.Size
-	return dfs.AddBlockResp{Located: dfs.LocatedBlock{Block: b, Offset: offset, Nodes: targets}}, nil
+	f.info.Size += size
+	return dfs.LocatedBlock{Block: b, Offset: offset, Nodes: targets}, nil
 }
 
 // chooseTargetsLocked picks up to rep distinct live datanodes. With rack

@@ -1,0 +1,31 @@
+package experiments
+
+import "testing"
+
+// TestSwimSeededRunsAreBitIdentical guards the figures against
+// nondeterminism creeping into the simulation: two runs of the SWIM
+// experiment with the same seed must render byte-for-byte identical
+// output. The run exercises the whole write path — synthetic ingest
+// populating the traces and task-output writes inside the measured
+// phase — so a timing change there (e.g. writers defaulting to the
+// pipelined path on the virtual clock) shows up here as a diff.
+func TestSwimSeededRunsAreBitIdentical(t *testing.T) {
+	render := func() string {
+		r, err := RunSwim(SwimConfig{
+			Jobs:       10,
+			TotalBytes: 2 << 30,
+			Nodes:      4,
+			Seed:       3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.RenderTable1() + r.RenderFig5() + r.RenderTable2() +
+			r.RenderFig6() + r.RenderFig7() + r.RenderAblation()
+	}
+	first := render()
+	second := render()
+	if first != second {
+		t.Errorf("two seeded runs rendered different output:\n--- first ---\n%s\n--- second ---\n%s", first, second)
+	}
+}

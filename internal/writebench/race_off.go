@@ -1,0 +1,8 @@
+//go:build !race
+
+package writebench
+
+// raceEnabled reports whether the race detector is compiled in. Timing
+// assertions relax under -race: its instrumentation slows the concurrent
+// side of a comparison far more than the serial side.
+const raceEnabled = false

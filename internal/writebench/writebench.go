@@ -1,0 +1,248 @@
+// Package writebench hosts the write-path throughput benchmarks: the
+// pipelined Writer with a bounded in-flight window versus the serial
+// per-block flush, for both real-byte and synthetic ingest, on both the
+// in-memory and the TCP transport. The benchmark bodies are exported so
+// the same code runs under `go test -bench` and from cmd/ignem-bench,
+// which emits machine-readable BENCH_write.json.
+//
+// The clusters run on the real clock (scaled 4x): wall-clock speedups
+// here are the product claim, not simulated figures.
+package writebench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/internal/dfs"
+	"repro/internal/dfs/client"
+	"repro/internal/dfs/datanode"
+	"repro/internal/dfs/namenode"
+	"repro/internal/simclock"
+	"repro/internal/storage"
+	"repro/internal/transport"
+)
+
+// Benchmark geometry: an 8-block file over 12 HDD datanodes with
+// replication 2 — the acceptance scenario for the parallel write path.
+// Blocks are 512 KiB rather than readbench's 1 MiB: on the TCP transport
+// every replica hop pays a real gob encode/decode of the payload, and on
+// a small host that codec CPU — which no client-side window can overlap —
+// would otherwise drown the per-block round trips the pipeline hides.
+const (
+	Blocks      = 8
+	BlockSize   = 512 << 10
+	Nodes       = 12
+	Replication = 2
+	timeScale   = 4
+)
+
+// Transport selects the wire under benchmark.
+type Transport string
+
+const (
+	Inmem Transport = "inmem"
+	TCP   Transport = "tcp"
+)
+
+// Result is one benchmark record of BENCH_write.json.
+type Result struct {
+	Name         string  `json:"name"`
+	NsPerOp      int64   `json:"ns_per_op"`
+	BlocksPerSec float64 `json:"blocks_per_sec"`
+}
+
+// Cluster is a running benchmark cluster.
+type Cluster struct {
+	Clock  simclock.Clock
+	Net    transport.Network
+	NNAddr string
+
+	nn  *namenode.NameNode
+	dns []*datanode.DataNode
+	in  []byte
+	seq int
+}
+
+// Start brings up a namenode and Nodes HDD datanodes on the chosen
+// transport, all on the scaled real clock.
+func Start(kind Transport) (*Cluster, error) {
+	clock := simclock.NewScaledReal(timeScale)
+	c := &Cluster{Clock: clock}
+	addr := func(i int) string { return fmt.Sprintf("dn%d", i) }
+	switch kind {
+	case Inmem:
+		c.Net = transport.NewInmemNetwork(clock)
+		c.NNAddr = "nn"
+	case TCP:
+		dfs.RegisterWire()
+		net := transport.NewTCPNetwork()
+		c.Net = net
+		ephemeral := func() (string, error) {
+			l, err := net.Listen("127.0.0.1:0")
+			if err != nil {
+				return "", err
+			}
+			defer l.Close()
+			return l.Addr(), nil
+		}
+		a, err := ephemeral()
+		if err != nil {
+			return nil, err
+		}
+		c.NNAddr = a
+		addr = func(int) string {
+			a, err := ephemeral()
+			if err != nil {
+				a = ""
+			}
+			return a
+		}
+	default:
+		return nil, fmt.Errorf("writebench: unknown transport %q", kind)
+	}
+
+	nn := namenode.New(c.Clock, c.Net, namenode.Config{Addr: c.NNAddr, Seed: 7})
+	if err := nn.Start(); err != nil {
+		return nil, err
+	}
+	c.nn = nn
+	for i := 0; i < Nodes; i++ {
+		a := addr(i)
+		if a == "" {
+			c.Close()
+			return nil, fmt.Errorf("writebench: no ephemeral port for datanode %d", i)
+		}
+		dn, err := datanode.New(c.Clock, c.Net, datanode.Config{
+			Addr: a, NameNodeAddr: c.NNAddr, Media: storage.HDDSpec(),
+		})
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		if err := dn.Start(); err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.dns = append(c.dns, dn)
+	}
+	c.in = bytes.Repeat([]byte("ignem-writebench"), Blocks*BlockSize/16)
+	return c, nil
+}
+
+// Client dials a fresh client into the cluster.
+func (c *Cluster) Client(opts ...client.Option) (*client.Client, error) {
+	return client.New(c.Clock, c.Net, c.NNAddr, opts...)
+}
+
+// Close tears the cluster down.
+func (c *Cluster) Close() {
+	for _, dn := range c.dns {
+		dn.Close()
+	}
+	if c.nn != nil {
+		c.nn.Close()
+	}
+}
+
+// nextPath hands out a fresh file path so every iteration ingests a new
+// file (created files cannot be overwritten).
+func (c *Cluster) nextPath() string {
+	c.seq++
+	return fmt.Sprintf("/bench/out-%d", c.seq)
+}
+
+// BenchWriteFile is the real-byte ingest benchmark body: whole-file
+// writes of the 8-block input with the given write parallelism. par 1 is
+// the serial baseline. Each file is deleted after the write so the
+// cluster doesn't accumulate replicas across iterations.
+func BenchWriteFile(b *testing.B, c *Cluster, par int) {
+	cl, err := c.Client(client.WithWriteParallelism(par))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cl.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		path := c.nextPath()
+		if err := cl.WriteFile(path, c.in, BlockSize, Replication); err != nil {
+			b.Fatal(err)
+		}
+		// Deletion is untimed housekeeping so replicas don't pile up.
+		b.StopTimer()
+		if err := cl.Delete(path); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+	}
+	b.SetBytes(int64(len(c.in)))
+}
+
+// BenchWriteSynthetic is the synthetic ingest benchmark body: the
+// experiment-populating WriteSyntheticFile path at the given write
+// parallelism.
+func BenchWriteSynthetic(b *testing.B, c *Cluster, par int) {
+	cl, err := c.Client(client.WithWriteParallelism(par))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cl.Close()
+	size := int64(Blocks) * BlockSize
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		path := c.nextPath()
+		if err := cl.WriteSyntheticFile(path, size, BlockSize, Replication); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		if err := cl.Delete(path); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+	}
+	b.SetBytes(size)
+}
+
+// RunAll executes every benchmark config via testing.Benchmark and
+// returns the records for BENCH_write.json. Each transport shares one
+// cluster across its configs so TCP port churn stays bounded.
+func RunAll() ([]Result, error) {
+	var out []Result
+	for _, kind := range []Transport{Inmem, TCP} {
+		c, err := Start(kind)
+		if err != nil {
+			return nil, fmt.Errorf("writebench: start %s: %w", kind, err)
+		}
+		configs := []struct {
+			name string
+			body func(*testing.B)
+		}{
+			{"BenchmarkWriteFileSerial", func(b *testing.B) { BenchWriteFile(b, c, 1) }},
+			{"BenchmarkWriteFileParallel", func(b *testing.B) { BenchWriteFile(b, c, client.DefaultWriteParallelism) }},
+			{"BenchmarkWriteSyntheticSerial", func(b *testing.B) { BenchWriteSynthetic(b, c, 1) }},
+			{"BenchmarkWriteSyntheticParallel", func(b *testing.B) { BenchWriteSynthetic(b, c, client.DefaultWriteParallelism) }},
+		}
+		for _, cfg := range configs {
+			r := testing.Benchmark(cfg.body)
+			ns := r.NsPerOp()
+			res := Result{Name: cfg.name + "/" + string(kind), NsPerOp: ns}
+			if ns > 0 {
+				res.BlocksPerSec = Blocks * 1e9 / float64(ns)
+			}
+			out = append(out, res)
+		}
+		c.Close()
+	}
+	return out, nil
+}
+
+// WriteJSON writes the records to path, one indented JSON array.
+func WriteJSON(path string, results []Result) error {
+	data, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
