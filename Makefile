@@ -2,9 +2,16 @@
 
 GO ?= go
 
-.PHONY: all test race vet bench bench-read bench-write experiments examples tidy
+.PHONY: all ci test race vet build fmt-check tidy-check determinism bench-smoke \
+	bench bench-read bench-write experiments examples tidy
 
 all: vet test
+
+# ci mirrors the GitHub Actions pipeline locally (the workflow calls
+# these same targets, so the two cannot drift). The bench smoke job is
+# excluded here because it takes minutes; run `make bench-smoke` to
+# reproduce it.
+ci: vet build test race fmt-check tidy-check determinism
 
 test:
 	$(GO) test ./...
@@ -14,6 +21,36 @@ race:
 
 vet:
 	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+# Fails when any file needs gofmt.
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# Fails when go.mod/go.sum are not tidy.
+tidy-check:
+	$(GO) mod tidy -diff
+
+# Guards the paper figures: the seeded-determinism test must pass, and
+# two regenerations of the swim and table3 experiments must render
+# byte-for-byte identical output (wall-time footer lines filtered).
+determinism:
+	$(GO) test ./internal/experiments -run TestSwimSeededRunsAreBitIdentical -count=1
+	$(GO) run ./cmd/ignem-bench swim table3 | grep -v 'wall time' > /tmp/ignem-determinism-a.txt
+	$(GO) run ./cmd/ignem-bench swim table3 | grep -v 'wall time' > /tmp/ignem-determinism-b.txt
+	diff /tmp/ignem-determinism-a.txt /tmp/ignem-determinism-b.txt
+
+# Smoke-runs both benchmark suites and checks the JSON shape only — no
+# throughput-ratio assertions, so it is safe on loaded shared runners.
+bench-smoke:
+	$(GO) run ./cmd/ignem-bench -readbench /tmp/ignem-smoke-read.json
+	$(GO) run ./cmd/ignem-bench -writebench /tmp/ignem-smoke-write.json
+	grep -q '"ns_per_op"' /tmp/ignem-smoke-read.json
+	grep -q '"name": "BenchmarkRepeatedScanCached/tcp"' /tmp/ignem-smoke-read.json
+	grep -q '"ns_per_op"' /tmp/ignem-smoke-write.json
 
 # Regenerate every paper table and figure as benchmarks.
 bench:

@@ -111,7 +111,7 @@ func main() {
 	hot := time.Since(start)
 	fmt.Printf("migrated read: %v (%.1fx faster)\n", hot, float64(cold)/float64(hot))
 
-	if err := cl.Evict("job-hot", []string{"/demo/input"}); err != nil {
+	if _, err := cl.Evict("job-hot", []string{"/demo/input"}); err != nil {
 		log.Fatalf("evict: %v", err)
 	}
 	waitForPins(dns, 0, 10*time.Second)

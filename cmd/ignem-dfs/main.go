@@ -122,7 +122,7 @@ func main() {
 		fmt.Printf("enqueued %d blocks (%d bytes) for job %s\n", resp.Blocks, resp.Bytes, rest[0])
 	case "evict":
 		need(rest, 2)
-		if err := cl.Evict(dfs.JobID(rest[0]), rest[1:]); err != nil {
+		if _, err := cl.Evict(dfs.JobID(rest[0]), rest[1:]); err != nil {
 			log.Fatalf("evict: %v", err)
 		}
 		fmt.Printf("evicted inputs of job %s\n", rest[0])

@@ -65,7 +65,7 @@ func main() {
 		fmt.Printf("migrated read: %v (%.0fx faster)\n", hot, float64(cold)/float64(hot))
 
 		// Job done: evict. Memory returns to zero.
-		if err := cl.Evict("job-hot", []string{"/data/input"}); err != nil {
+		if _, err := cl.Evict("job-hot", []string{"/data/input"}); err != nil {
 			log.Fatalf("evict: %v", err)
 		}
 		v.Sleep(time.Second)

@@ -1,0 +1,88 @@
+package client
+
+import (
+	"repro/internal/blockcache"
+	"repro/internal/dfs"
+)
+
+// WithBlockCache gives the client a shared block cache of at most bytes
+// payload bytes, serving repeated reads of hot inputs from client memory
+// instead of re-fetching from datanodes. The cache is shared across
+// every Reader, ReadBlock, and ReadFile call made through this client,
+// and concurrent reads of one cold block coalesce into a single
+// datanode fetch.
+//
+// The cache defaults off (bytes <= 0 keeps it off): experiment clients
+// must leave it off so seeded virtual-clock figures stay bit-identical,
+// mirroring their WithWriteParallelism(1) pinning. Cached hits bypass
+// the datanode entirely, so they fire no WithReadObserver event and do
+// not advance Ignem's implicit-eviction reference lists; only the
+// initial fetch of each block does.
+func WithBlockCache(bytes int64) Option {
+	return func(c *Client) {
+		if bytes > 0 {
+			c.cacheBytes = bytes
+		}
+	}
+}
+
+// CacheStats snapshots the block cache's hit/miss/eviction/bytes
+// counters. It returns zeros when the cache is off.
+func (c *Client) CacheStats() blockcache.Stats {
+	if c.cache == nil {
+		return blockcache.Stats{}
+	}
+	return c.cache.Stats()
+}
+
+// readBlockVia is the cache-aware read of one block: a cache hit is
+// served from client memory; a miss fetches with the usual replica
+// choice and failover and installs the payload for later readers.
+// path may be "" when the caller does not know the owning file (bare
+// ReadBlock/ReadBlocks); such entries still serve hits and honour the
+// byte budget but cannot be invalidated per-file.
+func (c *Client) readBlockVia(path string, lb dfs.LocatedBlock, job dfs.JobID, first string) (dfs.ReadBlockResp, error) {
+	if c.cache == nil {
+		resp, _, err := c.readBlockFrom1st(lb, job, first)
+		return resp, err
+	}
+	var fetched dfs.ReadBlockResp
+	data, hit, err := c.cache.GetOrFetch(path, uint64(lb.Block.ID), func() ([]byte, string, error) {
+		resp, addr, err := c.readBlockFrom1st(lb, job, first)
+		if err != nil {
+			return nil, "", err
+		}
+		fetched = resp
+		// Synthetic (size-only) blocks return Data == nil, which the
+		// cache passes through without installing.
+		return resp.Data, addr, nil
+	})
+	if err != nil {
+		return dfs.ReadBlockResp{}, err
+	}
+	if hit {
+		// FromMemory is honest here: the bytes came from this client's
+		// memory without touching a datanode.
+		return dfs.ReadBlockResp{Data: data, Size: int64(len(data)), FromMemory: true}, nil
+	}
+	return fetched, nil
+}
+
+// invalidateFile drops path's cached blocks after a mutation
+// (create/append/delete) or a migration-state change (Migrate/Evict), so
+// the next read re-fetches and observes the new bytes and placement.
+func (c *Client) invalidateFile(path string) {
+	if c.cache != nil {
+		c.cache.InvalidateFile(path)
+	}
+}
+
+// invalidatePaths is invalidateFile over a migration request's path list.
+func (c *Client) invalidatePaths(paths []string) {
+	if c.cache == nil {
+		return
+	}
+	for _, p := range paths {
+		c.cache.InvalidateFile(p)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/blockcache"
 	"repro/internal/dfs"
 	"repro/internal/simclock"
 	"repro/internal/transport"
@@ -87,14 +88,16 @@ func WithWriteParallelism(n int) Option {
 
 // Client is a DFS client handle. It is safe for concurrent use.
 type Client struct {
-	clock     simclock.Clock
-	net       transport.Network
-	nn        *transport.Client
-	localAddr string
-	observer  func(BlockReadEvent)
-	readPar   int
-	readAhead int
-	writePar  int
+	clock      simclock.Clock
+	net        transport.Network
+	nn         *transport.Client
+	localAddr  string
+	observer   func(BlockReadEvent)
+	readPar    int
+	readAhead  int
+	writePar   int
+	cacheBytes int64
+	cache      *blockcache.Cache
 
 	mu  sync.Mutex
 	dns map[string]*transport.Client
@@ -120,6 +123,9 @@ func New(clock simclock.Clock, net transport.Network, nnAddr string, opts ...Opt
 	for _, o := range opts {
 		o(c)
 	}
+	if c.cacheBytes > 0 {
+		c.cache = blockcache.New(clock, c.cacheBytes)
+	}
 	return c, nil
 }
 
@@ -144,6 +150,7 @@ func (c *Client) Create(path string, blockSize int64, replication int) (*Writer,
 	if err != nil {
 		return nil, err
 	}
+	c.invalidateFile(path)
 	info, err := c.Info(path)
 	if err != nil {
 		return nil, err
@@ -175,9 +182,11 @@ func (c *Client) LocationsForJob(path string, job dfs.JobID) ([]dfs.LocatedBlock
 	return resp.Blocks, nil
 }
 
-// Delete removes a file from the namespace.
+// Delete removes a file from the namespace. Any blocks of path held in
+// the client's block cache are dropped.
 func (c *Client) Delete(path string) error {
 	_, err := transport.Call[dfs.DeleteResp](c.nn, "nn.delete", dfs.DeleteReq{Path: path})
+	c.invalidateFile(path)
 	return err
 }
 
@@ -195,16 +204,25 @@ func (c *Client) List(prefix string) ([]dfs.FileInfo, error) {
 // Migrate asks Ignem to move the inputs of job into memory ahead of its
 // reads. This is the one call a job submitter adds. implicit opts into
 // implicit eviction (drop on first read).
+// Migration changes where a block should be read from (pinned memory vs
+// disk), so cached copies of the affected paths are dropped: the next
+// read re-fetches and observes the new placement.
 func (c *Client) Migrate(job dfs.JobID, paths []string, implicit bool) (dfs.MigrateResp, error) {
-	return transport.Call[dfs.MigrateResp](c.nn, "nn.migrate", dfs.MigrateReq{
+	resp, err := transport.Call[dfs.MigrateResp](c.nn, "nn.migrate", dfs.MigrateReq{
 		Job: job, Paths: paths, Implicit: implicit, SubmitTime: c.clock.Now(),
 	})
+	c.invalidatePaths(paths)
+	return resp, err
 }
 
-// Evict tells Ignem the job is done with its inputs.
-func (c *Client) Evict(job dfs.JobID, paths []string) error {
-	_, err := transport.Call[dfs.EvictResp](c.nn, "nn.evict", dfs.EvictReq{Job: job, Paths: paths})
-	return err
+// Evict tells Ignem the job is done with its inputs. The returned count
+// is how many block evict notifications the master issued to its slaves.
+// Cached copies of the paths are dropped alongside, so later reads
+// observe the post-eviction placement.
+func (c *Client) Evict(job dfs.JobID, paths []string) (int, error) {
+	resp, err := transport.Call[dfs.EvictResp](c.nn, "nn.evict", dfs.EvictReq{Job: job, Paths: paths})
+	c.invalidatePaths(paths)
+	return resp.Blocks, err
 }
 
 // ---- read path ----
@@ -215,17 +233,19 @@ func (c *Client) Evict(job dfs.JobID, paths []string) error {
 // replica. A failed replica is forgotten and the read transparently
 // fails over to the remaining holders.
 func (c *Client) ReadBlock(lb dfs.LocatedBlock, job dfs.JobID) (dfs.ReadBlockResp, error) {
-	return c.readBlockFrom1st(lb, job, c.chooseReplica(lb))
+	return c.readBlockVia("", lb, job, c.chooseReplica(lb))
 }
 
-// readBlockFrom1st is ReadBlock with the first replica already chosen.
-// The striped read path and the Reader's prefetcher pre-choose replicas
-// on the issuing goroutine so the seeded replica-choice rng is drawn in
-// block order, keeping simulations deterministic regardless of how the
-// worker goroutines are scheduled.
-func (c *Client) readBlockFrom1st(lb dfs.LocatedBlock, job dfs.JobID, first string) (dfs.ReadBlockResp, error) {
+// readBlockFrom1st is the uncached block read with the first replica
+// already chosen. The striped read path and the Reader's prefetcher
+// pre-choose replicas on the issuing goroutine so the seeded
+// replica-choice rng is drawn in block order, keeping simulations
+// deterministic regardless of how the worker goroutines are scheduled.
+// It also reports which datanode served the block, so the block cache
+// can invalidate by address when a node fails.
+func (c *Client) readBlockFrom1st(lb dfs.LocatedBlock, job dfs.JobID, first string) (dfs.ReadBlockResp, string, error) {
 	if first == "" {
-		return dfs.ReadBlockResp{}, fmt.Errorf("dfs client: block %d has no live replica", lb.Block.ID)
+		return dfs.ReadBlockResp{}, "", fmt.Errorf("dfs client: block %d has no live replica", lb.Block.ID)
 	}
 	candidates := []string{first}
 	for _, n := range lb.Nodes {
@@ -237,14 +257,14 @@ func (c *Client) readBlockFrom1st(lb dfs.LocatedBlock, job dfs.JobID, first stri
 	for _, addr := range candidates {
 		resp, err := c.readBlockFrom(addr, lb, job)
 		if err == nil {
-			return resp, nil
+			return resp, addr, nil
 		}
 		lastErr = err
 		// The replica is unreachable or lost the block; drop the cached
 		// connection so a later retry re-dials, and try the next holder.
 		c.ForgetDataNode(addr)
 	}
-	return dfs.ReadBlockResp{}, fmt.Errorf("dfs client: block %d unreadable from all replicas: %w", lb.Block.ID, lastErr)
+	return dfs.ReadBlockResp{}, "", fmt.Errorf("dfs client: block %d unreadable from all replicas: %w", lb.Block.ID, lastErr)
 }
 
 func (c *Client) readBlockFrom(addr string, lb dfs.LocatedBlock, job dfs.JobID) (dfs.ReadBlockResp, error) {
@@ -342,12 +362,18 @@ func (c *Client) ReadFile(path string, job dfs.JobID) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	return c.ReadBlocks(blocks, job)
+	return c.readBlocksPath(path, blocks, job)
 }
 
 // ReadBlocks fetches the given blocks with the client's read parallelism
 // and returns their bytes concatenated in slice order.
 func (c *Client) ReadBlocks(blocks []dfs.LocatedBlock, job dfs.JobID) ([]byte, error) {
+	return c.readBlocksPath("", blocks, job)
+}
+
+// readBlocksPath is ReadBlocks with the owning file known, so cache
+// entries installed here can be invalidated when that file mutates.
+func (c *Client) readBlocksPath(path string, blocks []dfs.LocatedBlock, job dfs.JobID) ([]byte, error) {
 	par := c.readPar
 	if par > len(blocks) {
 		par = len(blocks)
@@ -355,7 +381,7 @@ func (c *Client) ReadBlocks(blocks []dfs.LocatedBlock, job dfs.JobID) ([]byte, e
 	if par <= 1 {
 		var out []byte
 		for _, lb := range blocks {
-			resp, err := c.ReadBlock(lb, job)
+			resp, err := c.readBlockVia(path, lb, job, c.chooseReplica(lb))
 			if err != nil {
 				return nil, err
 			}
@@ -383,7 +409,7 @@ func (c *Client) ReadBlocks(blocks []dfs.LocatedBlock, job dfs.JobID) ([]byte, e
 				if i >= len(blocks) || failed.Load() {
 					return
 				}
-				resp, err := c.readBlockFrom1st(blocks[i], job, firsts[i])
+				resp, err := c.readBlockVia(path, blocks[i], job, firsts[i])
 				resps[i], errs[i] = resp, err
 				if err != nil {
 					failed.Store(true) // stop issuing new fetches
@@ -427,12 +453,16 @@ func (c *Client) datanode(addr string) (*transport.Client, error) {
 }
 
 // ForgetDataNode drops the cached connection to addr (used after a node
-// failure so later reads re-dial a live replica).
+// failure so later reads re-dial a live replica) and evicts every block
+// the shared cache holds from that node.
 func (c *Client) ForgetDataNode(addr string) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if dc, ok := c.dns[addr]; ok {
 		dc.Close()
 		delete(c.dns, addr)
+	}
+	c.mu.Unlock()
+	if c.cache != nil {
+		c.cache.InvalidateAddr(addr)
 	}
 }

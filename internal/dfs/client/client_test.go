@@ -247,7 +247,7 @@ func TestMigrateThenReadFromMemory(t *testing.T) {
 				t.Errorf("block %d read from disk after migration", ev.Block)
 			}
 		}
-		if err := c.Evict("job1", []string{"/input"}); err != nil {
+		if _, err := c.Evict("job1", []string{"/input"}); err != nil {
 			t.Fatalf("Evict: %v", err)
 		}
 		waitUntil(t, v, time.Minute, func() bool {
@@ -833,7 +833,7 @@ func TestMigrateUnknownPathFails(t *testing.T) {
 			t.Error("migrate of unknown path accepted")
 		}
 		// Evicting a job that never migrated is harmless.
-		if err := c.Evict("ghost", []string{"/nope"}); err != nil {
+		if _, err := c.Evict("ghost", []string{"/nope"}); err != nil {
 			t.Errorf("evict of unknown job: %v", err)
 		}
 	})

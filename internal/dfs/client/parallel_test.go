@@ -150,6 +150,120 @@ func TestReadFileStripedFasterThanSerial(t *testing.T) {
 	})
 }
 
+// TestCachedReadersRaceRewrites races cached readers against a writer
+// that repeatedly deletes and rewrites the file they scan. Every
+// successful scan must observe one complete version of the file — never
+// a stale cached mix — and the run is a -race exercise of the cache's
+// invalidation and singleflight paths.
+func TestCachedReadersRaceRewrites(t *testing.T) {
+	runSim(t, func(v *simclock.Virtual) {
+		mc := startMini(t, v, miniConfig{nodes: 6})
+		defer mc.close()
+		c := mc.client(t, client.WithBlockCache(64<<20))
+		defer c.Close()
+		// The writer runs as its own client (as a second job would): the
+		// reading client never sees an invalidation call, and stays
+		// correct anyway because block IDs are never reused — a rewritten
+		// file's blocks can't alias cached entries of the old version.
+		wc := mc.client(t)
+		defer wc.Close()
+
+		const nBlocks, blockSize = 4, 4096
+		version := func(ver byte) []byte {
+			return bytes.Repeat([]byte{ver}, nBlocks*blockSize)
+		}
+		write := func(ver byte) {
+			if err := wc.WriteFile("/race", version(ver), blockSize, 2); err != nil {
+				t.Errorf("write version %c: %v", ver, err)
+			}
+		}
+		// A scan may legitimately observe a file mid-write (a prefix of
+		// the new version, or an empty just-created file); what it must
+		// never observe is a mix of two versions' bytes.
+		isOneVersion := func(got []byte) bool {
+			for _, b := range got {
+				if b != got[0] {
+					return false
+				}
+			}
+			return true
+		}
+		write('a')
+
+		wg := simclock.NewWaitGroup(v)
+		for r := 0; r < 4; r++ {
+			wg.Go(func() {
+				for i := 0; i < 6; i++ {
+					got, err := c.ReadFile("/race", "j")
+					if err != nil {
+						continue // mid-rewrite reads may fail; that's fine
+					}
+					if !isOneVersion(got) {
+						t.Errorf("scan observed a torn file: %d bytes mixing versions", len(got))
+					}
+				}
+			})
+		}
+		wg.Go(func() {
+			for _, ver := range []byte{'b', 'c', 'd'} {
+				if err := wc.Delete("/race"); err != nil {
+					t.Errorf("delete before %c: %v", ver, err)
+				}
+				write(ver)
+			}
+		})
+		wg.Wait()
+
+		got, err := c.ReadFile("/race", "j")
+		if err != nil || !bytes.Equal(got, version('d')) {
+			t.Errorf("final scan: err=%v, stale bytes=%v", err, err == nil && !bytes.Equal(got, version('d')))
+		}
+	})
+}
+
+// TestCachedReadersRaceMigrateEvict races cached readers against a
+// Migrate/Evict loop on the file being scanned: content never changes,
+// so every scan must return identical bytes while the cache is being
+// invalidated underneath.
+func TestCachedReadersRaceMigrateEvict(t *testing.T) {
+	runSim(t, func(v *simclock.Virtual) {
+		mc := startMini(t, v, miniConfig{nodes: 6})
+		defer mc.close()
+		c := mc.client(t, client.WithBlockCache(64<<20))
+		defer c.Close()
+		data := writeBlocky(t, c, "/hot", 4, 4096, 2)
+
+		wg := simclock.NewWaitGroup(v)
+		for r := 0; r < 4; r++ {
+			wg.Go(func() {
+				for i := 0; i < 6; i++ {
+					got, err := c.ReadFile("/hot", "j")
+					if err != nil {
+						t.Errorf("scan: %v", err)
+						return
+					}
+					if !bytes.Equal(got, data) {
+						t.Error("scan returned wrong bytes during migrate/evict churn")
+						return
+					}
+				}
+			})
+		}
+		wg.Go(func() {
+			for i := 0; i < 4; i++ {
+				if _, err := c.Migrate("churn", []string{"/hot"}, false); err != nil {
+					t.Errorf("Migrate: %v", err)
+				}
+				v.Sleep(10 * time.Millisecond)
+				if _, err := c.Evict("churn", []string{"/hot"}); err != nil {
+					t.Errorf("Evict: %v", err)
+				}
+			}
+		})
+		wg.Wait()
+	})
+}
+
 // TestWithReadParallelismClampsToOne makes sure par<=1 (and tiny files)
 // use the historical serial path and still round-trip.
 func TestWithReadParallelismClampsToOne(t *testing.T) {

@@ -1,6 +1,7 @@
 package client
 
 import (
+	"container/list"
 	"fmt"
 	"io"
 	"sort"
@@ -33,12 +34,13 @@ type Reader struct {
 	// The prefetch window. mu also serializes the fetch goroutines'
 	// result delivery; cond wakes consumers waiting on an in-flight
 	// block. cache holds at most ahead+2 blocks (current, the read-ahead
-	// window, and one just-left block for short backward seeks).
+	// window, and one just-left block for short backward seeks), tracked
+	// by an LRU list so eviction is O(1) instead of a map scan.
 	mu       sync.Mutex
 	cond     *simclock.Cond
 	cache    map[int][]byte // block index -> materialized bytes
-	lastUse  map[int]int64  // block index -> LRU tick of last touch
-	tick     int64
+	lru      *list.List     // cached block indices, most recent at front
+	lruPos   map[int]*list.Element
 	inflight map[int]bool
 	errs     map[int]error // failed fetches, consumed (and retried) by Read
 	curr     int           // block index the consumer last read; LRU-protected
@@ -70,7 +72,8 @@ func (c *Client) Open(path string, job dfs.JobID) (*Reader, error) {
 		size:     size,
 		ahead:    c.readAhead,
 		cache:    make(map[int][]byte),
-		lastUse:  make(map[int]int64),
+		lru:      list.New(),
+		lruPos:   make(map[int]*list.Element),
 		inflight: make(map[int]bool),
 		errs:     make(map[int]error),
 		curr:     -1,
@@ -178,7 +181,7 @@ func (r *Reader) startFetchLocked(i int) {
 	lb := r.blocks[i]
 	first := r.c.chooseReplica(lb)
 	r.c.clock.Go(func() {
-		resp, err := r.c.readBlockFrom1st(lb, r.job, first)
+		resp, err := r.c.readBlockVia(r.path, lb, r.job, first)
 		if err == nil && resp.Data == nil {
 			err = fmt.Errorf("dfs client: %s is synthetic (sized only); it has no bytes to stream", r.path)
 		}
@@ -198,28 +201,30 @@ func (r *Reader) startFetchLocked(i int) {
 
 // touchLocked marks block i most recently used.
 func (r *Reader) touchLocked(i int) {
-	r.tick++
-	r.lastUse[i] = r.tick
+	if el, ok := r.lruPos[i]; ok {
+		r.lru.MoveToFront(el)
+		return
+	}
+	r.lruPos[i] = r.lru.PushFront(i)
 }
 
 // evictLocked bounds the window to ahead+2 cached blocks, dropping the
 // least recently used block that is not the consumer's current one.
+// Victims come straight off the LRU list's tail (skipping at most the
+// current block), so eviction is O(1) rather than a scan of the window.
 func (r *Reader) evictLocked() {
 	max := r.ahead + 2
 	for len(r.cache) > max {
-		victim, oldest := -1, int64(1<<62)
-		for i := range r.cache {
-			if i == r.curr {
-				continue
-			}
-			if r.lastUse[i] < oldest {
-				victim, oldest = i, r.lastUse[i]
-			}
+		el := r.lru.Back()
+		for el != nil && el.Value.(int) == r.curr {
+			el = el.Prev()
 		}
-		if victim < 0 {
+		if el == nil {
 			return
 		}
+		victim := el.Value.(int)
+		r.lru.Remove(el)
+		delete(r.lruPos, victim)
 		delete(r.cache, victim)
-		delete(r.lastUse, victim)
 	}
 }

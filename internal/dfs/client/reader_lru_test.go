@@ -1,0 +1,79 @@
+package client
+
+import (
+	"container/list"
+	"testing"
+)
+
+// newWindowReader builds a bare Reader window for exercising the LRU
+// bookkeeping without a cluster.
+func newWindowReader(ahead int) *Reader {
+	return &Reader{
+		ahead:  ahead,
+		cache:  make(map[int][]byte),
+		lru:    list.New(),
+		lruPos: make(map[int]*list.Element),
+		curr:   -1,
+	}
+}
+
+func (r *Reader) insertForTest(i int) {
+	r.cache[i] = []byte{byte(i)}
+	r.touchLocked(i)
+	r.evictLocked()
+}
+
+// TestReaderWindowBound verifies the prefetch window never exceeds
+// ahead+2 cached blocks no matter how many blocks stream through.
+func TestReaderWindowBound(t *testing.T) {
+	for _, ahead := range []int{0, 1, 2, 5} {
+		r := newWindowReader(ahead)
+		max := ahead + 2
+		for i := 0; i < 50; i++ {
+			r.curr = i
+			r.insertForTest(i)
+			if len(r.cache) > max {
+				t.Fatalf("ahead=%d: window holds %d blocks after inserting %d, bound is %d", ahead, len(r.cache), i+1, max)
+			}
+			if r.lru.Len() != len(r.cache) || len(r.lruPos) != len(r.cache) {
+				t.Fatalf("ahead=%d: LRU bookkeeping out of sync: list=%d pos=%d cache=%d", ahead, r.lru.Len(), len(r.lruPos), len(r.cache))
+			}
+		}
+	}
+}
+
+// TestReaderEvictsLeastRecentlyUsed checks the victim is the LRU block,
+// not an arbitrary one.
+func TestReaderEvictsLeastRecentlyUsed(t *testing.T) {
+	r := newWindowReader(1) // window of 3
+	r.curr = 2
+	for i := 0; i < 3; i++ {
+		r.insertForTest(i)
+	}
+	r.touchLocked(0) // 0 is now more recent than 1
+	r.insertForTest(3)
+	if _, ok := r.cache[1]; ok {
+		t.Error("block 1 (LRU) survived eviction")
+	}
+	for _, want := range []int{0, 2, 3} {
+		if _, ok := r.cache[want]; !ok {
+			t.Errorf("block %d was evicted, want it resident", want)
+		}
+	}
+}
+
+// TestReaderEvictNeverDropsCurrent pins the current block: even at the
+// LRU tail it must not be the victim.
+func TestReaderEvictNeverDropsCurrent(t *testing.T) {
+	r := newWindowReader(0) // window of 2
+	r.insertForTest(7)
+	r.curr = 7 // 7 becomes current but is the oldest entry
+	r.insertForTest(8)
+	r.insertForTest(9)
+	if _, ok := r.cache[7]; !ok {
+		t.Error("current block was evicted")
+	}
+	if len(r.cache) > 2 {
+		t.Errorf("window holds %d blocks, bound is 2", len(r.cache))
+	}
+}

@@ -261,6 +261,9 @@ func (w *Writer) Close() error {
 		flushErr = err
 	}
 	w.buf = nil
+	// The file's content just changed (created or appended); drop any
+	// blocks of it the shared cache still holds, error or not.
+	w.c.invalidateFile(w.path)
 	if flushErr != nil {
 		return flushErr
 	}

@@ -165,8 +165,13 @@ type EvictReq struct {
 	Paths []string
 }
 
-// EvictResp acknowledges the eviction request.
-type EvictResp struct{}
+// EvictResp acknowledges the eviction request. Blocks reports how many
+// block evict notifications the Ignem master issued to its slaves —
+// clients use it to size cache-invalidation work and tests use it to
+// assert eviction actually propagated.
+type EvictResp struct {
+	Blocks int
+}
 
 // RegisterReq announces a datanode to the namenode. Blocks is the full
 // block report of what the datanode currently stores; the namenode

@@ -137,7 +137,7 @@ func RunBaseline(cfg BaselineConfig) (*BaselineResult, error) {
 			// The application's final act: release all iterations' pins.
 			if c.UseIgnem() {
 				for it := 0; it < cfg.Iterations; it++ {
-					if err := cl.Evict(dfs.JobID(fmt.Sprintf("iter-%d", it)), []string{"/iter/input"}); err != nil {
+					if _, err := cl.Evict(dfs.JobID(fmt.Sprintf("iter-%d", it)), []string{"/iter/input"}); err != nil {
 						return err
 					}
 				}

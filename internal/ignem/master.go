@@ -139,8 +139,10 @@ func (m *Master) Evict(req dfs.EvictReq) (dfs.EvictResp, error) {
 	assigned := m.jobs[req.Job]
 	delete(m.jobs, req.Job)
 	batches := make(map[string][]dfs.EvictCmd)
+	blocks := 0
 	for id, addr := range assigned {
 		batches[addr] = append(batches[addr], dfs.EvictCmd{Block: id, Job: req.Job})
+		blocks++
 	}
 	m.stats.EvictReqs++
 	m.mu.Unlock()
@@ -154,7 +156,7 @@ func (m *Master) Evict(req dfs.EvictReq) (dfs.EvictResp, error) {
 			m.mu.Unlock()
 		}
 	}
-	return dfs.EvictResp{}, nil
+	return dfs.EvictResp{Blocks: blocks}, nil
 }
 
 // AssignedReplica reports the replica address the master chose for a

@@ -163,8 +163,12 @@ func TestMasterEvictRoutesToAssignedSlave(t *testing.T) {
 	if _, err := m.Migrate(dfs.MigrateReq{Job: "j1", Paths: []string{"/a"}}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := m.Evict(dfs.EvictReq{Job: "j1"}); err != nil {
+	resp, err := m.Evict(dfs.EvictReq{Job: "j1"})
+	if err != nil {
 		t.Fatal(err)
+	}
+	if resp.Blocks != 2 {
+		t.Errorf("EvictResp.Blocks = %d, want 2", resp.Blocks)
 	}
 	var evicted []dfs.BlockID
 	for addr, batches := range link.evicts {
@@ -211,9 +215,14 @@ func TestMasterRestartBumpsEpochAndClearsState(t *testing.T) {
 	if st := m.Stats(); st.ActiveJobs != 0 {
 		t.Errorf("state survived restart: %+v", st)
 	}
-	// Evicting the pre-restart job is a harmless no-op.
-	if _, err := m.Evict(dfs.EvictReq{Job: "j1"}); err != nil {
+	// Evicting the pre-restart job is a harmless no-op that reports no
+	// block notifications.
+	resp, err := m.Evict(dfs.EvictReq{Job: "j1"})
+	if err != nil {
 		t.Errorf("Evict after restart: %v", err)
+	}
+	if resp.Blocks != 0 {
+		t.Errorf("EvictResp.Blocks = %d after restart, want 0", resp.Blocks)
 	}
 }
 

@@ -341,7 +341,7 @@ func (e *Engine) Run(cfg Config) (Result, error) {
 
 	// Completion: release the inputs and the scheduler entry.
 	if cfg.UseIgnem && !cfg.KeepPinned {
-		if err := sc.Evict(cfg.ID, cfg.InputPaths); err != nil {
+		if _, err := sc.Evict(cfg.ID, cfg.InputPaths); err != nil {
 			return Result{}, fmt.Errorf("mapreduce: evict: %w", err)
 		}
 	}

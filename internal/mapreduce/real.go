@@ -221,7 +221,7 @@ func (e *Engine) RunReal(cfg RealConfig) (RealResult, error) {
 	}
 
 	if cfg.UseIgnem {
-		if err := sc.Evict(cfg.ID, cfg.InputPaths); err != nil {
+		if _, err := sc.Evict(cfg.ID, cfg.InputPaths); err != nil {
 			return RealResult{}, fmt.Errorf("mapreduce: evict: %w", err)
 		}
 	}

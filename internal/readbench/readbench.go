@@ -209,6 +209,42 @@ func BenchReaderStream(b *testing.B, c *Cluster, ahead int) {
 	b.SetBytes(int64(len(c.in)))
 }
 
+// BenchRepeatedScan is the hot-input benchmark body: the same client
+// scans the whole file b.N times after one untimed warm scan, so every
+// timed iteration models the second-and-later scans of a hot input.
+// cacheBytes > 0 enables the shared client block cache (sized to hold
+// the whole file), making the timed scans pure client-memory reads;
+// cacheBytes = 0 is the re-fetch-every-scan baseline.
+func BenchRepeatedScan(b *testing.B, c *Cluster, cacheBytes int64) {
+	var opts []client.Option
+	if cacheBytes > 0 {
+		opts = append(opts, client.WithBlockCache(cacheBytes))
+	}
+	cl, err := c.Client(opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cl.Close()
+	if _, err := cl.ReadFile("/bench/input", "bench"); err != nil {
+		b.Fatal(err) // warm scan: dials connections and fills the cache
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		got, err := cl.ReadFile("/bench/input", "bench")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(got) != len(c.in) {
+			b.Fatalf("read %d bytes, want %d", len(got), len(c.in))
+		}
+	}
+	b.SetBytes(int64(len(c.in)))
+}
+
+// RepeatedScanCacheBytes sizes the benchmark's block cache: double the
+// input file, so the whole file stays resident with LRU headroom.
+const RepeatedScanCacheBytes = 2 * Blocks * BlockSize
+
 // RunAll executes every benchmark config via testing.Benchmark and
 // returns the records for BENCH_read.json. Each transport shares one
 // cluster across its configs so TCP port churn stays bounded.
@@ -227,6 +263,8 @@ func RunAll() ([]Result, error) {
 			{"BenchmarkReadFileParallel", func(b *testing.B) { BenchReadFile(b, c, 4) }},
 			{"BenchmarkReaderStream", func(b *testing.B) { BenchReaderStream(b, c, 0) }},
 			{"BenchmarkReaderStreamReadAhead", func(b *testing.B) { BenchReaderStream(b, c, client.DefaultReadAhead) }},
+			{"BenchmarkRepeatedScanUncached", func(b *testing.B) { BenchRepeatedScan(b, c, 0) }},
+			{"BenchmarkRepeatedScanCached", func(b *testing.B) { BenchRepeatedScan(b, c, RepeatedScanCacheBytes) }},
 		}
 		for _, cfg := range configs {
 			r := testing.Benchmark(cfg.body)

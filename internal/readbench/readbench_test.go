@@ -36,6 +36,58 @@ func BenchmarkReaderStreamReadAhead(b *testing.B) {
 	withCluster(b, func(b *testing.B, c *Cluster) { BenchReaderStream(b, c, client.DefaultReadAhead) })
 }
 
+func BenchmarkRepeatedScanUncached(b *testing.B) {
+	withCluster(b, func(b *testing.B, c *Cluster) { BenchRepeatedScan(b, c, 0) })
+}
+
+func BenchmarkRepeatedScanCached(b *testing.B) {
+	withCluster(b, func(b *testing.B, c *Cluster) { BenchRepeatedScan(b, c, RepeatedScanCacheBytes) })
+}
+
+// TestRepeatedScanCacheSpeedup pins the block-cache acceptance bar: the
+// second-and-later scans of a hot 8-block file through a cache-enabled
+// client are at least 2x faster than re-fetching every scan. Cache hits
+// are pure in-process memory reads while the uncached side pays the
+// modeled device plus wire charge, so the ratio holds on loaded runners.
+func TestRepeatedScanCacheSpeedup(t *testing.T) {
+	c, err := Start(Inmem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	elapsed := func(cacheBytes int64) time.Duration {
+		var opts []client.Option
+		if cacheBytes > 0 {
+			opts = append(opts, client.WithBlockCache(cacheBytes))
+		}
+		cl, err := c.Client(opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cl.Close()
+		// Warm scan: dials every datanode and populates the cache.
+		if _, err := cl.ReadFile("/bench/input", "bench"); err != nil {
+			t.Fatal(err)
+		}
+		const iters = 3
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			if _, err := cl.ReadFile("/bench/input", "bench"); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return time.Since(start) / iters
+	}
+
+	uncached := elapsed(0)
+	cached := elapsed(RepeatedScanCacheBytes)
+	if float64(cached)*2 > float64(uncached) {
+		t.Errorf("cached repeated scan %v is not ≥2x faster than uncached %v", cached, uncached)
+	}
+	t.Logf("uncached %v, cached %v, speedup %.1fx", uncached, cached, float64(uncached)/float64(cached))
+}
+
 // TestParallelSpeedupRealClock pins the acceptance bar without needing
 // -bench: on the in-memory transport under the real clock, a striped
 // read with parallelism 4 is at least 2x faster than the serial read of
