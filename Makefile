@@ -2,8 +2,8 @@
 
 GO ?= go
 
-.PHONY: all ci test race vet build fmt-check tidy-check determinism bench-smoke \
-	bench bench-read bench-write experiments examples tidy
+.PHONY: all ci test race vet build fmt-check tidy-check determinism chaos \
+	bench-smoke bench bench-read bench-write experiments examples tidy
 
 all: vet test
 
@@ -11,7 +11,7 @@ all: vet test
 # these same targets, so the two cannot drift). The bench smoke job is
 # excluded here because it takes minutes; run `make bench-smoke` to
 # reproduce it.
-ci: vet build test race fmt-check tidy-check determinism
+ci: vet build test race fmt-check tidy-check determinism chaos
 
 test:
 	$(GO) test ./...
@@ -42,6 +42,15 @@ determinism:
 	$(GO) run ./cmd/ignem-bench swim table3 | grep -v 'wall time' > /tmp/ignem-determinism-a.txt
 	$(GO) run ./cmd/ignem-bench swim table3 | grep -v 'wall time' > /tmp/ignem-determinism-b.txt
 	diff /tmp/ignem-determinism-a.txt /tmp/ignem-determinism-b.txt
+
+# The failure-recovery suite: the deterministic fault fabric's unit
+# tests and the end-to-end chaos scenarios (datanode crash mid-write,
+# namenode partition, master restart mid-migration, seeded replay),
+# twice each and under the race detector — chaos that only passes once
+# is not deterministic.
+chaos:
+	$(GO) test -count=2 ./internal/faultnet ./internal/chaos
+	$(GO) test -race -count=1 ./internal/faultnet ./internal/chaos
 
 # Smoke-runs both benchmark suites and checks the JSON shape only — no
 # throughput-ratio assertions, so it is safe on loaded shared runners.

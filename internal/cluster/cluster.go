@@ -86,6 +86,13 @@ type Config struct {
 	// HotCacheBytes sizes the per-node hot cache in ModeHotCache.
 	// Default 32 GB.
 	HotCacheBytes int64
+	// WrapNet, when set, wraps each component's view of the fabric —
+	// the chaos suite injects faults here (internal/faultnet). It is
+	// called once per component with its address ("namenode", "dn0"…,
+	// "engine") and the shared base network, and must return the network
+	// that component will Listen and Dial on. Nil leaves the fabric
+	// untouched (the default for experiments: figures never see it).
+	WrapNet func(node string, base transport.Network) transport.Network
 }
 
 func (c *Config) setDefaults() {
@@ -130,6 +137,10 @@ type Cluster struct {
 // NameNodeAddr is the in-memory address of the namenode.
 const NameNodeAddr = "namenode"
 
+// EngineAddr is the fabric node name the MapReduce engine dials from
+// (it listens on nothing; the name only matters to WrapNet fault rules).
+const EngineAddr = "engine"
+
 // Start brings up a cluster. It must be called from a simulation
 // goroutine when clock is virtual.
 func Start(clock simclock.Clock, cfg Config) (*Cluster, error) {
@@ -137,6 +148,12 @@ func Start(clock simclock.Clock, cfg Config) (*Cluster, error) {
 	net := transport.NewInmemNetwork(clock,
 		transport.WithLatency(cfg.NetLatency),
 		transport.WithBandwidthMBps(cfg.NetMBps))
+	wrap := func(node string) transport.Network {
+		if cfg.WrapNet != nil {
+			return cfg.WrapNet(node, net)
+		}
+		return net
+	}
 
 	addrsForRacks := make([]string, cfg.Nodes)
 	for i := range addrsForRacks {
@@ -149,7 +166,7 @@ func Start(clock simclock.Clock, cfg Config) (*Cluster, error) {
 			racks[addr] = fmt.Sprintf("rack%d", i%cfg.Racks)
 		}
 	}
-	nn := namenode.New(clock, net, namenode.Config{
+	nn := namenode.New(clock, wrap(NameNodeAddr), namenode.Config{
 		Addr:  NameNodeAddr,
 		Seed:  cfg.Seed,
 		Racks: racks,
@@ -189,7 +206,7 @@ func Start(clock simclock.Clock, cfg Config) (*Cluster, error) {
 		if cfg.Mode == ModeHotCache {
 			dncfg.HotCacheBytes = cfg.HotCacheBytes
 		}
-		dn, err := datanode.New(clock, net, dncfg)
+		dn, err := datanode.New(clock, wrap(addr), dncfg)
 		if err != nil {
 			c.Close()
 			return nil, err
@@ -201,7 +218,7 @@ func Start(clock simclock.Clock, cfg Config) (*Cluster, error) {
 		c.DataNodes = append(c.DataNodes, dn)
 	}
 	sched.Start()
-	c.Engine = mapreduce.NewEngine(clock, sched, net, NameNodeAddr,
+	c.Engine = mapreduce.NewEngine(clock, sched, wrap(EngineAddr), NameNodeAddr,
 		mapreduce.WithNetworkMBps(cfg.NetMBps))
 	return c, nil
 }

@@ -61,11 +61,55 @@ func (c *Client) readBlockVia(path string, lb dfs.LocatedBlock, job dfs.JobID, f
 		return dfs.ReadBlockResp{}, err
 	}
 	if hit {
+		// The datanode never saw this read, so Ignem's reference lists
+		// would stall without help: queue a read notification for the
+		// namenode (job-tagged reads only — anonymous reads carry no
+		// reference-list state).
+		if job != "" {
+			c.noteCacheHit(job, lb.Block.ID)
+		}
 		// FromMemory is honest here: the bytes came from this client's
 		// memory without touching a datanode.
 		return dfs.ReadBlockResp{Data: data, Size: int64(len(data)), FromMemory: true}, nil
 	}
 	return fetched, nil
+}
+
+// notifyBatchSize is how many queued cache-hit notifications trigger a
+// flush to the namenode. Pending notifications also flush on Evict and
+// Close, so a short job's reads are reported no later than its eviction.
+const notifyBatchSize = 16
+
+// noteCacheHit queues one cache-hit read for batched delivery to the
+// namenode's nn.blockRead endpoint.
+func (c *Client) noteCacheHit(job dfs.JobID, block dfs.BlockID) {
+	c.notifyMu.Lock()
+	c.pendingNotify[job] = append(c.pendingNotify[job], block)
+	c.pendingCount++
+	full := c.pendingCount >= notifyBatchSize
+	c.notifyMu.Unlock()
+	if full {
+		c.FlushReadNotifications()
+	}
+}
+
+// FlushReadNotifications sends every queued cache-hit read notification
+// to the namenode, fire-and-forget: the sends happen on background
+// goroutines and failures are dropped (a lost notification only delays
+// implicit eviction until the job's explicit Evict). Tests call it
+// directly to make notification delivery deterministic.
+func (c *Client) FlushReadNotifications() {
+	c.notifyMu.Lock()
+	pending := c.pendingNotify
+	c.pendingNotify = make(map[dfs.JobID][]dfs.BlockID)
+	c.pendingCount = 0
+	c.notifyMu.Unlock()
+	for job, blocks := range pending {
+		job, blocks := job, blocks
+		c.clock.Go(func() {
+			_, _ = callNNOnce[dfs.BlockReadResp](c, "nn.blockRead", dfs.BlockReadReq{Job: job, Blocks: blocks})
+		})
+	}
 }
 
 // invalidateFile drops path's cached blocks after a mutation

@@ -44,9 +44,13 @@ func WithReadObserver(fn func(BlockReadEvent)) Option {
 	return func(c *Client) { c.observer = fn }
 }
 
-// WithSeed seeds the client's replica-choice randomness.
+// WithSeed seeds the client's replica-choice randomness (and, from an
+// independent stream, its retry-backoff jitter).
 func WithSeed(seed int64) Option {
-	return func(c *Client) { c.rng = rand.New(rand.NewSource(seed)) }
+	return func(c *Client) {
+		c.rng = rand.New(rand.NewSource(seed))
+		c.retryRNG = rand.New(rand.NewSource(seed ^ 0x7265747279)) // "retry"
+	}
 }
 
 // WithReadParallelism bounds how many blocks ReadFile keeps in flight at
@@ -90,7 +94,9 @@ func WithWriteParallelism(n int) Option {
 type Client struct {
 	clock      simclock.Clock
 	net        transport.Network
-	nn         *transport.Client
+	nnAddr     string
+	nnTimeout  time.Duration
+	nnAttempts int
 	localAddr  string
 	observer   func(BlockReadEvent)
 	readPar    int
@@ -99,52 +105,79 @@ type Client struct {
 	cacheBytes int64
 	cache      *blockcache.Cache
 
-	mu  sync.Mutex
-	dns map[string]*transport.Client
-	rng *rand.Rand
+	// allocSeq numbers block-allocation requests so the namenode can
+	// recognise (and not repeat) a retried allocation.
+	allocSeq atomic.Uint64
+
+	// retryMu guards the retry-jitter rng, a stream separate from the
+	// replica-choice rng so retries never perturb replica choices.
+	retryMu  sync.Mutex
+	retryRNG *rand.Rand
+
+	mu     sync.Mutex
+	nn     *transport.Client // current namenode conn; swapped by redialNN
+	closed bool
+	dns    map[string]*transport.Client
+	rng    *rand.Rand
+
+	// notifyMu guards the batch of cache-hit read notifications not yet
+	// sent to the namenode.
+	notifyMu      sync.Mutex
+	pendingNotify map[dfs.JobID][]dfs.BlockID
+	pendingCount  int
 }
 
 // New dials the namenode and returns a ready client.
 func New(clock simclock.Clock, net transport.Network, nnAddr string, opts ...Option) (*Client, error) {
-	nn, err := transport.Dial(clock, net, nnAddr, transport.WithCallTimeout(5*time.Minute))
-	if err != nil {
-		return nil, fmt.Errorf("dfs client: %w", err)
-	}
 	c := &Client{
-		clock:     clock,
-		net:       net,
-		nn:        nn,
-		dns:       make(map[string]*transport.Client),
-		rng:       rand.New(rand.NewSource(1)),
-		readPar:   DefaultReadParallelism,
-		readAhead: DefaultReadAhead,
-		writePar:  DefaultWriteParallelism,
+		clock:         clock,
+		net:           net,
+		nnAddr:        nnAddr,
+		nnTimeout:     5 * time.Minute,
+		nnAttempts:    DefaultNNAttempts,
+		dns:           make(map[string]*transport.Client),
+		rng:           rand.New(rand.NewSource(1)),
+		retryRNG:      rand.New(rand.NewSource(1 ^ 0x7265747279)),
+		readPar:       DefaultReadParallelism,
+		readAhead:     DefaultReadAhead,
+		writePar:      DefaultWriteParallelism,
+		pendingNotify: make(map[dfs.JobID][]dfs.BlockID),
 	}
 	for _, o := range opts {
 		o(c)
 	}
+	nn, err := transport.Dial(clock, net, nnAddr, transport.WithCallTimeout(c.nnTimeout))
+	if err != nil {
+		return nil, fmt.Errorf("dfs client: %w", err)
+	}
+	c.nn = nn
 	if c.cacheBytes > 0 {
 		c.cache = blockcache.New(clock, c.cacheBytes)
 	}
 	return c, nil
 }
 
-// Close releases the namenode and datanode connections.
+// Close flushes pending read notifications and releases the namenode
+// and datanode connections.
 func (c *Client) Close() {
-	c.nn.Close()
+	c.FlushReadNotifications()
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	for _, dc := range c.dns {
+	c.closed = true
+	nn := c.nn
+	dns := c.dns
+	c.dns = make(map[string]*transport.Client)
+	c.mu.Unlock()
+	nn.Close()
+	for _, dc := range dns {
 		dc.Close()
 	}
-	c.dns = make(map[string]*transport.Client)
 }
 
 // ---- namespace operations ----
 
 // Create starts a new file and returns a Writer for its content.
 func (c *Client) Create(path string, blockSize int64, replication int) (*Writer, error) {
-	_, err := transport.Call[dfs.CreateResp](c.nn, "nn.create", dfs.CreateReq{
+	_, err := callNNOnce[dfs.CreateResp](c, "nn.create", dfs.CreateReq{
 		Path: path, BlockSize: blockSize, Replication: replication,
 	})
 	if err != nil {
@@ -160,7 +193,7 @@ func (c *Client) Create(path string, blockSize int64, replication int) (*Writer,
 
 // Info fetches file metadata.
 func (c *Client) Info(path string) (dfs.FileInfo, error) {
-	resp, err := transport.Call[dfs.GetInfoResp](c.nn, "nn.getInfo", dfs.GetInfoReq{Path: path})
+	resp, err := callNN[dfs.GetInfoResp](c, "nn.getInfo", dfs.GetInfoReq{Path: path})
 	if err != nil {
 		return dfs.FileInfo{}, err
 	}
@@ -175,7 +208,7 @@ func (c *Client) Locations(path string) ([]dfs.LocatedBlock, error) {
 // LocationsForJob fetches the block layout with each block annotated
 // with the replica Ignem assigned to job's migration (if any).
 func (c *Client) LocationsForJob(path string, job dfs.JobID) ([]dfs.LocatedBlock, error) {
-	resp, err := transport.Call[dfs.GetLocationsResp](c.nn, "nn.getLocations", dfs.GetLocationsReq{Path: path, Job: job})
+	resp, err := callNN[dfs.GetLocationsResp](c, "nn.getLocations", dfs.GetLocationsReq{Path: path, Job: job})
 	if err != nil {
 		return nil, err
 	}
@@ -185,14 +218,14 @@ func (c *Client) LocationsForJob(path string, job dfs.JobID) ([]dfs.LocatedBlock
 // Delete removes a file from the namespace. Any blocks of path held in
 // the client's block cache are dropped.
 func (c *Client) Delete(path string) error {
-	_, err := transport.Call[dfs.DeleteResp](c.nn, "nn.delete", dfs.DeleteReq{Path: path})
+	_, err := callNNOnce[dfs.DeleteResp](c, "nn.delete", dfs.DeleteReq{Path: path})
 	c.invalidateFile(path)
 	return err
 }
 
 // List returns metadata for files whose path starts with prefix.
 func (c *Client) List(prefix string) ([]dfs.FileInfo, error) {
-	resp, err := transport.Call[dfs.ListResp](c.nn, "nn.list", dfs.ListReq{Prefix: prefix})
+	resp, err := callNN[dfs.ListResp](c, "nn.list", dfs.ListReq{Prefix: prefix})
 	if err != nil {
 		return nil, err
 	}
@@ -208,7 +241,7 @@ func (c *Client) List(prefix string) ([]dfs.FileInfo, error) {
 // disk), so cached copies of the affected paths are dropped: the next
 // read re-fetches and observes the new placement.
 func (c *Client) Migrate(job dfs.JobID, paths []string, implicit bool) (dfs.MigrateResp, error) {
-	resp, err := transport.Call[dfs.MigrateResp](c.nn, "nn.migrate", dfs.MigrateReq{
+	resp, err := callNNOnce[dfs.MigrateResp](c, "nn.migrate", dfs.MigrateReq{
 		Job: job, Paths: paths, Implicit: implicit, SubmitTime: c.clock.Now(),
 	})
 	c.invalidatePaths(paths)
@@ -220,7 +253,11 @@ func (c *Client) Migrate(job dfs.JobID, paths []string, implicit bool) (dfs.Migr
 // Cached copies of the paths are dropped alongside, so later reads
 // observe the post-eviction placement.
 func (c *Client) Evict(job dfs.JobID, paths []string) (int, error) {
-	resp, err := transport.Call[dfs.EvictResp](c.nn, "nn.evict", dfs.EvictReq{Job: job, Paths: paths})
+	// The job is finishing with these inputs: push any pending cache-hit
+	// read notifications first so the master's reference lists see every
+	// read before the explicit eviction.
+	c.FlushReadNotifications()
+	resp, err := callNNOnce[dfs.EvictResp](c, "nn.evict", dfs.EvictReq{Job: job, Paths: paths})
 	c.invalidatePaths(paths)
 	return resp.Blocks, err
 }

@@ -1,7 +1,9 @@
 package client
 
 import (
+	"errors"
 	"fmt"
+	"strings"
 	"sync"
 
 	"repro/internal/dfs"
@@ -183,11 +185,11 @@ func (w *Writer) flushBlock(data []byte, synthSize *int64) error {
 	if synthSize != nil {
 		size = *synthSize
 	}
-	resp, err := transport.Call[dfs.AddBlockResp](w.c.nn, "nn.addBlock", dfs.AddBlockReq{Path: w.path, Size: size})
+	lbs, err := w.c.addBlocks(w.path, []int64{size})
 	if err != nil {
-		return fmt.Errorf("dfs client: addBlock: %w", err)
+		return err
 	}
-	return w.c.sendBlock(resp.Located, data, false)
+	return w.c.writeBlockWithFailover(w.path, lbs[0], data, false)
 }
 
 // dispatch hands one allocated block to the in-flight window, blocking
@@ -206,7 +208,7 @@ func (w *Writer) dispatch(lb dfs.LocatedBlock, data []byte) error {
 	w.inflight++
 	w.mu.Unlock()
 	w.c.clock.Go(func() {
-		err := w.c.sendBlock(lb, data, true)
+		err := w.c.writeBlockWithFailover(w.path, lb, data, true)
 		w.mu.Lock()
 		if err != nil && w.werr == nil {
 			w.werr = err
@@ -267,8 +269,74 @@ func (w *Writer) Close() error {
 	if flushErr != nil {
 		return flushErr
 	}
-	_, err := transport.Call[dfs.CompleteResp](w.c.nn, "nn.complete", dfs.CompleteReq{Path: w.path})
+	// Sealing is idempotent, so a lost reply is safely retried.
+	_, err := callNN[dfs.CompleteResp](w.c, "nn.complete", dfs.CompleteReq{Path: w.path})
 	return err
+}
+
+// maxBlockWriteAttempts bounds how many target sets a block write tries
+// before surfacing the failure.
+const maxBlockWriteAttempts = 4
+
+// writeBlockWithFailover ships one allocated block to its pipeline,
+// surviving datanode deaths mid-write: when the pipeline fails, the
+// node that failed is identified (the unreachable entry node from the
+// *transport.CallError, or the downstream victim named in the
+// datanode's pipeline error), the namenode re-targets the same block
+// excluding every node seen to fail so far, and the block is re-sent to
+// the fresh pipeline. The block's ID and file offset never change, so
+// concurrent in-flight writes of later blocks are unaffected.
+func (c *Client) writeBlockWithFailover(path string, lb dfs.LocatedBlock, data []byte, eager bool) error {
+	var exclude []string
+	for attempt := 1; ; attempt++ {
+		err := c.sendBlock(lb, data, eager)
+		if err == nil {
+			return nil
+		}
+		if attempt >= maxBlockWriteAttempts {
+			return err
+		}
+		for _, victim := range failedPipelineNodes(err, lb) {
+			// Drop the cached conn so a later use re-dials, and never
+			// place this block there again.
+			c.ForgetDataNode(victim)
+			exclude = append(exclude, victim)
+		}
+		resp, rerr := callNN[dfs.RetargetBlockResp](c, "nn.retargetBlock", dfs.RetargetBlockReq{
+			Path: path, Block: lb.Block.ID, Exclude: exclude,
+		})
+		if rerr != nil {
+			return fmt.Errorf("dfs client: retarget block %d after %w: %v", lb.Block.ID, err, rerr)
+		}
+		lb = resp.Located
+	}
+}
+
+// failedPipelineNodes names the datanodes implicated in a failed block
+// write. A transport-level failure talking to the entry node implicates
+// it directly; a pipeline error reported by a datanode names the
+// downstream victim in its message ("datanode: pipeline to X: ..." —
+// the innermost, i.e. last, occurrence is the edge that actually
+// failed). When neither identifies a node, the entry node is blamed:
+// retrying through it is what just failed.
+func failedPipelineNodes(err error, lb dfs.LocatedBlock) []string {
+	var ce *transport.CallError
+	if errors.As(err, &ce) && ce.Addr != "" {
+		return []string{ce.Addr}
+	}
+	var re *transport.RemoteError
+	if errors.As(err, &re) {
+		if i := strings.LastIndex(re.Msg, "pipeline to "); i >= 0 {
+			rest := re.Msg[i+len("pipeline to "):]
+			if j := strings.IndexByte(rest, ':'); j > 0 {
+				return []string{rest[:j]}
+			}
+		}
+	}
+	if len(lb.Nodes) > 0 {
+		return []string{lb.Nodes[0]}
+	}
+	return nil
 }
 
 // sendBlock writes one allocated block to its replica pipeline:
@@ -291,16 +359,20 @@ func (c *Client) sendBlock(lb dfs.LocatedBlock, data []byte, eager bool) error {
 }
 
 // addBlocks allocates len(sizes) blocks for path in one namenode round
-// trip (a plain nn.addBlock when the window holds a single block).
+// trip (a plain nn.addBlock when the window holds a single block). The
+// request carries a fresh request ID, so the transport-level retry in
+// callNN cannot double-allocate: a retry of a request whose reply was
+// lost gets the blocks the first attempt allocated.
 func (c *Client) addBlocks(path string, sizes []int64) ([]dfs.LocatedBlock, error) {
+	reqID := c.allocSeq.Add(1)
 	if len(sizes) == 1 {
-		resp, err := transport.Call[dfs.AddBlockResp](c.nn, "nn.addBlock", dfs.AddBlockReq{Path: path, Size: sizes[0]})
+		resp, err := callNN[dfs.AddBlockResp](c, "nn.addBlock", dfs.AddBlockReq{Path: path, Size: sizes[0], ReqID: reqID})
 		if err != nil {
 			return nil, fmt.Errorf("dfs client: addBlock: %w", err)
 		}
 		return []dfs.LocatedBlock{resp.Located}, nil
 	}
-	resp, err := transport.Call[dfs.AddBlocksResp](c.nn, "nn.addBlocks", dfs.AddBlocksReq{Path: path, Sizes: sizes})
+	resp, err := callNN[dfs.AddBlocksResp](c, "nn.addBlocks", dfs.AddBlocksReq{Path: path, Sizes: sizes, ReqID: reqID})
 	if err != nil {
 		return nil, fmt.Errorf("dfs client: addBlocks: %w", err)
 	}

@@ -133,6 +133,7 @@ func (dn *DataNode) Start() error {
 	s.Handle("dn.pullBlock", wrap(dn.handlePullBlock))
 	s.Handle("ignem.migrateBatch", wrap(dn.handleMigrateBatch))
 	s.Handle("ignem.evictBatch", wrap(dn.handleEvictBatch))
+	s.Handle("ignem.readNotify", wrap(dn.handleReadNotify))
 	s.ServeBackground(l)
 	dn.server = s
 	dn.listener = l
@@ -210,6 +211,61 @@ func (dn *DataNode) Close() {
 	dn.ram.Close()
 }
 
+// Reconnect re-attaches a datanode whose network died out from under it
+// (listener and connections severed — a faultnet crash) without
+// restarting the process: stored blocks and pinned memory survive. It
+// re-binds the RPC listener, redials the namenode, and re-registers with
+// a full block report so the namenode reconciles its replica map instead
+// of trusting stale state.
+func (dn *DataNode) Reconnect() error {
+	dn.mu.Lock()
+	if dn.closed {
+		dn.mu.Unlock()
+		return fmt.Errorf("datanode: closed")
+	}
+	oldNN := dn.nnClient
+	oldL := dn.listener
+	peers := make([]*transport.Client, 0, len(dn.peers))
+	for _, p := range dn.peers {
+		peers = append(peers, p)
+	}
+	dn.peers = make(map[string]*transport.Client)
+	dn.mu.Unlock()
+	for _, p := range peers {
+		p.Close()
+	}
+	if oldL != nil {
+		oldL.Close()
+	}
+
+	l, err := dn.net.Listen(dn.cfg.Addr)
+	if err != nil {
+		return fmt.Errorf("datanode: relisten: %w", err)
+	}
+	dn.server.ServeBackground(l)
+	c, err := transport.Dial(dn.clock, dn.net, dn.cfg.NameNodeAddr)
+	if err != nil {
+		l.Close()
+		return fmt.Errorf("datanode: redial namenode: %w", err)
+	}
+	if _, err := transport.Call[dfs.RegisterResp](c, "nn.register", dfs.RegisterReq{
+		Addr:   dn.cfg.Addr,
+		Blocks: dn.heldBlocks(),
+	}); err != nil {
+		l.Close()
+		c.Close()
+		return fmt.Errorf("datanode: re-register: %w", err)
+	}
+	dn.mu.Lock()
+	dn.listener = l
+	dn.nnClient = c
+	dn.mu.Unlock()
+	if oldNN != nil {
+		oldNN.Close()
+	}
+	return nil
+}
+
 // RestartSlaveProcess simulates the Ignem slave process dying and being
 // restarted on the same server: pinned memory is discarded, and new
 // commands are handled normally afterwards.
@@ -250,14 +306,20 @@ func (dn *DataNode) handleWriteBlock(req dfs.WriteBlockReq) (dfs.WriteBlockResp,
 	// forward with the local buffer-cache write; otherwise the node
 	// stores, then forwards — the historical ordering, kept so
 	// timing-sensitive virtual-clock runs are unchanged.
+	// Every failure talking to the next hop — dial refused or call
+	// failed — is reported as "pipeline to <addr>", which is how the
+	// writing client identifies the dead node to exclude on retry. A
+	// failed peer's cached connection is dropped so a retry after the
+	// peer recovers re-dials instead of reusing a dead conn.
 	forward := func() error {
 		next, err := dn.peer(req.Pipeline[0])
 		if err != nil {
-			return err
+			return fmt.Errorf("datanode: pipeline to %s: %w", req.Pipeline[0], err)
 		}
 		fwd := req
 		fwd.Pipeline = req.Pipeline[1:]
 		if _, err := transport.Call[dfs.WriteBlockResp](next, "dn.writeBlock", fwd); err != nil {
+			dn.forgetPeer(req.Pipeline[0])
 			return fmt.Errorf("datanode: pipeline to %s: %w", req.Pipeline[0], err)
 		}
 		return nil
@@ -392,6 +454,17 @@ func (dn *DataNode) peer(addr string) (*transport.Client, error) {
 	return c, nil
 }
 
+// forgetPeer drops the cached connection to a peer that just failed, so
+// the next use re-dials (the peer may have restarted).
+func (dn *DataNode) forgetPeer(addr string) {
+	dn.mu.Lock()
+	defer dn.mu.Unlock()
+	if c, ok := dn.peers[addr]; ok {
+		c.Close()
+		delete(dn.peers, addr)
+	}
+}
+
 func (dn *DataNode) handleDeleteBlocks(req dfs.DeleteBlocksReq) (dfs.DeleteBlocksResp, error) {
 	dn.mu.Lock()
 	defer dn.mu.Unlock()
@@ -409,6 +482,11 @@ func (dn *DataNode) handleMigrateBatch(req dfs.MigrateBatch) (dfs.MigrateBatchRe
 func (dn *DataNode) handleEvictBatch(req dfs.EvictBatch) (dfs.EvictBatchResp, error) {
 	dn.slave.ApplyEvictBatch(req)
 	return dfs.EvictBatchResp{}, nil
+}
+
+func (dn *DataNode) handleReadNotify(req dfs.ReadNotifyBatch) (dfs.ReadNotifyBatchResp, error) {
+	dn.slave.ApplyReadNotifyBatch(req)
+	return dfs.ReadNotifyBatchResp{}, nil
 }
 
 // heartbeatLoop reports liveness, pinned-memory occupancy, and pin-state

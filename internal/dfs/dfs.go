@@ -81,6 +81,15 @@ type CreateResp struct{}
 type AddBlockReq struct {
 	Path string
 	Size int64 // payload bytes in this block (<= BlockSize)
+	// Exclude lists datanode addresses placement must avoid (a writer
+	// retrying after a pipeline failure excludes the nodes it watched
+	// die). Ignored when honoring it would leave no candidates.
+	Exclude []string
+	// ReqID, when non-zero, makes the allocation idempotent: a retry of
+	// the file's most recent allocation (same ReqID) returns the blocks
+	// already allocated instead of allocating again, so an RPC retry
+	// after a lost reply cannot double-allocate.
+	ReqID uint64
 }
 
 // AddBlockResp returns the allocated block and its target datanodes.
@@ -97,11 +106,31 @@ type AddBlockResp struct {
 type AddBlocksReq struct {
 	Path  string
 	Sizes []int64 // payload bytes per block (each <= BlockSize)
+	// Exclude and ReqID behave exactly as on AddBlockReq.
+	Exclude []string
+	ReqID   uint64
 }
 
 // AddBlocksResp returns the allocated blocks, in request order.
 type AddBlocksResp struct {
 	Located []LocatedBlock
+}
+
+// RetargetBlockReq re-picks replica targets for an already-allocated
+// block, keeping its ID and file offset. A writer whose pipeline died
+// mid-block uses it to retry the same block on fresh nodes (excluding
+// the dead ones) without disturbing the file's block order. Replicas
+// the old targets may still hold become harmless over-replication,
+// cleaned up by their next block report.
+type RetargetBlockReq struct {
+	Path    string
+	Block   BlockID
+	Exclude []string
+}
+
+// RetargetBlockResp returns the block with its new targets.
+type RetargetBlockResp struct {
+	Located LocatedBlock
 }
 
 // CompleteReq seals a file.
@@ -172,6 +201,19 @@ type EvictReq struct {
 type EvictResp struct {
 	Blocks int
 }
+
+// BlockReadReq tells the namenode that Job consumed the listed blocks
+// without touching a datanode (client block-cache hits), so the Ignem
+// master can keep the job's implicit-eviction reference lists moving.
+// Clients batch these and send them fire-and-forget; losing one only
+// delays eviction until the job's explicit Evict.
+type BlockReadReq struct {
+	Job    JobID
+	Blocks []BlockID
+}
+
+// BlockReadResp acknowledges a cache-hit read notification.
+type BlockReadResp struct{}
 
 // RegisterReq announces a datanode to the namenode. Blocks is the full
 // block report of what the datanode currently stores; the namenode
@@ -321,6 +363,23 @@ type EvictBatch struct {
 // EvictBatchResp acknowledges an evict batch.
 type EvictBatchResp struct{}
 
+// ReadNotifyCmd tells a slave that Job read Block somewhere the
+// datanode could not observe (a client cache hit), so the slave applies
+// the same reference-list bookkeeping OnBlockRead would.
+type ReadNotifyCmd struct {
+	Block BlockID
+	Job   JobID
+}
+
+// ReadNotifyBatch carries a batch of read notifications.
+type ReadNotifyBatch struct {
+	Epoch uint64
+	Cmds  []ReadNotifyCmd
+}
+
+// ReadNotifyBatchResp acknowledges a read-notify batch.
+type ReadNotifyBatchResp struct{}
+
 // RegisterWire registers every wire type for the TCP transport's gob
 // codec. It is safe to call more than once.
 func RegisterWire() {
@@ -328,6 +387,7 @@ func RegisterWire() {
 		CreateReq{}, CreateResp{},
 		AddBlockReq{}, AddBlockResp{},
 		AddBlocksReq{}, AddBlocksResp{},
+		RetargetBlockReq{}, RetargetBlockResp{},
 		CompleteReq{}, CompleteResp{},
 		GetInfoReq{}, GetInfoResp{},
 		GetLocationsReq{}, GetLocationsResp{},
@@ -344,6 +404,8 @@ func RegisterWire() {
 		BlockReportReq{}, BlockReportResp{},
 		MigrateBatch{}, MigrateBatchResp{},
 		EvictBatch{}, EvictBatchResp{},
+		BlockReadReq{}, BlockReadResp{},
+		ReadNotifyBatch{}, ReadNotifyBatchResp{},
 	} {
 		transport.RegisterType(v)
 	}

@@ -64,6 +64,13 @@ func (c *Config) setDefaults() {
 type fileEntry struct {
 	info   dfs.FileInfo
 	blocks []dfs.Block
+	// lastAllocID/lastAllocResp cache the file's most recent allocation
+	// keyed by the caller's request ID, making allocation retries after a
+	// lost reply idempotent. One-deep is enough: a file has one writer
+	// and the writer allocates serially, so a retry can only ever be of
+	// the latest allocation.
+	lastAllocID   uint64
+	lastAllocResp any
 }
 
 type blockMeta struct {
@@ -141,6 +148,7 @@ func (nn *NameNode) Start() error {
 	s.Handle("nn.create", wrap(nn.handleCreate))
 	s.Handle("nn.addBlock", wrap(nn.handleAddBlock))
 	s.Handle("nn.addBlocks", wrap(nn.handleAddBlocks))
+	s.Handle("nn.retargetBlock", wrap(nn.handleRetargetBlock))
 	s.Handle("nn.complete", wrap(nn.handleComplete))
 	s.Handle("nn.getInfo", wrap(nn.handleGetInfo))
 	s.Handle("nn.getLocations", wrap(nn.handleGetLocations))
@@ -148,6 +156,7 @@ func (nn *NameNode) Start() error {
 	s.Handle("nn.list", wrap(nn.handleList))
 	s.Handle("nn.migrate", wrap(nn.handleMigrate))
 	s.Handle("nn.evict", wrap(nn.handleEvict))
+	s.Handle("nn.blockRead", wrap(nn.handleBlockRead))
 	s.Handle("nn.register", wrap(nn.handleRegister))
 	s.Handle("nn.blockReport", wrap(nn.handleBlockReport))
 	s.Handle("nn.heartbeat", wrap(nn.handleHeartbeat))
@@ -248,11 +257,20 @@ func (nn *NameNode) handleAddBlock(req dfs.AddBlockReq) (dfs.AddBlockResp, error
 	if err != nil {
 		return dfs.AddBlockResp{}, err
 	}
-	lb, err := nn.allocateBlockLocked(f, req.Size)
+	if req.ReqID != 0 && req.ReqID == f.lastAllocID {
+		if resp, ok := f.lastAllocResp.(dfs.AddBlockResp); ok {
+			return resp, nil
+		}
+	}
+	lb, err := nn.allocateBlockLocked(f, req.Size, req.Exclude)
 	if err != nil {
 		return dfs.AddBlockResp{}, err
 	}
-	return dfs.AddBlockResp{Located: lb}, nil
+	resp := dfs.AddBlockResp{Located: lb}
+	if req.ReqID != 0 {
+		f.lastAllocID, f.lastAllocResp = req.ReqID, resp
+	}
+	return resp, nil
 }
 
 // handleAddBlocks allocates a window of blocks under one namespace-lock
@@ -270,15 +288,24 @@ func (nn *NameNode) handleAddBlocks(req dfs.AddBlocksReq) (dfs.AddBlocksResp, er
 	if err != nil {
 		return dfs.AddBlocksResp{}, err
 	}
+	if req.ReqID != 0 && req.ReqID == f.lastAllocID {
+		if resp, ok := f.lastAllocResp.(dfs.AddBlocksResp); ok {
+			return resp, nil
+		}
+	}
 	out := make([]dfs.LocatedBlock, 0, len(req.Sizes))
 	for _, size := range req.Sizes {
-		lb, err := nn.allocateBlockLocked(f, size)
+		lb, err := nn.allocateBlockLocked(f, size, req.Exclude)
 		if err != nil {
 			return dfs.AddBlocksResp{}, err
 		}
 		out = append(out, lb)
 	}
-	return dfs.AddBlocksResp{Located: out}, nil
+	resp := dfs.AddBlocksResp{Located: out}
+	if req.ReqID != 0 {
+		f.lastAllocID, f.lastAllocResp = req.ReqID, resp
+	}
+	return resp, nil
 }
 
 // openFileLocked looks up an open (unsealed) file and validates the
@@ -301,8 +328,8 @@ func (nn *NameNode) openFileLocked(path string, sizes []int64) (*fileEntry, erro
 
 // allocateBlockLocked appends one block to f with freshly chosen replica
 // targets. Called with mu held.
-func (nn *NameNode) allocateBlockLocked(f *fileEntry, size int64) (dfs.LocatedBlock, error) {
-	targets := nn.chooseTargetsLocked(f.info.Replication)
+func (nn *NameNode) allocateBlockLocked(f *fileEntry, size int64, exclude []string) (dfs.LocatedBlock, error) {
+	targets := nn.chooseTargetsLocked(f.info.Replication, exclude)
 	if len(targets) == 0 {
 		return dfs.LocatedBlock{}, fmt.Errorf("namenode: no live datanodes")
 	}
@@ -319,11 +346,16 @@ func (nn *NameNode) allocateBlockLocked(f *fileEntry, size int64) (dfs.LocatedBl
 	return dfs.LocatedBlock{Block: b, Offset: offset, Nodes: targets}, nil
 }
 
-// chooseTargetsLocked picks up to rep distinct live datanodes. With rack
-// information it applies HDFS's default policy; otherwise placement is a
-// seeded random choice. Called with mu held; takes dnmu (read) and rngMu
-// itself.
-func (nn *NameNode) chooseTargetsLocked(rep int) []string {
+// chooseTargetsLocked picks up to rep distinct live datanodes avoiding
+// the excluded addresses. With rack information it applies HDFS's
+// default policy; otherwise placement is a seeded random choice. The
+// exclusion filter runs after the seeded shuffle, so calls with no
+// exclusions draw the rng exactly as they always have (seeded figures
+// stay bit-identical); an exclusion list that would leave no candidates
+// is ignored rather than failing the allocation — better a replica on a
+// suspect node than none at all. Called with mu held; takes dnmu (read)
+// and rngMu itself.
+func (nn *NameNode) chooseTargetsLocked(rep int, exclude []string) []string {
 	nn.dnmu.RLock()
 	live := make([]string, 0, len(nn.datanodes))
 	for addr, dn := range nn.datanodes {
@@ -336,6 +368,21 @@ func (nn *NameNode) chooseTargetsLocked(rep int) []string {
 	nn.rngMu.Lock()
 	nn.rng.Shuffle(len(live), func(i, j int) { live[i], live[j] = live[j], live[i] })
 	nn.rngMu.Unlock()
+	if len(exclude) > 0 {
+		ex := make(map[string]bool, len(exclude))
+		for _, a := range exclude {
+			ex[a] = true
+		}
+		kept := make([]string, 0, len(live))
+		for _, a := range live {
+			if !ex[a] {
+				kept = append(kept, a)
+			}
+		}
+		if len(kept) > 0 {
+			live = kept
+		}
+	}
 	if rep > len(live) {
 		rep = len(live)
 	}
@@ -385,6 +432,51 @@ func (nn *NameNode) rackAwareTargets(shuffled []string, rep int) []string {
 		}
 	}
 	return targets
+}
+
+// handleRetargetBlock replaces an allocated block's target set with a
+// fresh placement that avoids the excluded nodes, preserving the block's
+// ID and file offset. The writer retries the same block on the new
+// targets, so the file's block order is unaffected even when later
+// blocks are already in flight. Replicas that did land on old targets
+// are reconciled away (or kept as benign over-replication) by block
+// reports. Safe to retry: re-picking targets twice costs extra rng
+// draws but allocates nothing.
+func (nn *NameNode) handleRetargetBlock(req dfs.RetargetBlockReq) (dfs.RetargetBlockResp, error) {
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	f, ok := nn.files[req.Path]
+	if !ok {
+		return dfs.RetargetBlockResp{}, fmt.Errorf("namenode: no such file %s", req.Path)
+	}
+	var (
+		blk    dfs.Block
+		offset int64
+		found  bool
+	)
+	for _, b := range f.blocks {
+		if b.ID == req.Block {
+			blk, found = b, true
+			break
+		}
+		offset += b.Size
+	}
+	if !found {
+		return dfs.RetargetBlockResp{}, fmt.Errorf("namenode: block %d not in %s", req.Block, req.Path)
+	}
+	meta := nn.blocks[req.Block]
+	if meta == nil {
+		return dfs.RetargetBlockResp{}, fmt.Errorf("namenode: block %d has no metadata", req.Block)
+	}
+	targets := nn.chooseTargetsLocked(meta.want, req.Exclude)
+	if len(targets) == 0 {
+		return dfs.RetargetBlockResp{}, fmt.Errorf("namenode: no live datanodes")
+	}
+	meta.nodes = make(map[string]struct{}, len(targets))
+	for _, t := range targets {
+		meta.nodes[t] = struct{}{}
+	}
+	return dfs.RetargetBlockResp{Located: dfs.LocatedBlock{Block: blk, Offset: offset, Nodes: targets}}, nil
 }
 
 func (nn *NameNode) handleComplete(req dfs.CompleteReq) (dfs.CompleteResp, error) {
@@ -481,6 +573,15 @@ func (nn *NameNode) handleMigrate(req dfs.MigrateReq) (dfs.MigrateResp, error) {
 
 func (nn *NameNode) handleEvict(req dfs.EvictReq) (dfs.EvictResp, error) {
 	return nn.master.Evict(req)
+}
+
+// handleBlockRead ingests a client's batched cache-hit notification and
+// relays it to the Ignem master, which forwards each block to the slave
+// holding its migrated replica. Always succeeds: a notification for an
+// unknown job or block simply has no references to release.
+func (nn *NameNode) handleBlockRead(req dfs.BlockReadReq) (dfs.BlockReadResp, error) {
+	nn.master.NotifyRead(req.Job, req.Blocks)
+	return dfs.BlockReadResp{}, nil
 }
 
 // ---- datanode registry ----
@@ -765,6 +866,17 @@ func (nn *NameNode) SendEvict(addr string, batch dfs.EvictBatch) error {
 		return err
 	}
 	_, err = transport.Call[dfs.EvictBatchResp](c, "ignem.evictBatch", batch)
+	return err
+}
+
+// SendReadNotify pushes a remote-read notification batch to the slave at
+// addr.
+func (nn *NameNode) SendReadNotify(addr string, batch dfs.ReadNotifyBatch) error {
+	c, err := nn.slaveClient(addr)
+	if err != nil {
+		return err
+	}
+	_, err = transport.Call[dfs.ReadNotifyBatchResp](c, "ignem.readNotify", batch)
 	return err
 }
 

@@ -1,0 +1,458 @@
+// Package faultnet injects deterministic network and node faults into a
+// transport.Network. A Fabric wraps any base network (in-memory or TCP)
+// and hands out per-node views via Node; every connection made through a
+// view is subject to the fabric's link rules and crash schedule:
+//
+//   - per-link (directed) message drop probability, fixed delay, and
+//     hard blocks (asymmetric partitions),
+//   - one-shot and clock-scheduled node crashes that close the node's
+//     listeners and every connection touching it,
+//   - Revive + Heal to bring nodes and links back.
+//
+// Everything is driven by the simulation clock and a single seed, so a
+// chaos scenario replays bit-for-bit: scheduled faults fire at exact
+// virtual instants, and probabilistic drops draw from per-connection,
+// per-direction rngs whose seeds derive from (fabric seed, link, dial
+// ordinal). The determinism contract is: keep fault schedules on the
+// clock, and confine probabilistic drop rules to links whose connections
+// are used by one goroutine at a time (concurrent senders on one conn
+// race for rng draws — the fabric stays race-free but the draw order,
+// and thus which message dies, is no longer reproducible).
+//
+// Rule enforcement is dialer-side: the connection returned by a view's
+// Dial applies rule(from→to) to outgoing messages and rule(to→from) to
+// incoming ones, so both directions of an asymmetric partition work
+// without the server knowing who dialed. Connections handed out by a
+// wrapped listener pass messages through untouched; they are only
+// tracked so a crash of the listening node kills them.
+//
+// Deviation from the transport.Conn contract: Send on a delayed link
+// sleeps the sender for the configured delay (the base in-memory
+// transport charges latency on a pump goroutine instead). This keeps
+// delays strictly ordered with the caller's other clock activity, which
+// is what makes delayed scenarios reproducible.
+package faultnet
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/simclock"
+	"repro/internal/transport"
+)
+
+// Fabric owns the fault state shared by all node views over one base
+// network. The zero value is not usable; construct with New.
+type Fabric struct {
+	clock simclock.Clock
+	base  transport.Network
+	seed  int64
+	start time.Time
+
+	mu        sync.Mutex
+	owners    map[string]string // listen addr -> owning node
+	rules     map[linkKey]linkRule
+	crashed   map[string]bool
+	listeners map[string]map[*faultListener]struct{} // node -> live listeners
+	conns     map[string]map[*faultConn]struct{}     // node -> conns touching it
+	dialSeq   map[linkKey]uint64
+	events    []string
+}
+
+type linkKey struct{ from, to string }
+
+// linkRule is the fault policy for one directed link. The zero value
+// means "healthy".
+type linkRule struct {
+	drop    float64 // probability a message silently disappears
+	delay   time.Duration
+	blocked bool // every message silently disappears
+}
+
+// New wraps base in a fault-injecting fabric. seed fixes every
+// probabilistic decision the fabric will ever make.
+func New(clock simclock.Clock, base transport.Network, seed int64) *Fabric {
+	return &Fabric{
+		clock:     clock,
+		base:      base,
+		seed:      seed,
+		start:     clock.Now(),
+		owners:    make(map[string]string),
+		rules:     make(map[linkKey]linkRule),
+		crashed:   make(map[string]bool),
+		listeners: make(map[string]map[*faultListener]struct{}),
+		conns:     make(map[string]map[*faultConn]struct{}),
+		dialSeq:   make(map[linkKey]uint64),
+	}
+}
+
+// Node returns the network as seen by the named node. All Listen and
+// Dial calls a component makes must go through its own view, so the
+// fabric knows which links its connections ride.
+func (f *Fabric) Node(name string) transport.Network {
+	return &nodeNet{f: f, node: name}
+}
+
+// SetDrop makes each message from→to vanish with probability p
+// (0 disables). Directed: set both directions for a lossy cable.
+func (f *Fabric) SetDrop(from, to string, p float64) {
+	f.mu.Lock()
+	r := f.rules[linkKey{from, to}]
+	r.drop = p
+	f.rules[linkKey{from, to}] = r
+	f.mu.Unlock()
+	f.logf("setdrop %s->%s p=%g", from, to, p)
+}
+
+// SetDelay adds a fixed d to every message from→to (0 disables).
+func (f *Fabric) SetDelay(from, to string, d time.Duration) {
+	f.mu.Lock()
+	r := f.rules[linkKey{from, to}]
+	r.delay = d
+	f.rules[linkKey{from, to}] = r
+	f.mu.Unlock()
+	f.logf("setdelay %s->%s d=%v", from, to, d)
+}
+
+// Block blackholes every message from→to. Asymmetric: the reverse
+// direction keeps flowing unless blocked too.
+func (f *Fabric) Block(from, to string) {
+	f.mu.Lock()
+	r := f.rules[linkKey{from, to}]
+	r.blocked = true
+	f.rules[linkKey{from, to}] = r
+	f.mu.Unlock()
+	f.logf("block %s->%s", from, to)
+}
+
+// Unblock reverses Block for one directed link.
+func (f *Fabric) Unblock(from, to string) {
+	f.mu.Lock()
+	r := f.rules[linkKey{from, to}]
+	r.blocked = false
+	f.rules[linkKey{from, to}] = r
+	f.mu.Unlock()
+	f.logf("unblock %s->%s", from, to)
+}
+
+// Partition blocks every link between side a and side b, both
+// directions. Links within each side are untouched.
+func (f *Fabric) Partition(a, b []string) {
+	f.mu.Lock()
+	for _, x := range a {
+		for _, y := range b {
+			for _, k := range []linkKey{{x, y}, {y, x}} {
+				r := f.rules[k]
+				r.blocked = true
+				f.rules[k] = r
+			}
+		}
+	}
+	f.mu.Unlock()
+	f.logf("partition %v | %v", a, b)
+}
+
+// Heal clears every link rule (blocks, drops, delays). Crashed nodes
+// stay crashed; use Revive.
+func (f *Fabric) Heal() {
+	f.mu.Lock()
+	f.rules = make(map[linkKey]linkRule)
+	f.mu.Unlock()
+	f.logf("heal")
+}
+
+// Crash kills node now: its listeners close, every connection touching
+// it closes (both ends observe ErrClosed), and until Revive its view
+// refuses to Listen or Dial and nobody can dial its addresses.
+func (f *Fabric) Crash(node string) {
+	f.mu.Lock()
+	if f.crashed[node] {
+		f.mu.Unlock()
+		return
+	}
+	f.crashed[node] = true
+	ls := make([]*faultListener, 0, len(f.listeners[node]))
+	for l := range f.listeners[node] {
+		ls = append(ls, l)
+	}
+	cs := make([]*faultConn, 0, len(f.conns[node]))
+	for c := range f.conns[node] {
+		cs = append(cs, c)
+	}
+	f.mu.Unlock()
+	f.logf("crash %s (listeners=%d conns=%d)", node, len(ls), len(cs))
+	for _, l := range ls {
+		l.Close()
+	}
+	for _, c := range cs {
+		c.Close()
+	}
+}
+
+// CrashAfter schedules Crash(node) d from now on the fabric's clock.
+func (f *Fabric) CrashAfter(node string, d time.Duration) {
+	f.clock.Go(func() {
+		f.clock.Sleep(d)
+		f.Crash(node)
+	})
+}
+
+// Revive lets a crashed node rejoin: its view may Listen and Dial
+// again. The node's component must re-create its own listeners and
+// connections — faultnet does not resurrect them.
+func (f *Fabric) Revive(node string) {
+	f.mu.Lock()
+	delete(f.crashed, node)
+	f.mu.Unlock()
+	f.logf("revive %s", node)
+}
+
+// Crashed reports whether node is currently crashed.
+func (f *Fabric) Crashed(node string) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed[node]
+}
+
+// Events returns a copy of the fabric's event log: every fault action
+// and every injected message loss, stamped with elapsed simulation
+// time. Two runs of the same seeded scenario produce identical logs.
+func (f *Fabric) Events() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]string(nil), f.events...)
+}
+
+func (f *Fabric) logf(format string, args ...any) {
+	line := fmt.Sprintf("[%v] %s", f.clock.Now().Sub(f.start), fmt.Sprintf(format, args...))
+	f.mu.Lock()
+	f.events = append(f.events, line)
+	f.mu.Unlock()
+}
+
+func (f *Fabric) ruleFor(from, to string) linkRule {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.rules[linkKey{from, to}]
+}
+
+// ownerOf maps a dialed address to the node that listens on it. An
+// address nobody has listened on yet is treated as its own node, which
+// is right for this repo's convention of addr == node name.
+func (f *Fabric) ownerOf(addr string) string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if n, ok := f.owners[addr]; ok {
+		return n
+	}
+	return addr
+}
+
+// linkRNG derives the seeded rng for one direction of one connection.
+func (f *Fabric) linkRNG(from, to string, seq uint64, dir string) *rand.Rand {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%s|%s|%d|%s", f.seed, from, to, seq, dir)
+	return rand.New(rand.NewSource(int64(h.Sum64())))
+}
+
+func (f *Fabric) register(c *faultConn) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, n := range []string{c.from, c.to} {
+		if n == "" {
+			continue
+		}
+		m := f.conns[n]
+		if m == nil {
+			m = make(map[*faultConn]struct{})
+			f.conns[n] = m
+		}
+		m[c] = struct{}{}
+	}
+}
+
+func (f *Fabric) deregister(c *faultConn) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, n := range []string{c.from, c.to} {
+		delete(f.conns[n], c)
+	}
+}
+
+// nodeNet is one node's view of the fabric.
+type nodeNet struct {
+	f    *Fabric
+	node string
+}
+
+var _ transport.Network = (*nodeNet)(nil)
+
+func (n *nodeNet) Listen(addr string) (transport.Listener, error) {
+	f := n.f
+	f.mu.Lock()
+	if f.crashed[n.node] {
+		f.mu.Unlock()
+		return nil, fmt.Errorf("faultnet: node %q crashed: %w", n.node, transport.ErrClosed)
+	}
+	f.mu.Unlock()
+	inner, err := f.base.Listen(addr)
+	if err != nil {
+		return nil, err
+	}
+	l := &faultListener{f: f, node: n.node, inner: inner}
+	f.mu.Lock()
+	f.owners[addr] = n.node
+	m := f.listeners[n.node]
+	if m == nil {
+		m = make(map[*faultListener]struct{})
+		f.listeners[n.node] = m
+	}
+	m[l] = struct{}{}
+	f.mu.Unlock()
+	return l, nil
+}
+
+func (n *nodeNet) Dial(addr string) (transport.Conn, error) {
+	f := n.f
+	to := f.ownerOf(addr)
+	f.mu.Lock()
+	if f.crashed[n.node] {
+		f.mu.Unlock()
+		return nil, fmt.Errorf("faultnet: node %q crashed: %w", n.node, transport.ErrClosed)
+	}
+	if f.crashed[to] {
+		f.mu.Unlock()
+		return nil, fmt.Errorf("faultnet: node %q crashed: %w", to, transport.ErrClosed)
+	}
+	key := linkKey{n.node, to}
+	seq := f.dialSeq[key]
+	f.dialSeq[key] = seq + 1
+	f.mu.Unlock()
+
+	inner, err := f.base.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &faultConn{
+		f:       f,
+		from:    n.node,
+		to:      to,
+		inner:   inner,
+		ruled:   true,
+		sendRNG: f.linkRNG(n.node, to, seq, "send"),
+		recvRNG: f.linkRNG(n.node, to, seq, "recv"),
+	}
+	f.register(c)
+	return c, nil
+}
+
+// faultListener tracks accepted connections under the listening node so
+// a crash kills them. Accepted conns are not rule-checked (the peer's
+// dialer-side wrapper already enforces both directions).
+type faultListener struct {
+	f     *Fabric
+	node  string
+	inner transport.Listener
+
+	closeOnce sync.Once
+}
+
+var _ transport.Listener = (*faultListener)(nil)
+
+func (l *faultListener) Accept() (transport.Conn, error) {
+	inner, err := l.inner.Accept()
+	if err != nil {
+		return nil, err
+	}
+	c := &faultConn{f: l.f, from: l.node, inner: inner}
+	l.f.register(c)
+	return c, nil
+}
+
+func (l *faultListener) Close() error {
+	l.closeOnce.Do(func() {
+		l.f.mu.Lock()
+		delete(l.f.listeners[l.node], l)
+		l.f.mu.Unlock()
+	})
+	return l.inner.Close()
+}
+
+func (l *faultListener) Addr() string { return l.inner.Addr() }
+
+// faultConn applies the fabric's link rules around an inner connection.
+type faultConn struct {
+	f     *Fabric
+	from  string
+	to    string // empty on accepted conns (peer unknown)
+	inner transport.Conn
+	ruled bool
+
+	sendMu  sync.Mutex
+	sendRNG *rand.Rand
+	recvMu  sync.Mutex
+	recvRNG *rand.Rand
+
+	closeOnce sync.Once
+}
+
+var _ transport.Conn = (*faultConn)(nil)
+
+func (c *faultConn) Send(m transport.Message) error {
+	if !c.ruled {
+		return c.inner.Send(m)
+	}
+	r := c.f.ruleFor(c.from, c.to)
+	if r.blocked {
+		c.f.logf("dropmsg %s->%s method=%q id=%d (blocked)", c.from, c.to, m.Method, m.ID)
+		return nil
+	}
+	if r.drop > 0 {
+		c.sendMu.Lock()
+		unlucky := c.sendRNG.Float64() < r.drop
+		c.sendMu.Unlock()
+		if unlucky {
+			c.f.logf("dropmsg %s->%s method=%q id=%d (drop)", c.from, c.to, m.Method, m.ID)
+			return nil
+		}
+	}
+	if r.delay > 0 {
+		c.f.clock.Sleep(r.delay)
+	}
+	return c.inner.Send(m)
+}
+
+func (c *faultConn) Recv() (transport.Message, error) {
+	for {
+		m, err := c.inner.Recv()
+		if err != nil || !c.ruled {
+			return m, err
+		}
+		r := c.f.ruleFor(c.to, c.from)
+		if r.blocked {
+			c.f.logf("dropmsg %s->%s method=%q id=%d (blocked)", c.to, c.from, m.Method, m.ID)
+			continue
+		}
+		if r.drop > 0 {
+			c.recvMu.Lock()
+			unlucky := c.recvRNG.Float64() < r.drop
+			c.recvMu.Unlock()
+			if unlucky {
+				c.f.logf("dropmsg %s->%s method=%q id=%d (drop)", c.to, c.from, m.Method, m.ID)
+				continue
+			}
+		}
+		if r.delay > 0 {
+			c.f.clock.Sleep(r.delay)
+		}
+		return m, nil
+	}
+}
+
+func (c *faultConn) Close() error {
+	c.closeOnce.Do(func() { c.f.deregister(c) })
+	return c.inner.Close()
+}

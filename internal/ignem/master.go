@@ -20,14 +20,18 @@ type Resolver interface {
 type SlaveLink interface {
 	SendMigrate(addr string, batch dfs.MigrateBatch) error
 	SendEvict(addr string, batch dfs.EvictBatch) error
+	SendReadNotify(addr string, batch dfs.ReadNotifyBatch) error
 }
 
 // MasterStats is a snapshot of master activity.
 type MasterStats struct {
-	Epoch          uint64
-	ActiveJobs     int
-	MigrateReqs    int64
-	EvictReqs      int64
+	Epoch       uint64
+	ActiveJobs  int
+	MigrateReqs int64
+	EvictReqs   int64
+	// ReadNotifies counts cache-hit read notifications forwarded to
+	// slaves (blocks, not batches).
+	ReadNotifies   int64
 	BlocksAssigned int64
 	BytesAssigned  int64
 	SendErrors     int64
@@ -157,6 +161,40 @@ func (m *Master) Evict(req dfs.EvictReq) (dfs.EvictResp, error) {
 		}
 	}
 	return dfs.EvictResp{Blocks: blocks}, nil
+}
+
+// NotifyRead handles a client's batched cache-hit notification: the
+// client served these blocks for Job from its own memory, so no datanode
+// observed the reads and no slave advanced its reference lists. The
+// master forwards each block to the slave it assigned the migration to,
+// letting implicit eviction fire exactly as if the datanode had served
+// the read. Blocks the master never assigned for the job (already
+// evicted, never migrated, or assigned by a previous epoch) are dropped:
+// there is no reference to release.
+func (m *Master) NotifyRead(job dfs.JobID, blocks []dfs.BlockID) {
+	m.mu.Lock()
+	epoch := m.epoch
+	assigned := m.jobs[job]
+	batches := make(map[string][]dfs.ReadNotifyCmd)
+	for _, id := range blocks {
+		addr, ok := assigned[id]
+		if !ok {
+			continue
+		}
+		batches[addr] = append(batches[addr], dfs.ReadNotifyCmd{Block: id, Job: job})
+		m.stats.ReadNotifies++
+	}
+	m.mu.Unlock()
+
+	for _, addr := range sortedKeys(batches) {
+		cmds := batches[addr]
+		sort.Slice(cmds, func(i, j int) bool { return cmds[i].Block < cmds[j].Block })
+		if err := m.link.SendReadNotify(addr, dfs.ReadNotifyBatch{Epoch: epoch, Cmds: cmds}); err != nil {
+			m.mu.Lock()
+			m.stats.SendErrors++
+			m.mu.Unlock()
+		}
+	}
 }
 
 // AssignedReplica reports the replica address the master chose for a

@@ -35,6 +35,7 @@ type fakeLink struct {
 	mu       sync.Mutex
 	migrates map[string][]dfs.MigrateBatch
 	evicts   map[string][]dfs.EvictBatch
+	notifies map[string][]dfs.ReadNotifyBatch
 	err      error
 }
 
@@ -42,6 +43,7 @@ func newFakeLink() *fakeLink {
 	return &fakeLink{
 		migrates: make(map[string][]dfs.MigrateBatch),
 		evicts:   make(map[string][]dfs.EvictBatch),
+		notifies: make(map[string][]dfs.ReadNotifyBatch),
 	}
 }
 
@@ -62,6 +64,16 @@ func (l *fakeLink) SendEvict(addr string, b dfs.EvictBatch) error {
 		return l.err
 	}
 	l.evicts[addr] = append(l.evicts[addr], b)
+	return nil
+}
+
+func (l *fakeLink) SendReadNotify(addr string, b dfs.ReadNotifyBatch) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return l.err
+	}
+	l.notifies[addr] = append(l.notifies[addr], b)
 	return nil
 }
 
@@ -265,6 +277,15 @@ func (l *directLink) SendEvict(addr string, b dfs.EvictBatch) error {
 	return nil
 }
 
+func (l *directLink) SendReadNotify(addr string, b dfs.ReadNotifyBatch) error {
+	s, ok := l.slaves[addr]
+	if !ok {
+		return errors.New("no slave")
+	}
+	s.ApplyReadNotifyBatch(b)
+	return nil
+}
+
 func TestMasterSlaveEndToEnd(t *testing.T) {
 	v := simclock.NewVirtual(epoch)
 	media := &fakeMedia{clock: v, readTime: 10 * time.Millisecond}
@@ -366,5 +387,180 @@ func TestNoLeakProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
 		t.Error(err)
+	}
+}
+
+// A job whose reads are served from a client block cache never touches a
+// datanode, so implicit eviction would leak its references forever.
+// The client-side cache-hit notification (nn.blockRead → NotifyRead →
+// SendReadNotify) must release them: here job2 reads through the
+// datanode path but job3's read is a cache hit reported only via
+// NotifyRead, and the pinned block still drains to zero.
+func TestNotifyReadDrivesImplicitEvictionForCachedReads(t *testing.T) {
+	v := simclock.NewVirtual(epoch)
+	media := &fakeMedia{clock: v, readTime: time.Millisecond}
+	s := NewSlave(v, SlaveConfig{Capacity: 1 << 30}, media, nil, nil)
+	link := &directLink{slaves: map[string]*Slave{"dn1": s}}
+	res := &fakeResolver{files: map[string][]dfs.LocatedBlock{
+		"/input": {located(1, 8<<20, "dn1")},
+	}}
+	m := NewMaster(res, link, 3)
+	v.Go(func() {
+		if _, err := m.Migrate(dfs.MigrateReq{Job: "job2", Paths: []string{"/input"}, Implicit: true, SubmitTime: v.Now()}); err != nil {
+			t.Errorf("migrate job2: %v", err)
+		}
+		if _, err := m.Migrate(dfs.MigrateReq{Job: "job3", Paths: []string{"/input"}, Implicit: true, SubmitTime: v.Now()}); err != nil {
+			t.Errorf("migrate job3: %v", err)
+		}
+	})
+	v.Wait()
+	if !s.IsPinned(1) {
+		t.Fatal("block 1 should be pinned after both migrations")
+	}
+
+	// job2 reads via the datanode: the slave observes it directly.
+	v.Go(func() { s.OnBlockRead(1, "job2") })
+	v.Wait()
+	if !s.IsPinned(1) {
+		t.Fatal("job3's reference should keep block 1 pinned")
+	}
+
+	// job3's read is a client cache hit the slave never sees. Without the
+	// notification this reference leaks until job3's explicit evict.
+	v.Go(func() { m.NotifyRead("job3", []dfs.BlockID{1}) })
+	v.Wait()
+	if s.IsPinned(1) || s.PinnedBytes() != 0 {
+		t.Fatalf("cached read notification did not release job3's reference: pinned=%v bytes=%d",
+			s.IsPinned(1), s.PinnedBytes())
+	}
+	if st := m.Stats(); st.ReadNotifies != 1 {
+		t.Errorf("ReadNotifies = %d, want 1", st.ReadNotifies)
+	}
+}
+
+// NotifyRead routes each block to the replica the master assigned it to,
+// stamps the current epoch, and silently drops blocks it never assigned
+// (unknown job, unknown block, or a pre-restart assignment).
+func TestNotifyReadRoutesToAssignedReplicaOnly(t *testing.T) {
+	res := &fakeResolver{files: map[string][]dfs.LocatedBlock{
+		"/a": {located(1, 10, "dn1"), located(2, 20, "dn2")},
+	}}
+	link := newFakeLink()
+	m := NewMaster(res, link, 42)
+	if _, err := m.Migrate(dfs.MigrateReq{Job: "j1", Paths: []string{"/a"}, Implicit: true}); err != nil {
+		t.Fatalf("migrate: %v", err)
+	}
+
+	m.NotifyRead("j1", []dfs.BlockID{1, 2, 99}) // 99 never migrated
+	m.NotifyRead("ghost", []dfs.BlockID{1})     // job unknown to the master
+
+	link.mu.Lock()
+	defer link.mu.Unlock()
+	total := 0
+	for addr, batches := range link.notifies {
+		for _, b := range batches {
+			if b.Epoch != 1 {
+				t.Errorf("notify batch to %s has epoch %d, want 1", addr, b.Epoch)
+			}
+			for _, cmd := range b.Cmds {
+				if got := m.AssignedReplica(cmd.Job, cmd.Block); got != addr {
+					t.Errorf("block %d notified at %s but assigned to %q", cmd.Block, addr, got)
+				}
+				total++
+			}
+		}
+	}
+	if total != 2 {
+		t.Errorf("delivered %d notify cmds, want 2 (unknown job/block must be dropped)", total)
+	}
+}
+
+// A notification that lands before the block is migrated marks the
+// (job, block) already-read, so the queued migration is discarded
+// instead of pinning memory for data the job has already consumed.
+func TestNotifyReadBeforeMigrationDiscardsQueuedCommand(t *testing.T) {
+	v := simclock.NewVirtual(epoch)
+	media := &fakeMedia{clock: v, readTime: time.Second}
+	s := NewSlave(v, SlaveConfig{Capacity: 1 << 30}, media, nil, nil)
+	link := &directLink{slaves: map[string]*Slave{"dn1": s}}
+	res := &fakeResolver{files: map[string][]dfs.LocatedBlock{
+		"/a": {located(1, 8<<20, "dn1"), located(2, 8<<20, "dn1")},
+	}}
+	m := NewMaster(res, link, 3)
+	v.Go(func() {
+		if _, err := m.Migrate(dfs.MigrateReq{Job: "j1", Paths: []string{"/a"}, Implicit: true, SubmitTime: v.Now()}); err != nil {
+			t.Errorf("migrate: %v", err)
+		}
+		// Both commands are queued (reads take 1s); the client already hit
+		// both blocks in its cache before either migration starts... except
+		// the one in flight, which the marker also catches on completion.
+		m.NotifyRead("j1", []dfs.BlockID{1, 2})
+	})
+	v.Wait()
+	st := s.Stats()
+	if st.PinnedBlocks != 0 || s.PinnedBytes() != 0 {
+		t.Fatalf("pinned %d blocks / %d bytes, want none", st.PinnedBlocks, s.PinnedBytes())
+	}
+	if st.DiscardedMissed != 2 {
+		t.Errorf("DiscardedMissed = %d, want 2", st.DiscardedMissed)
+	}
+}
+
+// A master restart while a slave holds an in-flight migration from the
+// old epoch must not corrupt state: the stale read's result is dropped
+// when it lands (its epoch lost), the re-issued migration under the new
+// epoch pins each block exactly once, and nothing is double-migrated or
+// double-counted.
+func TestMasterRestartMidMigrationDropsStaleAndReissues(t *testing.T) {
+	v := simclock.NewVirtual(epoch)
+	media := &fakeMedia{clock: v, readTime: time.Second}
+	s := NewSlave(v, SlaveConfig{Capacity: 1 << 30}, media, nil, nil)
+	link := &directLink{slaves: map[string]*Slave{"dn1": s}}
+	res := &fakeResolver{files: map[string][]dfs.LocatedBlock{
+		"/a": {located(1, 8<<20, "dn1"), located(2, 8<<20, "dn1")},
+	}}
+	m := NewMaster(res, link, 3)
+	v.Go(func() {
+		if _, err := m.Migrate(dfs.MigrateReq{Job: "j1", Paths: []string{"/a"}, SubmitTime: v.Now()}); err != nil {
+			t.Errorf("migrate: %v", err)
+		}
+		// Halfway through the first device read, the master dies and
+		// comes back with empty state and a new epoch.
+		v.Sleep(500 * time.Millisecond)
+		m.Restart()
+		// The job resubmits against the new master, which re-issues the
+		// full migration under the new epoch. The batch reaches the slave
+		// while the old-epoch read is still in flight.
+		if _, err := m.Migrate(dfs.MigrateReq{Job: "j1", Paths: []string{"/a"}, SubmitTime: v.Now()}); err != nil {
+			t.Errorf("re-migrate: %v", err)
+		}
+	})
+	v.Wait()
+
+	st := s.Stats()
+	if st.PinnedBlocks != 2 || s.PinnedBytes() != 16<<20 {
+		t.Fatalf("pinned %d blocks / %d bytes, want 2 / %d", st.PinnedBlocks, s.PinnedBytes(), int64(16<<20))
+	}
+	if st.MigratedBlocks != 2 {
+		t.Errorf("MigratedBlocks = %d, want 2 — the stale completion must not count", st.MigratedBlocks)
+	}
+	// Three device reads happened (one wasted on the stale epoch), but
+	// each block is pinned exactly once.
+	if got := len(media.readOrder()); got != 3 {
+		t.Errorf("device reads = %d, want 3 (1 stale + 2 re-issued)", got)
+	}
+	if m.Epoch() != 2 {
+		t.Errorf("epoch = %d, want 2", m.Epoch())
+	}
+	// Both blocks are attributed to the new epoch's assignment, so the
+	// job's eventual evict drains everything.
+	v.Go(func() {
+		if _, err := m.Evict(dfs.EvictReq{Job: "j1"}); err != nil {
+			t.Errorf("evict: %v", err)
+		}
+	})
+	v.Wait()
+	if s.PinnedBytes() != 0 {
+		t.Fatalf("pinned bytes = %d after evict, want 0", s.PinnedBytes())
 	}
 }

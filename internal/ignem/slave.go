@@ -215,6 +215,42 @@ func (s *Slave) ApplyEvictBatch(b dfs.EvictBatch) {
 	s.notifyUnpinned(unpinned)
 }
 
+// ApplyReadNotifyBatch ingests a batch of remote-read notifications from
+// the master: the named jobs consumed these blocks somewhere this slave
+// could not observe (a client block-cache hit). It mirrors OnBlockRead's
+// reference-list bookkeeping — an implicit reference is dropped, an
+// unmigrated (job, block) is marked already-read so its queued migration
+// is discarded — but touches no hit/miss counters: the slave served
+// nothing.
+func (s *Slave) ApplyReadNotifyBatch(b dfs.ReadNotifyBatch) {
+	var unpinned []dfs.BlockID
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	unpinned = s.adoptEpochLocked(b.Epoch)
+	for _, cmd := range b.Cmds {
+		if cmd.Job == "" {
+			continue
+		}
+		pb := s.pinned[cmd.Block]
+		if pb != nil {
+			if implicit, ok := pb.refs[cmd.Job]; ok && implicit {
+				unpinned = append(unpinned, s.dropRefLocked(cmd.Block, cmd.Job)...)
+			}
+			continue
+		}
+		if _, gone := s.evicted[cmd.Job]; gone {
+			continue
+		}
+		s.alreadyRead[readKey{job: cmd.Job, block: cmd.Block}] = struct{}{}
+	}
+	s.retryDeferredLocked()
+	s.mu.Unlock()
+	s.notifyUnpinned(unpinned)
+}
+
 // OnBlockRead hooks the datanode read path. It reports whether the block
 // was served from pinned memory, and performs implicit eviction when the
 // reading job opted into it.

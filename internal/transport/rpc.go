@@ -129,6 +129,7 @@ func (s *Server) Close() {
 type Client struct {
 	clock   simclock.Clock
 	conn    Conn
+	addr    string // remote endpoint, when known (set by Dial)
 	timeout time.Duration
 
 	mu      sync.Mutex
@@ -161,13 +162,16 @@ func NewClient(clock simclock.Clock, conn Conn, opts ...ClientOption) *Client {
 	return c
 }
 
-// Dial connects to addr on net and returns a ready client.
+// Dial connects to addr on net and returns a ready client. Call failures
+// from a dialed client carry addr in their *CallError.
 func Dial(clock simclock.Clock, net Network, addr string, opts ...ClientOption) (*Client, error) {
 	conn, err := net.Dial(addr)
 	if err != nil {
 		return nil, err
 	}
-	return NewClient(clock, conn, opts...), nil
+	c := NewClient(clock, conn, opts...)
+	c.addr = addr
+	return c, nil
 }
 
 func (c *Client) recvLoop() {
@@ -202,12 +206,15 @@ func (c *Client) failAll() {
 }
 
 // Call invokes method with arg and returns the reply body. It blocks up
-// to the client's timeout of simulated time.
+// to the client's timeout of simulated time. Transport-level failures
+// (timeout, closed connection, send errors) come back as a *CallError
+// wrapping ErrTimeout/ErrClosed, so callers can both identify the failed
+// endpoint with errors.As and classify the failure with errors.Is.
 func (c *Client) Call(method string, arg any) (any, error) {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
-		return nil, ErrClosed
+		return nil, &CallError{Method: method, Addr: c.addr, Err: ErrClosed}
 	}
 	c.nextID++
 	id := c.nextID
@@ -217,21 +224,26 @@ func (c *Client) Call(method string, arg any) (any, error) {
 
 	if err := c.conn.Send(Message{ID: id, Method: method, Body: arg}); err != nil {
 		c.drop(id)
-		return nil, err
+		return nil, &CallError{Method: method, Addr: c.addr, Err: err}
 	}
 	m, ok, timedOut := ch.RecvTimeout(c.timeout)
 	if timedOut {
 		c.drop(id)
-		return nil, fmt.Errorf("%w: %s after %v", ErrTimeout, method, c.timeout)
+		return nil, &CallError{Method: method, Addr: c.addr,
+			Err: fmt.Errorf("%w after %v", ErrTimeout, c.timeout)}
 	}
 	if !ok {
-		return nil, ErrClosed
+		return nil, &CallError{Method: method, Addr: c.addr, Err: ErrClosed}
 	}
 	if m.Err != "" {
 		return nil, &RemoteError{Method: method, Msg: m.Err}
 	}
 	return m.Body, nil
 }
+
+// Addr returns the remote endpoint this client talks to, or "" when
+// unknown (clients constructed directly over a Conn).
+func (c *Client) Addr() string { return c.addr }
 
 // drop abandons a pending call after a timeout or send failure. The
 // call's mailbox is closed so a reply that arrives later (recvLoop may

@@ -36,6 +36,31 @@ func (e *RemoteError) Error() string {
 	return fmt.Sprintf("transport: remote %s: %s", e.Method, e.Msg)
 }
 
+// CallError is a transport-level call failure: the call never completed
+// (timeout, closed connection, send failure) as opposed to a RemoteError,
+// where the handler ran and reported an error. Retry policies match it
+// with errors.As to learn which method and endpoint failed, and errors.Is
+// still sees the underlying ErrTimeout/ErrClosed through Unwrap.
+type CallError struct {
+	// Method is the RPC method that failed.
+	Method string
+	// Addr is the remote endpoint, when the client knows it (clients made
+	// by Dial do; bare NewClient leaves it empty).
+	Addr string
+	// Err is the underlying transport failure (ErrTimeout, ErrClosed, or
+	// a conn send error).
+	Err error
+}
+
+func (e *CallError) Error() string {
+	if e.Addr == "" {
+		return fmt.Sprintf("transport: call %s: %v", e.Method, e.Err)
+	}
+	return fmt.Sprintf("transport: call %s on %s: %v", e.Method, e.Addr, e.Err)
+}
+
+func (e *CallError) Unwrap() error { return e.Err }
+
 // Conn is a bidirectional, ordered message pipe.
 type Conn interface {
 	// Send transmits one message. It never blocks for simulated network

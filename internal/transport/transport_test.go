@@ -145,6 +145,42 @@ func TestUnknownMethod(t *testing.T) {
 	})
 }
 
+// Transport-level failures must surface as *CallError carrying the
+// method and dialed address, while errors.Is still classifies the
+// underlying cause. Remote handler failures must NOT be CallErrors.
+func TestCallErrorCarriesMethodAndAddr(t *testing.T) {
+	v := simclock.NewVirtual(epoch)
+	net := NewInmemNetwork(v)
+	startEchoServer(t, v, net, "nn")
+	v.Run(func() {
+		c, _ := Dial(v, net, "nn", WithCallTimeout(time.Second))
+		defer c.Close()
+
+		_, err := c.Call("slow", echoReq{})
+		var ce *CallError
+		if !errors.As(err, &ce) {
+			t.Fatalf("timeout err = %v (%T), want *CallError", err, err)
+		}
+		if ce.Method != "slow" || ce.Addr != "nn" {
+			t.Errorf("CallError = {%q %q}, want {slow nn}", ce.Method, ce.Addr)
+		}
+		if !errors.Is(err, ErrTimeout) {
+			t.Errorf("errors.Is(err, ErrTimeout) = false for %v", err)
+		}
+
+		_, err = c.Call("fail", echoReq{})
+		if errors.As(err, &ce) {
+			t.Errorf("remote handler error %v should not be a *CallError", err)
+		}
+
+		c.Close()
+		_, err = c.Call("echo", echoReq{})
+		if !errors.As(err, &ce) || !errors.Is(err, ErrClosed) {
+			t.Errorf("closed-client err = %v, want *CallError wrapping ErrClosed", err)
+		}
+	})
+}
+
 func TestCallTimeout(t *testing.T) {
 	v := simclock.NewVirtual(epoch)
 	net := NewInmemNetwork(v)
