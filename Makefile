@@ -3,7 +3,8 @@
 GO ?= go
 
 .PHONY: all ci test race vet build fmt-check tidy-check determinism chaos \
-	bench-smoke bench bench-read bench-write experiments examples tidy
+	bench-smoke bench bench-read bench-write bench-alloc profile \
+	fuzz-smoke experiments examples tidy
 
 all: vet test
 
@@ -11,7 +12,7 @@ all: vet test
 # these same targets, so the two cannot drift). The bench smoke job is
 # excluded here because it takes minutes; run `make bench-smoke` to
 # reproduce it.
-ci: vet build test race fmt-check tidy-check determinism chaos
+ci: vet build test race fmt-check tidy-check determinism chaos bench-alloc
 
 test:
 	$(GO) test ./...
@@ -60,6 +61,36 @@ bench-smoke:
 	grep -q '"ns_per_op"' /tmp/ignem-smoke-read.json
 	grep -q '"name": "BenchmarkRepeatedScanCached/tcp"' /tmp/ignem-smoke-read.json
 	grep -q '"ns_per_op"' /tmp/ignem-smoke-write.json
+
+# Allocation and codec regression gate: pins the cached-read allocs/op
+# ceiling, the fast-path-vs-gob speedup floors (read and pipelined
+# write), and the ≥50% allocs/op drop on the uncached TCP block read.
+bench-alloc:
+	$(GO) test ./internal/readbench -run 'TestCachedReadAllocCeiling|TestLargeBlock' -count=1 -v
+	$(GO) test ./internal/writebench -run 'TestLargeWrite' -count=1 -v
+
+# Short deterministic-budget fuzz of every frame-codec fuzzer (the
+# committed corpus always runs in plain `make test`; this explores).
+fuzz-smoke:
+	$(GO) test ./internal/transport -run XXX -fuzz '^FuzzFastUnitPayload$$' -fuzztime 10s
+	$(GO) test ./internal/transport -run XXX -fuzz '^FuzzTCPRecvStream$$' -fuzztime 10s
+	$(GO) test ./internal/dfs -run XXX -fuzz '^FuzzWriteBlockReqFrame$$' -fuzztime 10s
+	$(GO) test ./internal/dfs -run XXX -fuzz '^FuzzReadBlockReqFrame$$' -fuzztime 10s
+	$(GO) test ./internal/dfs -run XXX -fuzz '^FuzzReadBlockRespFrame$$' -fuzztime 10s
+
+# Profile the data plane: CPU + mutex profiles of the swim experiment
+# (the Ignem master's coarse lock under heartbeat/migration traffic) and
+# CPU + heap + mutex profiles of the read benchmark suite (the TCP block
+# path). Outputs land in ./profiles; inspect with
+#   go tool pprof -top profiles/read.cpu.pprof
+#   go tool pprof -sample_index=contentions -top profiles/swim.mutex.pprof
+profile:
+	mkdir -p profiles
+	$(GO) run ./cmd/ignem-bench -cpuprofile profiles/swim.cpu.pprof \
+		-mutexprofile profiles/swim.mutex.pprof swim
+	$(GO) run ./cmd/ignem-bench -readbench /tmp/ignem-profile-read.json \
+		-cpuprofile profiles/read.cpu.pprof -memprofile profiles/read.mem.pprof \
+		-mutexprofile profiles/read.mutex.pprof
 
 # Regenerate every paper table and figure as benchmarks.
 bench:

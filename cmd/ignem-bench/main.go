@@ -12,12 +12,19 @@
 // ReadFile and Reader read-ahead on both transports) and writes the
 // machine-readable records to the given file; -writebench does the same
 // for the write path (pipelined Writer vs serial ingest).
+//
+// Profiling: -cpuprofile, -memprofile, and -mutexprofile write pprof
+// profiles covering whatever workload the invocation runs (experiments
+// or benchmark suites). Inspect them with `go tool pprof`; `make
+// profile` captures the standard read/write/repeated-scan set.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/experiments"
@@ -25,12 +32,64 @@ import (
 	"repro/internal/writebench"
 )
 
-func main() {
+// startProfiles begins the requested pprof captures and returns a
+// finalizer that writes out the end-of-run profiles (heap, mutex).
+func startProfiles(cpu, mem, mutex string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpu != "" {
+		cpuFile, err = os.Create(cpu)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, err
+		}
+	}
+	if mutex != "" {
+		// Sample every contended lock acquisition: the workloads here
+		// are short, and an unsampled profile is what settles questions
+		// like "does the Ignem master's coarse lock contend".
+		runtime.SetMutexProfileFraction(1)
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if mem != "" {
+			if f, err := os.Create(mem); err == nil {
+				runtime.GC()
+				_ = pprof.WriteHeapProfile(f)
+				f.Close()
+			} else {
+				fmt.Fprintf(os.Stderr, "ignem-bench: memprofile: %v\n", err)
+			}
+		}
+		if mutex != "" {
+			if f, err := os.Create(mutex); err == nil {
+				_ = pprof.Lookup("mutex").WriteTo(f, 0)
+				f.Close()
+			} else {
+				fmt.Fprintf(os.Stderr, "ignem-bench: mutexprofile: %v\n", err)
+			}
+		}
+	}, nil
+}
+
+// main defers to run so the deferred profile writers execute before the
+// process exit code is set (os.Exit skips defers).
+func main() { os.Exit(run()) }
+
+func run() int {
 	seed := flag.Int64("seed", 1, "random seed for workload generation and placement")
 	list := flag.Bool("list", false, "list available experiments and exit")
 	out := flag.String("out", "", "directory to write raw CSV data for plotting")
 	readJSON := flag.String("readbench", "", "run the read benchmarks and write JSON records to this file")
 	writeJSON := flag.String("writebench", "", "run the write benchmarks and write JSON records to this file")
+	cpuProf := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memProf := flag.String("memprofile", "", "write an end-of-run heap profile to this file")
+	mutexProf := flag.String("mutexprofile", "", "write an end-of-run mutex-contention profile to this file")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: %s [-seed N] [experiment ...]\n\nExperiments:\n", os.Args[0])
 		for _, s := range experiments.All() {
@@ -39,11 +98,20 @@ func main() {
 	}
 	flag.Parse()
 
+	if *cpuProf != "" || *memProf != "" || *mutexProf != "" {
+		stop, err := startProfiles(*cpuProf, *memProf, *mutexProf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ignem-bench: profile: %v\n", err)
+			return 1
+		}
+		defer stop()
+	}
+
 	if *list {
 		for _, s := range experiments.All() {
 			fmt.Printf("%-8s %s\n", s.ID, s.Title)
 		}
-		return
+		return 0
 	}
 
 	if *readJSON != "" {
@@ -51,17 +119,17 @@ func main() {
 		results, err := readbench.RunAll()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "ignem-bench: readbench: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		for _, r := range results {
 			fmt.Printf("%-42s %12d ns/op %10.1f blocks/s\n", r.Name, r.NsPerOp, r.BlocksPerSec)
 		}
 		if err := readbench.WriteJSON(*readJSON, results); err != nil {
 			fmt.Fprintf(os.Stderr, "ignem-bench: readbench: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("[read benchmarks completed in %v wall time; records in %s]\n", time.Since(start).Round(time.Millisecond), *readJSON)
-		return
+		return 0
 	}
 
 	if *writeJSON != "" {
@@ -69,17 +137,17 @@ func main() {
 		results, err := writebench.RunAll()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "ignem-bench: writebench: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		for _, r := range results {
 			fmt.Printf("%-42s %12d ns/op %10.1f blocks/s\n", r.Name, r.NsPerOp, r.BlocksPerSec)
 		}
 		if err := writebench.WriteJSON(*writeJSON, results); err != nil {
 			fmt.Fprintf(os.Stderr, "ignem-bench: writebench: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("[write benchmarks completed in %v wall time; records in %s]\n", time.Since(start).Round(time.Millisecond), *writeJSON)
-		return
+		return 0
 	}
 
 	ids := flag.Args()
@@ -115,5 +183,5 @@ func main() {
 		}
 		fmt.Printf("[%s completed in %v wall time]\n\n", id, time.Since(start).Round(time.Millisecond))
 	}
-	os.Exit(exit)
+	return exit
 }

@@ -1,0 +1,88 @@
+package bufpool
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestGetLenAndClassCap(t *testing.T) {
+	cases := []struct{ n, wantCap int }{
+		{0, 512},
+		{1, 512},
+		{512, 512},
+		{513, 1024},
+		{4096, 4096},
+		{1 << 20, 1 << 20},
+		{(1 << 20) + 1, 2 << 20},
+		{4 << 20, 4 << 20},
+		{16 << 20, 16 << 20},
+	}
+	for _, c := range cases {
+		b := Get(c.n)
+		if len(b) != c.n {
+			t.Fatalf("Get(%d): len = %d", c.n, len(b))
+		}
+		if cap(b) != c.wantCap {
+			t.Fatalf("Get(%d): cap = %d, want %d", c.n, cap(b), c.wantCap)
+		}
+		Put(b)
+	}
+}
+
+func TestOversizedBypassesPool(t *testing.T) {
+	n := (16 << 20) + 1
+	b := Get(n)
+	if len(b) != n || cap(b) != n {
+		t.Fatalf("oversized Get: len=%d cap=%d", len(b), cap(b))
+	}
+	Put(b) // must not panic or pollute a class
+}
+
+func TestPutRejectsOddCapacity(t *testing.T) {
+	// A buffer whose capacity is not a class size must be dropped,
+	// not pooled into the wrong class.
+	Put(make([]byte, 777))
+	Put(nil)
+	b := Get(777)
+	if cap(b) != 1024 {
+		t.Fatalf("class polluted: cap = %d", cap(b))
+	}
+}
+
+func TestReuseRoundTrip(t *testing.T) {
+	b := Get(4096)
+	for i := range b {
+		b[i] = 0xAB
+	}
+	Put(b)
+	// The next Get of the same class may or may not return the same
+	// backing array; either way it must have the right shape.
+	c := Get(4000)
+	if len(c) != 4000 || cap(c) != 4096 {
+		t.Fatalf("after reuse: len=%d cap=%d", len(c), cap(c))
+	}
+}
+
+func TestConcurrentGetPut(t *testing.T) {
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed byte) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				b := Get(1 << 14)
+				for j := range b {
+					b[j] = seed
+				}
+				for j := range b {
+					if b[j] != seed {
+						t.Errorf("corruption at %d", j)
+						return
+					}
+				}
+				Put(b)
+			}
+		}(byte(g))
+	}
+	wg.Wait()
+}

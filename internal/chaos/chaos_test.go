@@ -414,3 +414,70 @@ func TestSeededChaosRunsAreDeterministic(t *testing.T) {
 		t.Fatal("seed 43 reproduced seed 42's transcript exactly — the seed is not wired through")
 	}
 }
+
+// A slave severed from the fabric across an Ignem master restart holds
+// pins under the dead epoch. On revival its datanode probes the master's
+// current epoch during re-registration, so the stale pins must be gone
+// the moment Reconnect returns — no waiting for the next epoch
+// broadcast, which may be arbitrarily far away on an idle master.
+func TestRevivedSlaveAdoptsEpochImmediately(t *testing.T) {
+	runChaos(t, Config{Nodes: 4, Seed: 13, Mode: cluster.ModeIgnem}, func(v *simclock.Virtual, h *Harness) {
+		c, err := h.Client(client.WithSeed(5))
+		if err != nil {
+			t.Fatalf("client: %v", err)
+		}
+		defer c.Close()
+		const blockSize = 1 << 20
+		if err := c.WriteFile("/in", filedata(0, 4*blockSize), blockSize, 1); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		if _, err := c.Migrate("job1", []string{"/in"}, false); err != nil {
+			t.Fatalf("migrate: %v", err)
+		}
+		waitUntil(t, v, time.Minute, func() bool {
+			return h.Cluster.SlaveStats().PinnedBlocks == 4
+		}, "migration pins all blocks")
+
+		// Crash a datanode that holds pins, then restart the master: the
+		// new-epoch broadcast reaches every slave except the crashed one.
+		victim := -1
+		for i, dn := range h.Cluster.DataNodes {
+			if dn.Slave().PinnedBytes() > 0 {
+				victim = i
+				break
+			}
+		}
+		if victim < 0 {
+			t.Fatal("no datanode holds pinned bytes after migration")
+		}
+		h.CrashDataNode(victim)
+		h.Cluster.NameNode.RestartMaster()
+		waitUntil(t, v, time.Minute, func() bool {
+			for i, dn := range h.Cluster.DataNodes {
+				if i != victim && dn.Slave().PinnedBytes() > 0 {
+					return false
+				}
+			}
+			return true
+		}, "reachable slaves purge on the epoch broadcast")
+		if h.Cluster.DataNodes[victim].Slave().PinnedBytes() == 0 {
+			t.Fatal("crashed slave lost its pins while severed — scenario is vacuous")
+		}
+
+		// Revive: Reconnect re-registers and probes the master epoch, so
+		// the stale pins must be reconciled by the time it returns.
+		if err := h.ReviveDataNode(victim); err != nil {
+			t.Fatalf("revive: %v", err)
+		}
+		if got := h.Cluster.DataNodes[victim].Slave().PinnedBytes(); got != 0 {
+			t.Fatalf("revived slave still pins %d bytes under the stale epoch", got)
+		}
+		// And the revived slave serves the new epoch normally.
+		if _, err := c.Migrate("job2", []string{"/in"}, false); err != nil {
+			t.Fatalf("migrate after revive: %v", err)
+		}
+		waitUntil(t, v, time.Minute, func() bool {
+			return h.Cluster.SlaveStats().PinnedBlocks == 4
+		}, "post-revive migration pins under the new epoch")
+	})
+}

@@ -90,12 +90,26 @@ func WithWriteParallelism(n int) Option {
 	}
 }
 
+// WithDataNodeTimeout overrides the per-call timeout on datanode
+// connections (default dfs.DefaultDataNodeTimeout). Bulk block
+// transfers ride these connections, so the default is generous; lower
+// it for latency-sensitive deployments that would rather fail over to
+// another replica than wait.
+func WithDataNodeTimeout(d time.Duration) Option {
+	return func(c *Client) {
+		if d > 0 {
+			c.dnTimeout = d
+		}
+	}
+}
+
 // Client is a DFS client handle. It is safe for concurrent use.
 type Client struct {
 	clock      simclock.Clock
 	net        transport.Network
 	nnAddr     string
 	nnTimeout  time.Duration
+	dnTimeout  time.Duration
 	nnAttempts int
 	localAddr  string
 	observer   func(BlockReadEvent)
@@ -134,6 +148,7 @@ func New(clock simclock.Clock, net transport.Network, nnAddr string, opts ...Opt
 		net:           net,
 		nnAddr:        nnAddr,
 		nnTimeout:     5 * time.Minute,
+		dnTimeout:     dfs.DefaultDataNodeTimeout,
 		nnAttempts:    DefaultNNAttempts,
 		dns:           make(map[string]*transport.Client),
 		rng:           rand.New(rand.NewSource(1)),
@@ -284,21 +299,26 @@ func (c *Client) readBlockFrom1st(lb dfs.LocatedBlock, job dfs.JobID, first stri
 	if first == "" {
 		return dfs.ReadBlockResp{}, "", fmt.Errorf("dfs client: block %d has no live replica", lb.Block.ID)
 	}
-	candidates := []string{first}
-	for _, n := range lb.Nodes {
-		if n != first {
-			candidates = append(candidates, n)
-		}
+	// Happy path first, without building a candidate list: block reads
+	// almost always succeed on the chosen replica, and the list showed up
+	// as a per-read allocation in read-path profiles.
+	resp, err := c.readBlockFrom(first, lb, job)
+	if err == nil {
+		return resp, first, nil
 	}
-	var lastErr error
-	for _, addr := range candidates {
+	lastErr := err
+	// The replica is unreachable or lost the block; drop the cached
+	// connection so a later retry re-dials, and try the other holders.
+	c.ForgetDataNode(first)
+	for _, addr := range lb.Nodes {
+		if addr == first {
+			continue
+		}
 		resp, err := c.readBlockFrom(addr, lb, job)
 		if err == nil {
 			return resp, addr, nil
 		}
 		lastErr = err
-		// The replica is unreachable or lost the block; drop the cached
-		// connection so a later retry re-dials, and try the next holder.
 		c.ForgetDataNode(addr)
 	}
 	return dfs.ReadBlockResp{}, "", fmt.Errorf("dfs client: block %d unreadable from all replicas: %w", lb.Block.ID, lastErr)
@@ -423,6 +443,9 @@ func (c *Client) readBlocksPath(path string, blocks []dfs.LocatedBlock, job dfs.
 				return nil, err
 			}
 			out = append(out, resp.Data...)
+			// A TCP fast-path response owns a pooled buffer; the bytes
+			// are copied out above, so recycle it.
+			resp.Release()
 		}
 		return out, nil
 	}
@@ -462,6 +485,7 @@ func (c *Client) readBlocksPath(path string, blocks []dfs.LocatedBlock, job dfs.
 			return nil, errs[i]
 		}
 		out = append(out, resps[i].Data...)
+		resps[i].Release() // pooled TCP buffers recycle after copy-out
 	}
 	return out, nil
 }
@@ -475,7 +499,7 @@ func (c *Client) datanode(addr string) (*transport.Client, error) {
 	}
 	c.mu.Unlock()
 
-	dc, err := transport.Dial(c.clock, c.net, addr, transport.WithCallTimeout(5*time.Minute))
+	dc, err := transport.Dial(c.clock, c.net, addr, transport.WithCallTimeout(c.dnTimeout))
 	if err != nil {
 		return nil, fmt.Errorf("dfs client: dial %s: %w", addr, err)
 	}

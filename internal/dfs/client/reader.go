@@ -7,6 +7,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/bufpool"
 	"repro/internal/dfs"
 	"repro/internal/simclock"
 )
@@ -39,6 +40,7 @@ type Reader struct {
 	mu       sync.Mutex
 	cond     *simclock.Cond
 	cache    map[int][]byte // block index -> materialized bytes
+	pooled   map[int]bool   // window entries owning a bufpool buffer
 	lru      *list.List     // cached block indices, most recent at front
 	lruPos   map[int]*list.Element
 	inflight map[int]bool
@@ -72,6 +74,7 @@ func (c *Client) Open(path string, job dfs.JobID) (*Reader, error) {
 		size:     size,
 		ahead:    c.readAhead,
 		cache:    make(map[int][]byte),
+		pooled:   make(map[int]bool),
 		lru:      list.New(),
 		lruPos:   make(map[int]*list.Element),
 		inflight: make(map[int]bool),
@@ -191,6 +194,11 @@ func (r *Reader) startFetchLocked(i int) {
 			r.errs[i] = err
 		} else {
 			r.cache[i] = resp.Data
+			// The window takes ownership of a pooled TCP buffer; it is
+			// recycled on eviction. Client-block-cache hits hand out
+			// cache-owned (never pooled) slices, which eviction must
+			// only drop.
+			r.pooled[i] = resp.Pooled()
 			r.touchLocked(i)
 			r.evictLocked()
 		}
@@ -225,6 +233,12 @@ func (r *Reader) evictLocked() {
 		victim := el.Value.(int)
 		r.lru.Remove(el)
 		delete(r.lruPos, victim)
+		// Eviction never touches r.curr, so r.buf (which aliases the
+		// current entry) can never point into a recycled buffer.
+		if r.pooled[victim] {
+			bufpool.Put(r.cache[victim])
+		}
+		delete(r.pooled, victim)
 		delete(r.cache, victim)
 	}
 }

@@ -256,6 +256,13 @@ func (dn *DataNode) Reconnect() error {
 		c.Close()
 		return fmt.Errorf("datanode: re-register: %w", err)
 	}
+	// Probe the master's current epoch so a slave revived with stale
+	// old-epoch pins reconciles immediately instead of waiting for the
+	// next epoch broadcast. Best effort: a failed probe only delays
+	// reconciliation until that broadcast.
+	if eresp, err := transport.Call[dfs.EpochResp](c, "nn.epoch", dfs.EpochReq{}); err == nil {
+		dn.slave.AdoptEpoch(eresp.Epoch)
+	}
 	dn.mu.Lock()
 	dn.listener = l
 	dn.nnClient = c
@@ -347,6 +354,14 @@ func (dn *DataNode) handleWriteBlock(req dfs.WriteBlockReq) (dfs.WriteBlockResp,
 		}
 		return dfs.WriteBlockResp{}, fmt.Errorf("datanode: closed")
 	}
+	// The store takes ownership of req.Data. When the request arrived on
+	// the TCP fast path, Data is a pooled buffer the frame decode handed
+	// us; transferring it into the store (instead of copying and
+	// releasing) makes the receive path zero-copy. Stored payloads are
+	// retained indefinitely and are therefore never returned to the
+	// pool — deletion simply lets the GC have them. The eager-pipeline
+	// forward above shares the same buffer read-only; the store never
+	// mutates payloads, so that alias is safe.
 	dn.blocks[req.Block.ID] = &storedBlock{size: size, data: req.Data}
 	dn.mu.Unlock()
 
@@ -428,6 +443,8 @@ func (dn *DataNode) handlePullBlock(req dfs.PullBlockReq) (dfs.PullBlockResp, er
 	if dn.closed {
 		return dfs.PullBlockResp{}, fmt.Errorf("datanode: closed")
 	}
+	// As in handleWriteBlock, the store takes ownership of the pulled
+	// payload (a pooled buffer when the peer read came over TCP).
 	dn.blocks[req.Block.ID] = &storedBlock{size: size, data: resp.Data}
 	return dfs.PullBlockResp{}, nil
 }
@@ -440,7 +457,7 @@ func (dn *DataNode) peer(addr string) (*transport.Client, error) {
 		return c, nil
 	}
 	dn.mu.Unlock()
-	c, err := transport.Dial(dn.clock, dn.net, addr, transport.WithCallTimeout(5*time.Minute))
+	c, err := transport.Dial(dn.clock, dn.net, addr, transport.WithCallTimeout(dfs.DefaultDataNodeTimeout))
 	if err != nil {
 		return nil, fmt.Errorf("datanode: dial peer %s: %w", addr, err)
 	}

@@ -64,6 +64,12 @@ const DefaultBlockSize int64 = 64 << 20
 // DefaultReplication matches HDFS's default replica count.
 const DefaultReplication = 3
 
+// DefaultDataNodeTimeout is the per-call timeout for datanode dials —
+// both client→datanode and datanode→datanode (pipeline forwards,
+// re-replication pulls). It is generous because a single call may move
+// a full block. The client can override it with WithDataNodeTimeout.
+const DefaultDataNodeTimeout = 5 * time.Minute
+
 // ---- Namenode RPC schema (methods prefixed "nn.") ----
 
 // CreateReq starts a new file.
@@ -251,6 +257,15 @@ type BlockReportReq struct {
 // BlockReportResp acknowledges a block report.
 type BlockReportResp struct{}
 
+// EpochReq asks the namenode for the Ignem master's current epoch. A
+// revived datanode sends it during re-registration so its slave can
+// reconcile stale pins immediately instead of waiting for the next
+// epoch broadcast.
+type EpochReq struct{}
+
+// EpochResp returns the master's current epoch.
+type EpochResp struct{ Epoch uint64 }
+
 // ---- Datanode RPC schema (methods prefixed "dn.") ----
 
 // WriteBlockReq stores a block replica on a datanode. Exactly one of
@@ -268,6 +283,11 @@ type WriteBlockReq struct {
 	Data          []byte
 	Pipeline      []string
 	EagerPipeline bool
+
+	// pooled marks Data as a bufpool buffer owned by the holder; set
+	// only by the TCP fast-path decode (see frame.go). Unexported so
+	// it never crosses the wire.
+	pooled bool
 }
 
 // WireSize charges the network for the payload.
@@ -297,6 +317,10 @@ type ReadBlockResp struct {
 	Size       int64
 	FromMemory bool
 	Local      bool
+
+	// pooled marks Data as a bufpool buffer owned by the holder; set
+	// only by the TCP fast-path decode (see frame.go).
+	pooled bool
 }
 
 // WireSize charges the network for remote bulk reads only.
@@ -406,7 +430,15 @@ func RegisterWire() {
 		EvictBatch{}, EvictBatchResp{},
 		BlockReadReq{}, BlockReadResp{},
 		ReadNotifyBatch{}, ReadNotifyBatchResp{},
+		EpochReq{}, EpochResp{},
 	} {
 		transport.RegisterType(v)
 	}
+	// Bulk block messages additionally take the TCP binary fast path.
+	// ReadBlockReq rides along: it is tiny, but it precedes every block
+	// fetch and its gob round trip showed up in allocation profiles of
+	// the read path.
+	transport.RegisterFramer[WriteBlockReq, *WriteBlockReq]()
+	transport.RegisterFramer[ReadBlockReq, *ReadBlockReq]()
+	transport.RegisterFramer[ReadBlockResp, *ReadBlockResp]()
 }

@@ -1,0 +1,254 @@
+package dfs
+
+import (
+	"encoding/binary"
+	"errors"
+
+	"repro/internal/bufpool"
+	"repro/internal/transport"
+)
+
+// Binary fast-path frames for the bulk block messages (transport.Framer).
+//
+// WriteBlockReq and ReadBlockResp carry multi-megabyte payloads; over
+// TCP they are framed by hand so block bytes cross the wire without
+// reflection or gob's per-message allocation. The datanode pipeline
+// forward reuses WriteBlockReq (the receiving node re-sends the request
+// with a shortened Pipeline), so it rides the same fast path.
+//
+// Ownership: DecodeFrame's payload argument is transport receive
+// scratch, valid only during the call, so both implementations copy
+// bulk data into a bufpool buffer and mark the struct pooled. The
+// eventual sole owner calls Release to return the buffer; forgetting to
+// Release is safe (the buffer is garbage collected), releasing twice or
+// while aliases remain is not. The in-memory transport passes bodies by
+// reference and never sets pooled, so inmem payloads — which alias
+// datanode stores and writer buffers — are never returned to the pool.
+
+var errShortFrame = errors.New("dfs: malformed block frame")
+
+func frameUvarint(b []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(b)
+	if n <= 0 {
+		return 0, nil, errShortFrame
+	}
+	return v, b[n:], nil
+}
+
+func frameBytes(b []byte) ([]byte, []byte, error) {
+	n, rest, err := frameUvarint(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	if n > uint64(len(rest)) {
+		return nil, nil, errShortFrame
+	}
+	return rest[:n], rest[n:], nil
+}
+
+// copyPooled copies bulk payload bytes out of transport scratch into a
+// pooled buffer; a zero-length payload stays nil (synthetic blocks).
+func copyPooled(raw []byte) ([]byte, bool) {
+	if len(raw) == 0 {
+		return nil, false
+	}
+	d := bufpool.Get(len(raw))
+	copy(d, raw)
+	return d, true
+}
+
+// ---- WriteBlockReq ----
+
+const wbFlagEager = 0x01
+
+// AppendFrame implements transport.Framer.
+func (r *WriteBlockReq) AppendFrame(buf []byte) []byte {
+	buf = binary.AppendUvarint(buf, uint64(r.Block.ID))
+	buf = binary.AppendUvarint(buf, uint64(r.Block.Size))
+	var flags byte
+	if r.EagerPipeline {
+		flags |= wbFlagEager
+	}
+	buf = append(buf, flags)
+	buf = binary.AppendUvarint(buf, uint64(len(r.Pipeline)))
+	for _, p := range r.Pipeline {
+		buf = binary.AppendUvarint(buf, uint64(len(p)))
+		buf = append(buf, p...)
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(r.Data)))
+	return append(buf, r.Data...)
+}
+
+// DecodeFrame implements transport.Framer. The decoded Data is a pooled
+// copy; the sole owner must eventually call Release (or keep the buffer
+// forever, as the datanode block store does).
+func (r *WriteBlockReq) DecodeFrame(payload []byte) error {
+	id, rest, err := frameUvarint(payload)
+	if err != nil {
+		return err
+	}
+	size, rest, err := frameUvarint(rest)
+	if err != nil {
+		return err
+	}
+	if len(rest) == 0 {
+		return errShortFrame
+	}
+	flags := rest[0]
+	rest = rest[1:]
+	np, rest, err := frameUvarint(rest)
+	if err != nil {
+		return err
+	}
+	if np > uint64(len(rest)) { // each entry needs ≥1 byte
+		return errShortFrame
+	}
+	var pipeline []string
+	if np > 0 {
+		pipeline = make([]string, 0, np)
+		for i := uint64(0); i < np; i++ {
+			var pb []byte
+			pb, rest, err = frameBytes(rest)
+			if err != nil {
+				return err
+			}
+			pipeline = append(pipeline, string(pb))
+		}
+	}
+	raw, rest, err := frameBytes(rest)
+	if err != nil {
+		return err
+	}
+	if len(rest) != 0 {
+		return errShortFrame
+	}
+	r.Block = Block{ID: BlockID(id), Size: int64(size)}
+	r.EagerPipeline = flags&wbFlagEager != 0
+	r.Pipeline = pipeline
+	r.Data, r.pooled = copyPooled(raw)
+	return nil
+}
+
+// Pooled reports whether Data is a bufpool buffer owned by the holder
+// (set only by the TCP fast-path decode).
+func (r *WriteBlockReq) Pooled() bool { return r.pooled }
+
+// Release returns a pooled Data buffer to the pool and clears the
+// struct's claim on it. Only the sole owner may call it, and only once;
+// it is a no-op for non-pooled payloads.
+func (r *WriteBlockReq) Release() {
+	if r.pooled {
+		bufpool.Put(r.Data)
+		r.Data = nil
+		r.pooled = false
+	}
+}
+
+// ---- ReadBlockReq ----
+
+const rqFlagLocal = 0x01
+
+// AppendFrame implements transport.Framer. ReadBlockReq carries no bulk
+// payload, but it precedes every block fetch: profiling the TCP read
+// path showed the gob encode/decode of this small request was a top
+// remaining allocation site once the response rode the fast path, so the
+// request is framed too.
+func (r *ReadBlockReq) AppendFrame(buf []byte) []byte {
+	buf = binary.AppendUvarint(buf, uint64(r.Block))
+	var flags byte
+	if r.Local {
+		flags |= rqFlagLocal
+	}
+	buf = append(buf, flags)
+	buf = binary.AppendUvarint(buf, uint64(len(r.Job)))
+	return append(buf, r.Job...)
+}
+
+// DecodeFrame implements transport.Framer.
+func (r *ReadBlockReq) DecodeFrame(payload []byte) error {
+	id, rest, err := frameUvarint(payload)
+	if err != nil {
+		return err
+	}
+	if len(rest) == 0 {
+		return errShortFrame
+	}
+	flags := rest[0]
+	rest = rest[1:]
+	job, rest, err := frameBytes(rest)
+	if err != nil {
+		return err
+	}
+	if len(rest) != 0 {
+		return errShortFrame
+	}
+	r.Block = BlockID(id)
+	r.Local = flags&rqFlagLocal != 0
+	// Job IDs repeat across every block fetch of a job, so intern the
+	// string instead of copying it out of the frame each time.
+	r.Job = JobID(transport.InternBytes(job))
+	return nil
+}
+
+// ---- ReadBlockResp ----
+
+const (
+	rbFlagFromMemory = 0x01
+	rbFlagLocal      = 0x02
+)
+
+// AppendFrame implements transport.Framer.
+func (r *ReadBlockResp) AppendFrame(buf []byte) []byte {
+	buf = binary.AppendUvarint(buf, uint64(r.Size))
+	var flags byte
+	if r.FromMemory {
+		flags |= rbFlagFromMemory
+	}
+	if r.Local {
+		flags |= rbFlagLocal
+	}
+	buf = append(buf, flags)
+	buf = binary.AppendUvarint(buf, uint64(len(r.Data)))
+	return append(buf, r.Data...)
+}
+
+// DecodeFrame implements transport.Framer. The decoded Data is a pooled
+// copy; the sole owner must eventually call Release.
+func (r *ReadBlockResp) DecodeFrame(payload []byte) error {
+	size, rest, err := frameUvarint(payload)
+	if err != nil {
+		return err
+	}
+	if len(rest) == 0 {
+		return errShortFrame
+	}
+	flags := rest[0]
+	rest = rest[1:]
+	raw, rest, err := frameBytes(rest)
+	if err != nil {
+		return err
+	}
+	if len(rest) != 0 {
+		return errShortFrame
+	}
+	r.Size = int64(size)
+	r.FromMemory = flags&rbFlagFromMemory != 0
+	r.Local = flags&rbFlagLocal != 0
+	r.Data, r.pooled = copyPooled(raw)
+	return nil
+}
+
+// Pooled reports whether Data is a bufpool buffer owned by the holder
+// (set only by the TCP fast-path decode).
+func (r *ReadBlockResp) Pooled() bool { return r.pooled }
+
+// Release returns a pooled Data buffer to the pool and clears the
+// struct's claim on it. Only the sole owner may call it, and only once;
+// it is a no-op for non-pooled payloads.
+func (r *ReadBlockResp) Release() {
+	if r.pooled {
+		bufpool.Put(r.Data)
+		r.Data = nil
+		r.pooled = false
+	}
+}

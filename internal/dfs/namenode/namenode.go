@@ -160,6 +160,7 @@ func (nn *NameNode) Start() error {
 	s.Handle("nn.register", wrap(nn.handleRegister))
 	s.Handle("nn.blockReport", wrap(nn.handleBlockReport))
 	s.Handle("nn.heartbeat", wrap(nn.handleHeartbeat))
+	s.Handle("nn.epoch", wrap(nn.handleEpoch))
 	s.ServeBackground(l)
 	nn.server = s
 	nn.listener = l
@@ -223,6 +224,13 @@ func (nn *NameNode) RestartMaster() {
 		// the next new-epoch command batch.
 		_ = nn.SendEvict(addr, dfs.EvictBatch{Epoch: epoch})
 	}
+}
+
+// handleEpoch reports the Ignem master's current epoch. Revived slaves
+// probe it during re-registration so stale old-epoch pins reconcile
+// immediately instead of waiting for the next epoch broadcast.
+func (nn *NameNode) handleEpoch(dfs.EpochReq) (dfs.EpochResp, error) {
+	return dfs.EpochResp{Epoch: nn.master.Epoch()}, nil
 }
 
 // ---- namespace handlers ----

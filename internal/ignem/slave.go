@@ -215,6 +215,23 @@ func (s *Slave) ApplyEvictBatch(b dfs.EvictBatch) {
 	s.notifyUnpinned(unpinned)
 }
 
+// AdoptEpoch reconciles the slave with the master epoch it learned
+// out-of-band (a revived datanode probes the namenode for it during
+// re-registration). A changed epoch purges all reference lists and
+// unpins everything, exactly as the first batch from a new master
+// would; the current epoch is a no-op.
+func (s *Slave) AdoptEpoch(epoch uint64) {
+	var unpinned []dfs.BlockID
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	unpinned = s.adoptEpochLocked(epoch)
+	s.mu.Unlock()
+	s.notifyUnpinned(unpinned)
+}
+
 // ApplyReadNotifyBatch ingests a batch of remote-read notifications from
 // the master: the named jobs consumed these blocks somewhere this slave
 // could not observe (a client block-cache hit). It mirrors OnBlockRead's

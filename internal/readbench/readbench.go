@@ -37,6 +37,19 @@ const (
 	timeScale = 4
 )
 
+// Large-block scenario geometry: one 4MiB block served from RAM over
+// TCP, read uncached one block per op. At this payload size the codec —
+// not the modeled device — is the cost, which is exactly what the
+// scenario isolates: the same cluster runs once with the binary
+// fast-path codec and once with the gob baseline (WithTCPFastPath(false),
+// the pre-fast-path wire cost), so the two records bracket the codec
+// overhaul in BENCH_read.json.
+const (
+	LargeBlocks    = 1
+	LargeBlockSize = 4 << 20
+	LargeNodes     = 4
+)
+
 // Transport selects the wire under benchmark.
 type Transport string
 
@@ -45,11 +58,16 @@ const (
 	TCP   Transport = "tcp"
 )
 
-// Result is one benchmark record of BENCH_read.json.
+// Result is one benchmark record of BENCH_read.json. AllocsPerOp and
+// BytesPerOp are recorded only by the allocation-aware configs (the
+// large-block codec scenarios and the repeated-scan pair); zero means
+// not measured.
 type Result struct {
 	Name         string  `json:"name"`
 	NsPerOp      int64   `json:"ns_per_op"`
 	BlocksPerSec float64 `json:"blocks_per_sec"`
+	AllocsPerOp  int64   `json:"allocs_per_op,omitempty"`
+	BytesPerOp   int64   `json:"bytes_per_op,omitempty"`
 }
 
 // Cluster is a running benchmark cluster with the input file in place.
@@ -63,19 +81,46 @@ type Cluster struct {
 	in  []byte
 }
 
+// clusterSpec parameterizes a benchmark cluster build.
+type clusterSpec struct {
+	kind      Transport
+	blocks    int
+	blockSize int64
+	nodes     int
+	ramServe  bool // serve every read at RAM speed (blocks stay resident)
+	fastPath  bool // TCP binary fast path (false = gob baseline)
+}
+
 // Start brings up a namenode, Nodes HDD datanodes, and the 8-block input
 // file on the chosen transport, all on the scaled real clock.
 func Start(kind Transport) (*Cluster, error) {
+	return start(clusterSpec{
+		kind: kind, blocks: Blocks, blockSize: BlockSize, nodes: Nodes,
+		fastPath: true,
+	})
+}
+
+// StartLargeTCP brings up the large-block codec cluster: LargeNodes
+// RAM-served datanodes over TCP holding one LargeBlockSize-block file,
+// with the binary fast path on or off (off is the gob baseline).
+func StartLargeTCP(fast bool) (*Cluster, error) {
+	return start(clusterSpec{
+		kind: TCP, blocks: LargeBlocks, blockSize: LargeBlockSize,
+		nodes: LargeNodes, ramServe: true, fastPath: fast,
+	})
+}
+
+func start(spec clusterSpec) (*Cluster, error) {
 	clock := simclock.NewScaledReal(timeScale)
 	c := &Cluster{Clock: clock}
 	addr := func(i int) string { return fmt.Sprintf("dn%d", i) }
-	switch kind {
+	switch spec.kind {
 	case Inmem:
 		c.Net = transport.NewInmemNetwork(clock)
 		c.NNAddr = "nn"
 	case TCP:
 		dfs.RegisterWire()
-		net := transport.NewTCPNetwork()
+		net := transport.NewTCPNetwork(transport.WithTCPFastPath(spec.fastPath))
 		c.Net = net
 		ephemeral := func() (string, error) {
 			l, err := net.Listen("127.0.0.1:0")
@@ -98,7 +143,7 @@ func Start(kind Transport) (*Cluster, error) {
 			return a
 		}
 	default:
-		return nil, fmt.Errorf("readbench: unknown transport %q", kind)
+		return nil, fmt.Errorf("readbench: unknown transport %q", spec.kind)
 	}
 
 	nn := namenode.New(c.Clock, c.Net, namenode.Config{Addr: c.NNAddr, Seed: 7})
@@ -106,7 +151,7 @@ func Start(kind Transport) (*Cluster, error) {
 		return nil, err
 	}
 	c.nn = nn
-	for i := 0; i < Nodes; i++ {
+	for i := 0; i < spec.nodes; i++ {
 		a := addr(i)
 		if a == "" {
 			c.Close()
@@ -114,6 +159,7 @@ func Start(kind Transport) (*Cluster, error) {
 		}
 		dn, err := datanode.New(c.Clock, c.Net, datanode.Config{
 			Addr: a, NameNodeAddr: c.NNAddr, Media: storage.HDDSpec(),
+			ServeAllFromRAM: spec.ramServe,
 		})
 		if err != nil {
 			c.Close()
@@ -126,14 +172,14 @@ func Start(kind Transport) (*Cluster, error) {
 		c.dns = append(c.dns, dn)
 	}
 
-	c.in = bytes.Repeat([]byte("ignem-read-bench"), Blocks*BlockSize/16)
+	c.in = bytes.Repeat([]byte("ignem-read-bench"), spec.blocks*int(spec.blockSize)/16)
 	cl, err := c.Client()
 	if err != nil {
 		c.Close()
 		return nil, err
 	}
 	defer cl.Close()
-	if err := cl.WriteFile("/bench/input", c.in, BlockSize, 2); err != nil {
+	if err := cl.WriteFile("/bench/input", c.in, spec.blockSize, 2); err != nil {
 		c.Close()
 		return nil, err
 	}
@@ -228,6 +274,7 @@ func BenchRepeatedScan(b *testing.B, c *Cluster, cacheBytes int64) {
 	if _, err := cl.ReadFile("/bench/input", "bench"); err != nil {
 		b.Fatal(err) // warm scan: dials connections and fills the cache
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		got, err := cl.ReadFile("/bench/input", "bench")
@@ -244,6 +291,41 @@ func BenchRepeatedScan(b *testing.B, c *Cluster, cacheBytes int64) {
 // RepeatedScanCacheBytes sizes the benchmark's block cache: double the
 // input file, so the whole file stays resident with LRU headroom.
 const RepeatedScanCacheBytes = 2 * Blocks * BlockSize
+
+// BenchLargeBlockRead is the large-block codec benchmark body: one
+// uncached single-block read per op against a StartLargeTCP cluster,
+// released back to the buffer pool after a length check. It deliberately
+// uses ReadBlock rather than ReadFile so the measured allocations are
+// the wire path's, not the whole-file concat buffer's (which would cost
+// both codecs equally and dilute the comparison).
+func BenchLargeBlockRead(b *testing.B, c *Cluster) {
+	cl, err := c.Client()
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cl.Close()
+	lbs, err := cl.Locations("/bench/input")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(lbs) == 0 {
+		b.Fatal("no located blocks for /bench/input")
+	}
+	lb := lbs[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := cl.ReadBlock(lb, "bench")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if int64(len(resp.Data)) != lb.Block.Size {
+			b.Fatalf("read %d bytes, want %d", len(resp.Data), lb.Block.Size)
+		}
+		resp.Release()
+	}
+	b.SetBytes(lb.Block.Size)
+}
 
 // RunAll executes every benchmark config via testing.Benchmark and
 // returns the records for BENCH_read.json. Each transport shares one
@@ -269,12 +351,42 @@ func RunAll() ([]Result, error) {
 		for _, cfg := range configs {
 			r := testing.Benchmark(cfg.body)
 			ns := r.NsPerOp()
-			res := Result{Name: cfg.name + "/" + string(kind), NsPerOp: ns}
+			res := Result{
+				Name: cfg.name + "/" + string(kind), NsPerOp: ns,
+				AllocsPerOp: r.AllocsPerOp(), BytesPerOp: r.AllocedBytesPerOp(),
+			}
 			if ns > 0 {
 				res.BlocksPerSec = Blocks * 1e9 / float64(ns)
 			}
 			out = append(out, res)
 		}
+		c.Close()
+	}
+
+	// Large-block codec scenarios: same TCP cluster geometry, fast path
+	// on vs off, so the pair brackets the binary codec's effect at the
+	// block size where the wire cost dominates.
+	for _, lc := range []struct {
+		name string
+		fast bool
+	}{
+		{"BenchmarkLargeBlockReadFast", true},
+		{"BenchmarkLargeBlockReadGob", false},
+	} {
+		c, err := StartLargeTCP(lc.fast)
+		if err != nil {
+			return nil, fmt.Errorf("readbench: start large (fast=%v): %w", lc.fast, err)
+		}
+		r := testing.Benchmark(func(b *testing.B) { BenchLargeBlockRead(b, c) })
+		ns := r.NsPerOp()
+		res := Result{
+			Name: lc.name + "/" + string(TCP), NsPerOp: ns,
+			AllocsPerOp: r.AllocsPerOp(), BytesPerOp: r.AllocedBytesPerOp(),
+		}
+		if ns > 0 {
+			res.BlocksPerSec = LargeBlocks * 1e9 / float64(ns)
+		}
+		out = append(out, res)
 		c.Close()
 	}
 	return out, nil

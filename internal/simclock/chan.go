@@ -21,6 +21,11 @@ type Chan[T any] struct {
 	buf     []T
 	waiters []*waiter[T]
 	closed  bool
+	// wcache holds one idle waiter for reuse by the next receiver. Only
+	// real-clock receivers recycle into it (the virtual clock's event
+	// scheduling stays byte-for-byte untouched); a waiter is recycled
+	// only when no waker can still reference it.
+	wcache *waiter[T]
 }
 
 // NewChan returns an empty mailbox bound to clock.
@@ -29,13 +34,21 @@ func NewChan[T any](clock Clock) *Chan[T] {
 }
 
 // waiter represents one parked receiver. Exactly one waker — a sender, a
-// Close, or a timeout — wins the fired flag and delivers the outcome.
+// Close, or a timeout — wins the fired flag and delivers the outcome by
+// sending on wake (buffered, capacity 1, so the winning waker never
+// blocks and the waiter can be reused after the receiver drains it).
 type waiter[T any] struct {
 	fired    atomic.Bool
 	wake     chan struct{}
 	val      T
 	ok       bool
 	timedOut bool
+	// timer is the waiter's reusable wall-clock timeout timer, created on
+	// the first real-clock RecvTimeout and Reset on later ones. Profiling
+	// the TCP data plane showed the per-call time.AfterFunc (timer plus
+	// closure) was a top allocation site; reusing the timer with the
+	// waiter removes it from the hot path.
+	timer *time.Timer
 }
 
 // timeoutFire implements timeoutTarget: the timeout path for RecvTimeout.
@@ -44,7 +57,7 @@ func (w *waiter[T]) timeoutFire() bool {
 		return false
 	}
 	w.timedOut = true
-	close(w.wake)
+	w.wake <- struct{}{}
 	return true
 }
 
@@ -63,7 +76,7 @@ func (c *Chan[T]) Send(v T) bool {
 			w.val = v
 			w.ok = true
 			c.clock.unparkOne()
-			close(w.wake)
+			w.wake <- struct{}{}
 			return true
 		}
 	}
@@ -85,13 +98,63 @@ func (c *Chan[T]) Recv() (v T, ok bool) {
 		c.mu.Unlock()
 		return v, false
 	}
-	w := &waiter[T]{wake: make(chan struct{})}
+	w := c.acquireWaiterLocked()
 	c.waiters = append(c.waiters, w)
 	c.mu.Unlock()
 
 	c.clock.parkPrepare()
 	<-w.wake
-	return w.val, w.ok
+	v, ok = w.val, w.ok
+	if ok {
+		// The winning sender delivered and holds no further reference
+		// (its post-wake code runs under c.mu, which recycling also
+		// takes), so the waiter is safe to reuse.
+		c.recycleWaiter(w)
+	}
+	return v, ok
+}
+
+// acquireWaiterLocked returns a reset waiter, reusing the cached one when
+// the Chan runs on the real clock. The caller must hold c.mu.
+func (c *Chan[T]) acquireWaiterLocked() *waiter[T] {
+	if w := c.wcache; w != nil {
+		c.wcache = nil
+		w.fired.Store(false)
+		w.ok = false
+		w.timedOut = false
+		return w
+	}
+	return &waiter[T]{wake: make(chan struct{}, 1)}
+}
+
+// recycleWaiter caches w for the next receiver. Callers must guarantee no
+// waker still references w: its outcome was consumed and any timeout
+// timer is stopped or already fired. Only real-clock waiters are cached;
+// virtual-clock receivers keep their original allocation behaviour.
+func (c *Chan[T]) recycleWaiter(w *waiter[T]) {
+	if _, isReal := c.clock.(*Real); !isReal {
+		return
+	}
+	var zero T
+	w.val = zero // release the reference for the garbage collector
+	c.mu.Lock()
+	if c.wcache == nil {
+		c.wcache = w
+	}
+	c.mu.Unlock()
+}
+
+// removeWaiter unlinks a timed-out waiter so it cannot be popped (and
+// skipped) by a later Send once recycled.
+func (c *Chan[T]) removeWaiter(w *waiter[T]) {
+	c.mu.Lock()
+	for i, cand := range c.waiters {
+		if cand == w {
+			c.waiters = append(c.waiters[:i], c.waiters[i+1:]...)
+			break
+		}
+	}
+	c.mu.Unlock()
 }
 
 // RecvTimeout is Recv with a deadline d. timedOut reports that the
@@ -107,9 +170,35 @@ func (c *Chan[T]) RecvTimeout(d time.Duration) (v T, ok, timedOut bool) {
 		c.mu.Unlock()
 		return v, false, false
 	}
-	w := &waiter[T]{wake: make(chan struct{})}
+	w := c.acquireWaiterLocked()
 	c.waiters = append(c.waiters, w)
 	c.mu.Unlock()
+
+	if r, isReal := c.clock.(*Real); isReal {
+		// Real clock: arm the waiter's reusable timer instead of paying a
+		// fresh time.AfterFunc (timer + closure) per call.
+		wall := r.scaleDown(d)
+		if w.timer == nil {
+			w.timer = time.AfterFunc(wall, func() { w.timeoutFire() })
+		} else {
+			w.timer.Reset(wall)
+		}
+		c.clock.parkPrepare()
+		<-w.wake
+		v, ok, timedOut = w.val, w.ok, w.timedOut
+		if timedOut {
+			// The timer callback completed (it delivered the wake) and the
+			// waiter is still linked; unlink it so a later Send cannot pop
+			// the recycled waiter.
+			c.removeWaiter(w)
+			c.recycleWaiter(w)
+		} else if w.timer.Stop() {
+			// Stop() reporting true guarantees the callback never ran and
+			// never will, so nothing can touch the recycled waiter.
+			c.recycleWaiter(w)
+		}
+		return v, ok, timedOut
+	}
 
 	cancel := c.clock.afterFunc(d, w)
 	c.clock.parkPrepare()
@@ -131,7 +220,7 @@ func (c *Chan[T]) Close() {
 	for _, w := range c.waiters {
 		if w.fired.CompareAndSwap(false, true) {
 			c.clock.unparkOne()
-			close(w.wake)
+			w.wake <- struct{}{}
 		}
 	}
 	c.waiters = nil

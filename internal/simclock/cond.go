@@ -27,7 +27,7 @@ func NewCond(clock Clock, l sync.Locker) *Cond {
 // reacquires c.L. As with sync.Cond, callers must re-check their
 // condition in a loop.
 func (c *Cond) Wait() {
-	w := &waiter[struct{}]{wake: make(chan struct{})}
+	w := &waiter[struct{}]{wake: make(chan struct{}, 1)}
 	c.mu.Lock()
 	c.waiters = append(c.waiters, w)
 	c.mu.Unlock()
@@ -41,7 +41,7 @@ func (c *Cond) Wait() {
 // WaitTimeout is Wait with a deadline. It reports whether the deadline
 // elapsed before a wake-up. c.L is reacquired either way.
 func (c *Cond) WaitTimeout(d time.Duration) (timedOut bool) {
-	w := &waiter[struct{}]{wake: make(chan struct{})}
+	w := &waiter[struct{}]{wake: make(chan struct{}, 1)}
 	c.mu.Lock()
 	c.waiters = append(c.waiters, w)
 	c.mu.Unlock()
@@ -65,7 +65,7 @@ func (c *Cond) Signal() {
 		if w.fired.CompareAndSwap(false, true) {
 			w.ok = true
 			c.clock.unparkOne()
-			close(w.wake)
+			w.wake <- struct{}{}
 			return
 		}
 	}
@@ -79,7 +79,7 @@ func (c *Cond) Broadcast() {
 		if w.fired.CompareAndSwap(false, true) {
 			w.ok = true
 			c.clock.unparkOne()
-			close(w.wake)
+			w.wake <- struct{}{}
 		}
 	}
 	c.waiters = nil

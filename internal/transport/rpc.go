@@ -136,6 +136,14 @@ type Client struct {
 	nextID  uint64
 	pending map[uint64]*simclock.Chan[Message]
 	closed  bool
+
+	// mailboxes recycles per-call reply mailboxes. A mailbox is recycled
+	// only after its reply was received on the clean path — the one case
+	// where no other goroutine (recvLoop included) can still hold a
+	// reference — and carries its parked-receiver state (waiter, timeout
+	// timer) with it, which profiling showed dominated per-call
+	// allocations on the TCP data plane.
+	mailboxes sync.Pool
 }
 
 // ClientOption configures a Client.
@@ -218,7 +226,10 @@ func (c *Client) Call(method string, arg any) (any, error) {
 	}
 	c.nextID++
 	id := c.nextID
-	ch := simclock.NewChan[Message](c.clock)
+	ch, _ := c.mailboxes.Get().(*simclock.Chan[Message])
+	if ch == nil {
+		ch = simclock.NewChan[Message](c.clock)
+	}
 	c.pending[id] = ch
 	c.mu.Unlock()
 
@@ -235,6 +246,11 @@ func (c *Client) Call(method string, arg any) (any, error) {
 	if !ok {
 		return nil, &CallError{Method: method, Addr: c.addr, Err: ErrClosed}
 	}
+	// Clean reply: recvLoop removed the mailbox from pending before
+	// delivering, so nothing else references it and it can be recycled.
+	// On the timeout/closed paths above the mailbox is never recycled —
+	// recvLoop may still hold it to deliver a late reply.
+	c.mailboxes.Put(ch)
 	if m.Err != "" {
 		return nil, &RemoteError{Method: method, Msg: m.Err}
 	}

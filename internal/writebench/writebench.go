@@ -39,6 +39,19 @@ const (
 	timeScale   = 4
 )
 
+// Large-block scenario geometry: a 2-block file of 4MiB blocks written
+// with the pipelined Writer at replication 2 over TCP. At this payload
+// size the wire codec dominates the op (datanode writes land in the
+// modeled buffer cache, so no device sleep hides it); the same cluster
+// runs once with the binary fast path and once with the gob baseline
+// (WithTCPFastPath(false)) so the pair brackets the codec overhaul in
+// BENCH_write.json.
+const (
+	LargeBlocks    = 2
+	LargeBlockSize = 4 << 20
+	LargeNodes     = 4
+)
+
 // Transport selects the wire under benchmark.
 type Transport string
 
@@ -47,11 +60,15 @@ const (
 	TCP   Transport = "tcp"
 )
 
-// Result is one benchmark record of BENCH_write.json.
+// Result is one benchmark record of BENCH_write.json. AllocsPerOp and
+// BytesPerOp are recorded only by the allocation-aware configs (the
+// large-block codec scenarios); zero means not measured.
 type Result struct {
 	Name         string  `json:"name"`
 	NsPerOp      int64   `json:"ns_per_op"`
 	BlocksPerSec float64 `json:"blocks_per_sec"`
+	AllocsPerOp  int64   `json:"allocs_per_op,omitempty"`
+	BytesPerOp   int64   `json:"bytes_per_op,omitempty"`
 }
 
 // Cluster is a running benchmark cluster.
@@ -60,25 +77,53 @@ type Cluster struct {
 	Net    transport.Network
 	NNAddr string
 
-	nn  *namenode.NameNode
-	dns []*datanode.DataNode
-	in  []byte
-	seq int
+	nn        *namenode.NameNode
+	dns       []*datanode.DataNode
+	in        []byte
+	seq       int
+	blocks    int
+	blockSize int64
+}
+
+// clusterSpec parameterizes a benchmark cluster build.
+type clusterSpec struct {
+	kind      Transport
+	blocks    int
+	blockSize int64
+	nodes     int
+	fastPath  bool // TCP binary fast path (false = gob baseline)
 }
 
 // Start brings up a namenode and Nodes HDD datanodes on the chosen
 // transport, all on the scaled real clock.
 func Start(kind Transport) (*Cluster, error) {
+	return start(clusterSpec{
+		kind: kind, blocks: Blocks, blockSize: BlockSize, nodes: Nodes,
+		fastPath: true,
+	})
+}
+
+// StartLargeTCP brings up the large-block codec cluster: LargeNodes
+// datanodes over TCP ingesting LargeBlockSize blocks, with the binary
+// fast path on or off (off is the gob baseline).
+func StartLargeTCP(fast bool) (*Cluster, error) {
+	return start(clusterSpec{
+		kind: TCP, blocks: LargeBlocks, blockSize: LargeBlockSize,
+		nodes: LargeNodes, fastPath: fast,
+	})
+}
+
+func start(spec clusterSpec) (*Cluster, error) {
 	clock := simclock.NewScaledReal(timeScale)
-	c := &Cluster{Clock: clock}
+	c := &Cluster{Clock: clock, blocks: spec.blocks, blockSize: spec.blockSize}
 	addr := func(i int) string { return fmt.Sprintf("dn%d", i) }
-	switch kind {
+	switch spec.kind {
 	case Inmem:
 		c.Net = transport.NewInmemNetwork(clock)
 		c.NNAddr = "nn"
 	case TCP:
 		dfs.RegisterWire()
-		net := transport.NewTCPNetwork()
+		net := transport.NewTCPNetwork(transport.WithTCPFastPath(spec.fastPath))
 		c.Net = net
 		ephemeral := func() (string, error) {
 			l, err := net.Listen("127.0.0.1:0")
@@ -101,7 +146,7 @@ func Start(kind Transport) (*Cluster, error) {
 			return a
 		}
 	default:
-		return nil, fmt.Errorf("writebench: unknown transport %q", kind)
+		return nil, fmt.Errorf("writebench: unknown transport %q", spec.kind)
 	}
 
 	nn := namenode.New(c.Clock, c.Net, namenode.Config{Addr: c.NNAddr, Seed: 7})
@@ -109,7 +154,7 @@ func Start(kind Transport) (*Cluster, error) {
 		return nil, err
 	}
 	c.nn = nn
-	for i := 0; i < Nodes; i++ {
+	for i := 0; i < spec.nodes; i++ {
 		a := addr(i)
 		if a == "" {
 			c.Close()
@@ -128,7 +173,7 @@ func Start(kind Transport) (*Cluster, error) {
 		}
 		c.dns = append(c.dns, dn)
 	}
-	c.in = bytes.Repeat([]byte("ignem-writebench"), Blocks*BlockSize/16)
+	c.in = bytes.Repeat([]byte("ignem-writebench"), spec.blocks*int(spec.blockSize)/16)
 	return c, nil
 }
 
@@ -167,10 +212,36 @@ func BenchWriteFile(b *testing.B, c *Cluster, par int) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		path := c.nextPath()
-		if err := cl.WriteFile(path, c.in, BlockSize, Replication); err != nil {
+		if err := cl.WriteFile(path, c.in, c.blockSize, Replication); err != nil {
 			b.Fatal(err)
 		}
 		// Deletion is untimed housekeeping so replicas don't pile up.
+		b.StopTimer()
+		if err := cl.Delete(path); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+	}
+	b.SetBytes(int64(len(c.in)))
+}
+
+// BenchLargeWritePipelined is the large-block codec benchmark body: one
+// pipelined whole-file write of LargeBlocks 4MiB blocks per op against a
+// StartLargeTCP cluster, with allocation reporting so the fast-vs-gob
+// pair also brackets the codec's per-op allocation cost.
+func BenchLargeWritePipelined(b *testing.B, c *Cluster) {
+	cl, err := c.Client(client.WithWriteParallelism(client.DefaultWriteParallelism))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cl.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		path := c.nextPath()
+		if err := cl.WriteFile(path, c.in, c.blockSize, Replication); err != nil {
+			b.Fatal(err)
+		}
 		b.StopTimer()
 		if err := cl.Delete(path); err != nil {
 			b.Fatal(err)
@@ -189,11 +260,11 @@ func BenchWriteSynthetic(b *testing.B, c *Cluster, par int) {
 		b.Fatal(err)
 	}
 	defer cl.Close()
-	size := int64(Blocks) * BlockSize
+	size := int64(c.blocks) * c.blockSize
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		path := c.nextPath()
-		if err := cl.WriteSyntheticFile(path, size, BlockSize, Replication); err != nil {
+		if err := cl.WriteSyntheticFile(path, size, c.blockSize, Replication); err != nil {
 			b.Fatal(err)
 		}
 		b.StopTimer()
@@ -233,6 +304,33 @@ func RunAll() ([]Result, error) {
 			}
 			out = append(out, res)
 		}
+		c.Close()
+	}
+
+	// Large-block codec scenarios: same TCP cluster geometry, fast path
+	// on vs off, so the pair brackets the binary codec's effect at the
+	// block size where the wire cost dominates.
+	for _, lc := range []struct {
+		name string
+		fast bool
+	}{
+		{"BenchmarkLargeWritePipelinedFast", true},
+		{"BenchmarkLargeWritePipelinedGob", false},
+	} {
+		c, err := StartLargeTCP(lc.fast)
+		if err != nil {
+			return nil, fmt.Errorf("writebench: start large (fast=%v): %w", lc.fast, err)
+		}
+		r := testing.Benchmark(func(b *testing.B) { BenchLargeWritePipelined(b, c) })
+		ns := r.NsPerOp()
+		res := Result{
+			Name: lc.name + "/" + string(TCP), NsPerOp: ns,
+			AllocsPerOp: r.AllocsPerOp(), BytesPerOp: r.AllocedBytesPerOp(),
+		}
+		if ns > 0 {
+			res.BlocksPerSec = LargeBlocks * 1e9 / float64(ns)
+		}
+		out = append(out, res)
 		c.Close()
 	}
 	return out, nil
