@@ -3,16 +3,18 @@
 GO ?= go
 
 .PHONY: all ci test race vet build fmt-check tidy-check determinism chaos \
-	bench-smoke bench bench-read bench-write bench-alloc profile \
-	fuzz-smoke experiments examples tidy
+	bench-smoke bench bench-read bench-write bench-meta bench-meta-smoke \
+	bench-alloc profile fuzz-smoke experiments examples tidy
 
 all: vet test
 
 # ci mirrors the GitHub Actions pipeline locally (the workflow calls
 # these same targets, so the two cannot drift). The bench smoke job is
 # excluded here because it takes minutes; run `make bench-smoke` to
-# reproduce it.
-ci: vet build test race fmt-check tidy-check determinism chaos bench-alloc
+# reproduce it. bench-meta-smoke stays in: the reduced metadata-plane
+# suite finishes in seconds and guards the sharded plane end to end.
+ci: vet build test race fmt-check tidy-check determinism chaos bench-alloc \
+	bench-meta-smoke
 
 test:
 	$(GO) test ./...
@@ -38,11 +40,19 @@ tidy-check:
 # Guards the paper figures: the seeded-determinism test must pass, and
 # two regenerations of the swim and table3 experiments must render
 # byte-for-byte identical output (wall-time footer lines filtered).
+# The sharded metadata plane extends the guard: shard count 1 must
+# reproduce the unsharded figures bit for bit (same seeded rng stream),
+# and shard count 4 must be deterministic across runs.
 determinism:
 	$(GO) test ./internal/experiments -run TestSwimSeededRunsAreBitIdentical -count=1
 	$(GO) run ./cmd/ignem-bench swim table3 | grep -v 'wall time' > /tmp/ignem-determinism-a.txt
 	$(GO) run ./cmd/ignem-bench swim table3 | grep -v 'wall time' > /tmp/ignem-determinism-b.txt
 	diff /tmp/ignem-determinism-a.txt /tmp/ignem-determinism-b.txt
+	IGNEM_META_SHARDS=1 $(GO) run ./cmd/ignem-bench swim table3 | grep -v 'wall time' > /tmp/ignem-determinism-s1.txt
+	diff /tmp/ignem-determinism-a.txt /tmp/ignem-determinism-s1.txt
+	IGNEM_META_SHARDS=4 $(GO) run ./cmd/ignem-bench swim table3 | grep -v 'wall time' > /tmp/ignem-determinism-s4a.txt
+	IGNEM_META_SHARDS=4 $(GO) run ./cmd/ignem-bench swim table3 | grep -v 'wall time' > /tmp/ignem-determinism-s4b.txt
+	diff /tmp/ignem-determinism-s4a.txt /tmp/ignem-determinism-s4b.txt
 
 # The failure-recovery suite: the deterministic fault fabric's unit
 # tests and the end-to-end chaos scenarios (datanode crash mid-write,
@@ -105,6 +115,20 @@ bench-read:
 # on both transports; machine-readable records land in BENCH_write.json.
 bench-write:
 	$(GO) run ./cmd/ignem-bench -writebench BENCH_write.json
+
+# Metadata-plane throughput benchmarks (creates/opens/allocs per second
+# vs namespace shard count {1,2,4,8} plus the unsharded baseline) on
+# both transports; machine-readable records land in BENCH_meta.json.
+bench-meta:
+	$(GO) run ./cmd/ignem-bench -metabench BENCH_meta.json
+
+# Reduced metadata-plane suite for CI: shard counts 1 and 4 with a small
+# op budget, checked for completion and JSON shape only.
+bench-meta-smoke:
+	$(GO) run ./cmd/ignem-bench -metabench /tmp/ignem-smoke-meta.json -metabench-smoke
+	grep -q '"name": "BenchmarkMetaAlloc/inmem/shards=4"' /tmp/ignem-smoke-meta.json
+	grep -q '"name": "BenchmarkMetaCreate/tcp/unsharded"' /tmp/ignem-smoke-meta.json
+	grep -q '"ops_per_sec"' /tmp/ignem-smoke-meta.json
 
 # Regenerate every paper table and figure as rendered text (plus CSVs in
 # ./data for plotting).

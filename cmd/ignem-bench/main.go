@@ -6,12 +6,16 @@
 //	ignem-bench -list
 //	ignem-bench -readbench BENCH_read.json
 //	ignem-bench -writebench BENCH_write.json
+//	ignem-bench -metabench BENCH_meta.json [-metabench-smoke]
 //
 // With no experiment arguments, every experiment runs in order.
 // -readbench instead runs the read-path throughput benchmarks (striped
 // ReadFile and Reader read-ahead on both transports) and writes the
 // machine-readable records to the given file; -writebench does the same
-// for the write path (pipelined Writer vs serial ingest).
+// for the write path (pipelined Writer vs serial ingest); -metabench
+// does the same for the metadata plane (creates/opens/allocs per second
+// vs namespace shard count, with -metabench-smoke selecting the reduced
+// CI configuration).
 //
 // Profiling: -cpuprofile, -memprofile, and -mutexprofile write pprof
 // profiles covering whatever workload the invocation runs (experiments
@@ -28,6 +32,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/metabench"
 	"repro/internal/readbench"
 	"repro/internal/writebench"
 )
@@ -87,6 +92,8 @@ func run() int {
 	out := flag.String("out", "", "directory to write raw CSV data for plotting")
 	readJSON := flag.String("readbench", "", "run the read benchmarks and write JSON records to this file")
 	writeJSON := flag.String("writebench", "", "run the write benchmarks and write JSON records to this file")
+	metaJSON := flag.String("metabench", "", "run the metadata-plane benchmarks and write JSON records to this file")
+	metaSmoke := flag.Bool("metabench-smoke", false, "with -metabench, run the reduced CI smoke configuration")
 	cpuProf := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProf := flag.String("memprofile", "", "write an end-of-run heap profile to this file")
 	mutexProf := flag.String("mutexprofile", "", "write an end-of-run mutex-contention profile to this file")
@@ -129,6 +136,28 @@ func run() int {
 			return 1
 		}
 		fmt.Printf("[read benchmarks completed in %v wall time; records in %s]\n", time.Since(start).Round(time.Millisecond), *readJSON)
+		return 0
+	}
+
+	if *metaJSON != "" {
+		start := time.Now()
+		cfg := metabench.Default()
+		if *metaSmoke {
+			cfg = metabench.Smoke()
+		}
+		results, err := metabench.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ignem-bench: metabench: %v\n", err)
+			return 1
+		}
+		for _, r := range results {
+			fmt.Printf("%-45s %12d ns/op %12.0f ops/s\n", r.Name, r.NsPerOp, r.OpsPerSec)
+		}
+		if err := metabench.WriteJSON(*metaJSON, results); err != nil {
+			fmt.Fprintf(os.Stderr, "ignem-bench: metabench: %v\n", err)
+			return 1
+		}
+		fmt.Printf("[metadata benchmarks completed in %v wall time; records in %s]\n", time.Since(start).Round(time.Millisecond), *metaJSON)
 		return 0
 	}
 

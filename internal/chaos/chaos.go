@@ -39,6 +39,9 @@ type Config struct {
 	Slave ignem.SlaveConfig
 	// DFSHeartbeat overrides the datanode heartbeat interval.
 	DFSHeartbeat time.Duration
+	// MetaShards partitions the namenode's metadata plane (see
+	// cluster.Config.MetaShards). Zero keeps the unsharded plane.
+	MetaShards int
 }
 
 // Harness is a running cluster whose fabric is under test control.
@@ -61,6 +64,7 @@ func Start(v *simclock.Virtual, cfg Config) (*Harness, error) {
 		Seed:         cfg.Seed,
 		Slave:        cfg.Slave,
 		DFSHeartbeat: cfg.DFSHeartbeat,
+		MetaShards:   cfg.MetaShards,
 		WrapNet: func(node string, base transport.Network) transport.Network {
 			if h.Fabric == nil {
 				h.Fabric = faultnet.New(v, base, cfg.Seed)

@@ -10,6 +10,8 @@ package cluster
 
 import (
 	"fmt"
+	"os"
+	"strconv"
 	"time"
 
 	"repro/internal/dfs/client"
@@ -86,6 +88,15 @@ type Config struct {
 	// HotCacheBytes sizes the per-node hot cache in ModeHotCache.
 	// Default 32 GB.
 	HotCacheBytes int64
+	// MetaShards partitions the namenode's metadata plane (files,
+	// blocks, placement rng, and the Ignem master) into this many
+	// shards, each independently locked. 0 (the default) runs the
+	// historical unsharded plane; if the IGNEM_META_SHARDS environment
+	// variable is a positive integer it overrides a zero value, so the
+	// determinism and bench jobs can sweep shard counts without
+	// touching experiment code. One extra namenode endpoint per shard
+	// ("namenode-s0"…) is listened for shard-aware clients.
+	MetaShards int
 	// WrapNet, when set, wraps each component's view of the fabric —
 	// the chaos suite injects faults here (internal/faultnet). It is
 	// called once per component with its address ("namenode", "dn0"…,
@@ -120,6 +131,11 @@ func (c *Config) setDefaults() {
 	if c.HotCacheBytes <= 0 {
 		c.HotCacheBytes = 32 << 30
 	}
+	if c.MetaShards == 0 {
+		if n, err := strconv.Atoi(os.Getenv("IGNEM_META_SHARDS")); err == nil && n > 0 {
+			c.MetaShards = n
+		}
+	}
 }
 
 // Cluster is a running testbed.
@@ -140,6 +156,21 @@ const NameNodeAddr = "namenode"
 // EngineAddr is the fabric node name the MapReduce engine dials from
 // (it listens on nothing; the name only matters to WrapNet fault rules).
 const EngineAddr = "engine"
+
+// ShardAddrs names the extra namenode endpoints a sharded metadata
+// plane listens on ("namenode-s0"…), nil when unsharded. Every endpoint
+// serves the full handler set; they exist so shard-aware clients spread
+// transport load.
+func ShardAddrs(metaShards int) []string {
+	if metaShards <= 0 {
+		return nil
+	}
+	out := make([]string, metaShards)
+	for i := range out {
+		out[i] = fmt.Sprintf("%s-s%d", NameNodeAddr, i)
+	}
+	return out
+}
 
 // Start brings up a cluster. It must be called from a simulation
 // goroutine when clock is virtual.
@@ -167,9 +198,11 @@ func Start(clock simclock.Clock, cfg Config) (*Cluster, error) {
 		}
 	}
 	nn := namenode.New(clock, wrap(NameNodeAddr), namenode.Config{
-		Addr:  NameNodeAddr,
-		Seed:  cfg.Seed,
-		Racks: racks,
+		Addr:       NameNodeAddr,
+		Seed:       cfg.Seed,
+		Racks:      racks,
+		MetaShards: cfg.MetaShards,
+		ShardAddrs: ShardAddrs(cfg.MetaShards),
 	})
 	if err := nn.Start(); err != nil {
 		return nil, err

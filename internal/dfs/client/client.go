@@ -128,11 +128,17 @@ type Client struct {
 	retryMu  sync.Mutex
 	retryRNG *rand.Rand
 
-	mu     sync.Mutex
-	nn     *transport.Client // current namenode conn; swapped by redialNN
-	closed bool
-	dns    map[string]*transport.Client
-	rng    *rand.Rand
+	// Shard routing (see shards.go). shardAddrs is fixed after New;
+	// shardConns is guarded by mu.
+	shardAddrs     []string
+	discoverShards bool
+
+	mu         sync.Mutex
+	nn         *transport.Client // current namenode conn; swapped by redialNN
+	closed     bool
+	dns        map[string]*transport.Client
+	shardConns map[string]*transport.Client
+	rng        *rand.Rand
 
 	// notifyMu guards the batch of cache-hit read notifications not yet
 	// sent to the namenode.
@@ -166,6 +172,10 @@ func New(clock simclock.Clock, net transport.Network, nnAddr string, opts ...Opt
 		return nil, fmt.Errorf("dfs client: %w", err)
 	}
 	c.nn = nn
+	if err := c.initShardRouting(); err != nil {
+		nn.Close()
+		return nil, fmt.Errorf("dfs client: shard discovery: %w", err)
+	}
 	if c.cacheBytes > 0 {
 		c.cache = blockcache.New(clock, c.cacheBytes)
 	}
@@ -181,10 +191,15 @@ func (c *Client) Close() {
 	nn := c.nn
 	dns := c.dns
 	c.dns = make(map[string]*transport.Client)
+	shardConns := c.shardConns
+	c.shardConns = nil
 	c.mu.Unlock()
 	nn.Close()
 	for _, dc := range dns {
 		dc.Close()
+	}
+	for _, sc := range shardConns {
+		sc.Close()
 	}
 }
 
@@ -192,7 +207,7 @@ func (c *Client) Close() {
 
 // Create starts a new file and returns a Writer for its content.
 func (c *Client) Create(path string, blockSize int64, replication int) (*Writer, error) {
-	_, err := callNNOnce[dfs.CreateResp](c, "nn.create", dfs.CreateReq{
+	_, err := callNNOncePath[dfs.CreateResp](c, "nn.create", path, dfs.CreateReq{
 		Path: path, BlockSize: blockSize, Replication: replication,
 	})
 	if err != nil {
@@ -208,7 +223,7 @@ func (c *Client) Create(path string, blockSize int64, replication int) (*Writer,
 
 // Info fetches file metadata.
 func (c *Client) Info(path string) (dfs.FileInfo, error) {
-	resp, err := callNN[dfs.GetInfoResp](c, "nn.getInfo", dfs.GetInfoReq{Path: path})
+	resp, err := callNNPath[dfs.GetInfoResp](c, "nn.getInfo", path, dfs.GetInfoReq{Path: path})
 	if err != nil {
 		return dfs.FileInfo{}, err
 	}
@@ -223,7 +238,7 @@ func (c *Client) Locations(path string) ([]dfs.LocatedBlock, error) {
 // LocationsForJob fetches the block layout with each block annotated
 // with the replica Ignem assigned to job's migration (if any).
 func (c *Client) LocationsForJob(path string, job dfs.JobID) ([]dfs.LocatedBlock, error) {
-	resp, err := callNN[dfs.GetLocationsResp](c, "nn.getLocations", dfs.GetLocationsReq{Path: path, Job: job})
+	resp, err := callNNPath[dfs.GetLocationsResp](c, "nn.getLocations", path, dfs.GetLocationsReq{Path: path, Job: job})
 	if err != nil {
 		return nil, err
 	}
@@ -233,7 +248,7 @@ func (c *Client) LocationsForJob(path string, job dfs.JobID) ([]dfs.LocatedBlock
 // Delete removes a file from the namespace. Any blocks of path held in
 // the client's block cache are dropped.
 func (c *Client) Delete(path string) error {
-	_, err := callNNOnce[dfs.DeleteResp](c, "nn.delete", dfs.DeleteReq{Path: path})
+	_, err := callNNOncePath[dfs.DeleteResp](c, "nn.delete", path, dfs.DeleteReq{Path: path})
 	c.invalidateFile(path)
 	return err
 }

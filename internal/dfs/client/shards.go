@@ -1,0 +1,118 @@
+package client
+
+import (
+	"repro/internal/dfs"
+	"repro/internal/shardmap"
+	"repro/internal/transport"
+)
+
+// Shard routing is strictly opt-in. A default client sends every
+// namenode RPC down the single primary connection — zero extra RPCs,
+// zero behavior change — so seeded experiments keep their bit-identical
+// figures. A shard-aware client routes path-keyed namespace calls
+// (create, allocate, retarget, complete, getInfo, getLocations, delete)
+// to the endpoint serving the shard that owns the path, spreading
+// transport load across the sharded metadata plane's listeners. Routing
+// is a load-spreading optimization, never a correctness requirement:
+// every endpoint serves the full handler set, and any routed call falls
+// back to the primary connection when its endpoint is unreachable.
+
+// WithShardEndpoints statically configures shard routing: addrs[i] is
+// the endpoint for shard i, with the shard count taken from len(addrs).
+// An empty slice disables routing. The file→shard map is the same
+// directory-prefix hash the namenode uses, so no discovery round trip
+// is needed.
+func WithShardEndpoints(addrs []string) Option {
+	return func(c *Client) {
+		c.shardAddrs = append([]string(nil), addrs...)
+	}
+}
+
+// WithShardRouting discovers the shard layout from the namenode with
+// one nn.shardInfo call at dial time and routes accordingly. Prefer
+// WithShardEndpoints when the layout is known (as the cluster harness
+// knows it): discovery costs an RPC, which perturbs virtual-clock
+// experiment timing.
+func WithShardRouting() Option {
+	return func(c *Client) { c.discoverShards = true }
+}
+
+// initShardRouting runs at dial time, after options, while the client
+// is still single-goroutine.
+func (c *Client) initShardRouting() error {
+	if !c.discoverShards {
+		return nil
+	}
+	resp, err := callNNOnce[dfs.ShardInfoResp](c, "nn.shardInfo", dfs.ShardInfoReq{})
+	if err != nil {
+		return err
+	}
+	if resp.Shards > 1 && len(resp.Addrs) > 0 {
+		c.shardAddrs = resp.Addrs
+	}
+	return nil
+}
+
+// nnConnForPath returns the connection to use for a namespace call on
+// path: the owning shard's endpoint when routing is configured (dialed
+// lazily), the primary connection otherwise — or whenever the shard
+// endpoint cannot be dialed. Returns nil once the client is closed.
+func (c *Client) nnConnForPath(path string) *transport.Client {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	if len(c.shardAddrs) <= 1 {
+		nn := c.nn
+		c.mu.Unlock()
+		return nn
+	}
+	shard := shardmap.FileShard(path, len(c.shardAddrs))
+	addr := c.shardAddrs[shard]
+	if addr == "" {
+		nn := c.nn
+		c.mu.Unlock()
+		return nn
+	}
+	if conn, ok := c.shardConns[addr]; ok {
+		c.mu.Unlock()
+		return conn
+	}
+	c.mu.Unlock()
+
+	conn, err := transport.Dial(c.clock, c.net, addr, transport.WithCallTimeout(c.nnTimeout))
+	if err != nil {
+		return c.nnConn() // endpoint unreachable; the primary serves everything
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		conn.Close()
+		return nil
+	}
+	if existing, ok := c.shardConns[addr]; ok {
+		defer conn.Close()
+		return existing
+	}
+	if c.shardConns == nil {
+		c.shardConns = make(map[string]*transport.Client)
+	}
+	c.shardConns[addr] = conn
+	return conn
+}
+
+// forgetShardConn drops a failed shard-endpoint connection so the next
+// routed call re-dials (or falls back to the primary). A no-op for the
+// primary connection, which redialNN owns.
+func (c *Client) forgetShardConn(conn *transport.Client) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for addr, sc := range c.shardConns {
+		if sc == conn {
+			delete(c.shardConns, addr)
+			sc.Close()
+			return
+		}
+	}
+}

@@ -270,7 +270,7 @@ func (w *Writer) Close() error {
 		return flushErr
 	}
 	// Sealing is idempotent, so a lost reply is safely retried.
-	_, err := callNN[dfs.CompleteResp](w.c, "nn.complete", dfs.CompleteReq{Path: w.path})
+	_, err := callNNPath[dfs.CompleteResp](w.c, "nn.complete", w.path, dfs.CompleteReq{Path: w.path})
 	return err
 }
 
@@ -302,7 +302,7 @@ func (c *Client) writeBlockWithFailover(path string, lb dfs.LocatedBlock, data [
 			c.ForgetDataNode(victim)
 			exclude = append(exclude, victim)
 		}
-		resp, rerr := callNN[dfs.RetargetBlockResp](c, "nn.retargetBlock", dfs.RetargetBlockReq{
+		resp, rerr := callNNPath[dfs.RetargetBlockResp](c, "nn.retargetBlock", path, dfs.RetargetBlockReq{
 			Path: path, Block: lb.Block.ID, Exclude: exclude,
 		})
 		if rerr != nil {
@@ -366,13 +366,13 @@ func (c *Client) sendBlock(lb dfs.LocatedBlock, data []byte, eager bool) error {
 func (c *Client) addBlocks(path string, sizes []int64) ([]dfs.LocatedBlock, error) {
 	reqID := c.allocSeq.Add(1)
 	if len(sizes) == 1 {
-		resp, err := callNN[dfs.AddBlockResp](c, "nn.addBlock", dfs.AddBlockReq{Path: path, Size: sizes[0], ReqID: reqID})
+		resp, err := callNNPath[dfs.AddBlockResp](c, "nn.addBlock", path, dfs.AddBlockReq{Path: path, Size: sizes[0], ReqID: reqID})
 		if err != nil {
 			return nil, fmt.Errorf("dfs client: addBlock: %w", err)
 		}
 		return []dfs.LocatedBlock{resp.Located}, nil
 	}
-	resp, err := callNN[dfs.AddBlocksResp](c, "nn.addBlocks", dfs.AddBlocksReq{Path: path, Sizes: sizes, ReqID: reqID})
+	resp, err := callNNPath[dfs.AddBlocksResp](c, "nn.addBlocks", path, dfs.AddBlocksReq{Path: path, Sizes: sizes, ReqID: reqID})
 	if err != nil {
 		return nil, fmt.Errorf("dfs client: addBlocks: %w", err)
 	}

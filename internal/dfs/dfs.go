@@ -257,6 +257,19 @@ type BlockReportReq struct {
 // BlockReportResp acknowledges a block report.
 type BlockReportResp struct{}
 
+// ShardInfoReq asks the namenode for the metadata plane's shard layout.
+// Shard-aware clients use it to route namespace RPCs to the endpoint
+// serving the shard that owns each path.
+type ShardInfoReq struct{}
+
+// ShardInfoResp returns the shard count and the optional per-shard
+// endpoint addresses. Addrs may be shorter than Shards (or empty);
+// unlisted shards are served at the primary namenode address.
+type ShardInfoResp struct {
+	Shards int
+	Addrs  []string
+}
+
 // EpochReq asks the namenode for the Ignem master's current epoch. A
 // revived datanode sends it during re-registration so its slave can
 // reconcile stale pins immediately instead of waiting for the next
@@ -431,6 +444,7 @@ func RegisterWire() {
 		BlockReadReq{}, BlockReadResp{},
 		ReadNotifyBatch{}, ReadNotifyBatchResp{},
 		EpochReq{}, EpochResp{},
+		ShardInfoReq{}, ShardInfoResp{},
 	} {
 		transport.RegisterType(v)
 	}

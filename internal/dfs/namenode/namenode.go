@@ -41,6 +41,21 @@ type Config struct {
 	// replica goes to a different rack than the first, and the third to
 	// the second replica's rack. An empty map means flat placement.
 	Racks map[string]string
+	// MetaShards selects the metadata plane. 0 (the default) runs the
+	// historical unsharded namespace. N >= 1 partitions the namespace
+	// into N shards — files by directory hash, blocks by consistent
+	// hash — each with its own locks and placement rng stream, and runs
+	// one Ignem migration planner per shard behind a coordinator. At
+	// MetaShards=1 the sharded plane draws the seeded rngs
+	// bit-identically to the unsharded one.
+	MetaShards int
+	// ShardAddrs optionally adds one extra listen address per shard.
+	// Every address serves the full handler set (routing is an
+	// optimization, never a correctness requirement); shard-aware
+	// clients spread their namespace RPCs across them. Length need not
+	// match MetaShards — extra addresses are ignored, missing ones fall
+	// back to Addr.
+	ShardAddrs []string
 }
 
 func (c *Config) setDefaults() {
@@ -61,26 +76,6 @@ func (c *Config) setDefaults() {
 	}
 }
 
-type fileEntry struct {
-	info   dfs.FileInfo
-	blocks []dfs.Block
-	// lastAllocID/lastAllocResp cache the file's most recent allocation
-	// keyed by the caller's request ID, making allocation retries after a
-	// lost reply idempotent. One-deep is enough: a file has one writer
-	// and the writer allocates serially, so a retry can only ever be of
-	// the latest allocation.
-	lastAllocID   uint64
-	lastAllocResp any
-}
-
-type blockMeta struct {
-	size    int64
-	want    int                 // the file's replication factor
-	nodes   map[string]struct{} // datanode addresses with a replica
-	pinned  map[string]struct{} // addresses where Ignem has it in memory
-	healing bool                // a re-replication pull is in flight
-}
-
 type dnInfo struct {
 	addr     string
 	lastSeen time.Time
@@ -89,36 +84,30 @@ type dnInfo struct {
 }
 
 // NameNode is the file-system master process. Start it with Start, stop
-// it with Close.
+// it with Close. All namespace and block state lives behind ns; the
+// NameNode itself owns only the datanode registry, the RPC surface, and
+// the embedded Ignem master.
 type NameNode struct {
-	clock    simclock.Clock
-	net      transport.Network
-	cfg      Config
-	server   *transport.Server
-	listener transport.Listener
-	master   *ignem.Master
+	clock          simclock.Clock
+	net            transport.Network
+	cfg            Config
+	server         *transport.Server
+	listener       transport.Listener
+	shardListeners []transport.Listener
+	master         *ignem.Coordinator
+	ns             Namespace
 
-	// mu guards the namespace: files, blocks (and each blockMeta's
-	// contents), nextBlock, and closed. Metadata lookups (getInfo,
-	// getLocations, list, Resolve) take it in read mode so they never
-	// contend with each other.
-	mu        sync.RWMutex
-	files     map[string]*fileEntry
-	blocks    map[dfs.BlockID]*blockMeta
-	nextBlock dfs.BlockID
-	closed    bool
+	// stateMu guards closed.
+	stateMu sync.Mutex
+	closed  bool
 
 	// dnmu guards the datanode registry: the datanodes map and every
-	// dnInfo's fields. Splitting it from mu keeps heartbeats and
-	// registrations off the namespace lock. When both locks are held,
-	// mu is acquired before dnmu; never the reverse.
+	// dnInfo's fields. Splitting it from the namespace locks keeps
+	// heartbeats and registrations off the metadata path. dnmu nests
+	// innermost: it is only ever acquired under namespace locks (via
+	// placeTargets and Resolve), never the reverse.
 	dnmu      sync.RWMutex
 	datanodes map[string]*dnInfo
-
-	// rngMu guards the placement rng. It is a leaf lock: nothing else is
-	// acquired while holding it.
-	rngMu sync.Mutex
-	rng   *rand.Rand
 }
 
 // New creates a NameNode (not yet serving).
@@ -128,12 +117,14 @@ func New(clock simclock.Clock, net transport.Network, cfg Config) *NameNode {
 		clock:     clock,
 		net:       net,
 		cfg:       cfg,
-		files:     make(map[string]*fileEntry),
-		blocks:    make(map[dfs.BlockID]*blockMeta),
 		datanodes: make(map[string]*dnInfo),
-		rng:       rand.New(rand.NewSource(cfg.Seed)),
 	}
-	nn.master = ignem.NewMaster(nn, nn, cfg.Seed+1)
+	if cfg.MetaShards > 0 {
+		nn.ns = newShardedNamespace(cfg.MetaShards, cfg.Seed, nn.placeTargets)
+	} else {
+		nn.ns = newMemNamespace(cfg.Seed, nn.placeTargets)
+	}
+	nn.master = ignem.NewCoordinator(nn, nn, cfg.Seed+1, nn.ns.Shards())
 	return nn
 }
 
@@ -161,9 +152,23 @@ func (nn *NameNode) Start() error {
 	s.Handle("nn.blockReport", wrap(nn.handleBlockReport))
 	s.Handle("nn.heartbeat", wrap(nn.handleHeartbeat))
 	s.Handle("nn.epoch", wrap(nn.handleEpoch))
+	s.Handle("nn.shardInfo", wrap(nn.handleShardInfo))
 	s.ServeBackground(l)
 	nn.server = s
 	nn.listener = l
+	// Extra per-shard endpoints serve the same handler set on the same
+	// server: a shard address is a load-spreading hint for shard-aware
+	// clients, not a partition boundary, so any request is valid on any
+	// endpoint.
+	for _, addr := range nn.cfg.ShardAddrs {
+		sl, err := nn.net.Listen(addr)
+		if err != nil {
+			nn.Close()
+			return fmt.Errorf("namenode: shard endpoint %s: %w", addr, err)
+		}
+		s.ServeBackground(sl)
+		nn.shardListeners = append(nn.shardListeners, sl)
+	}
 	nn.clock.Go(nn.expiryLoop)
 	if nn.cfg.ReplicationSweepInterval > 0 {
 		nn.clock.Go(nn.replicationLoop)
@@ -185,9 +190,9 @@ func wrap[Req, Resp any](fn func(Req) (Resp, error)) transport.HandlerFunc {
 
 // Close stops serving and disconnects from all datanodes.
 func (nn *NameNode) Close() {
-	nn.mu.Lock()
+	nn.stateMu.Lock()
 	nn.closed = true
-	nn.mu.Unlock()
+	nn.stateMu.Unlock()
 	nn.dnmu.Lock()
 	clients := make([]*transport.Client, 0, len(nn.datanodes))
 	for _, dn := range nn.datanodes {
@@ -202,14 +207,27 @@ func (nn *NameNode) Close() {
 	if nn.listener != nil {
 		nn.listener.Close()
 	}
+	for _, l := range nn.shardListeners {
+		l.Close()
+	}
 	if nn.server != nil {
 		nn.server.Close()
 	}
 }
 
-// Master exposes the embedded Ignem master (for failure-injection tests
-// and the cluster harness).
-func (nn *NameNode) Master() *ignem.Master { return nn.master }
+func (nn *NameNode) isClosed() bool {
+	nn.stateMu.Lock()
+	defer nn.stateMu.Unlock()
+	return nn.closed
+}
+
+// Master exposes the embedded Ignem master coordinator (for
+// failure-injection tests and the cluster harness).
+func (nn *NameNode) Master() *ignem.Coordinator { return nn.master }
+
+// Shards reports the metadata plane's partition count (1 when
+// unsharded).
+func (nn *NameNode) Shards() int { return nn.ns.Shards() }
 
 // RestartMaster simulates an Ignem master failure and recovery: the new
 // master starts with an empty state and a new epoch, and the epoch bump
@@ -233,16 +251,22 @@ func (nn *NameNode) handleEpoch(dfs.EpochReq) (dfs.EpochResp, error) {
 	return dfs.EpochResp{Epoch: nn.master.Epoch()}, nil
 }
 
+// handleShardInfo reports the metadata plane's shard layout so clients
+// can route namespace RPCs shard-locally. Addrs may be shorter than the
+// shard count (or empty): unlisted shards are served at the primary
+// address.
+func (nn *NameNode) handleShardInfo(dfs.ShardInfoReq) (dfs.ShardInfoResp, error) {
+	return dfs.ShardInfoResp{
+		Shards: nn.ns.Shards(),
+		Addrs:  append([]string(nil), nn.cfg.ShardAddrs...),
+	}, nil
+}
+
 // ---- namespace handlers ----
 
 func (nn *NameNode) handleCreate(req dfs.CreateReq) (dfs.CreateResp, error) {
-	nn.mu.Lock()
-	defer nn.mu.Unlock()
 	if req.Path == "" {
 		return dfs.CreateResp{}, fmt.Errorf("namenode: empty path")
-	}
-	if _, ok := nn.files[req.Path]; ok {
-		return dfs.CreateResp{}, fmt.Errorf("namenode: %s already exists", req.Path)
 	}
 	bs := req.BlockSize
 	if bs <= 0 {
@@ -252,33 +276,18 @@ func (nn *NameNode) handleCreate(req dfs.CreateReq) (dfs.CreateResp, error) {
 	if rep <= 0 {
 		rep = nn.cfg.DefaultReplication
 	}
-	nn.files[req.Path] = &fileEntry{info: dfs.FileInfo{
-		Path: req.Path, BlockSize: bs, Replication: rep,
-	}}
+	if err := nn.ns.Create(req.Path, bs, rep); err != nil {
+		return dfs.CreateResp{}, err
+	}
 	return dfs.CreateResp{}, nil
 }
 
 func (nn *NameNode) handleAddBlock(req dfs.AddBlockReq) (dfs.AddBlockResp, error) {
-	nn.mu.Lock()
-	defer nn.mu.Unlock()
-	f, err := nn.openFileLocked(req.Path, []int64{req.Size})
+	located, err := nn.ns.Allocate(req.Path, []int64{req.Size}, req.Exclude, req.ReqID, false)
 	if err != nil {
 		return dfs.AddBlockResp{}, err
 	}
-	if req.ReqID != 0 && req.ReqID == f.lastAllocID {
-		if resp, ok := f.lastAllocResp.(dfs.AddBlockResp); ok {
-			return resp, nil
-		}
-	}
-	lb, err := nn.allocateBlockLocked(f, req.Size, req.Exclude)
-	if err != nil {
-		return dfs.AddBlockResp{}, err
-	}
-	resp := dfs.AddBlockResp{Located: lb}
-	if req.ReqID != 0 {
-		f.lastAllocID, f.lastAllocResp = req.ReqID, resp
-	}
-	return resp, nil
+	return dfs.AddBlockResp{Located: located[0]}, nil
 }
 
 // handleAddBlocks allocates a window of blocks under one namespace-lock
@@ -290,80 +299,117 @@ func (nn *NameNode) handleAddBlocks(req dfs.AddBlocksReq) (dfs.AddBlocksResp, er
 	if len(req.Sizes) == 0 {
 		return dfs.AddBlocksResp{}, fmt.Errorf("namenode: addBlocks with no sizes")
 	}
-	nn.mu.Lock()
-	defer nn.mu.Unlock()
-	f, err := nn.openFileLocked(req.Path, req.Sizes)
+	located, err := nn.ns.Allocate(req.Path, req.Sizes, req.Exclude, req.ReqID, true)
 	if err != nil {
 		return dfs.AddBlocksResp{}, err
 	}
-	if req.ReqID != 0 && req.ReqID == f.lastAllocID {
-		if resp, ok := f.lastAllocResp.(dfs.AddBlocksResp); ok {
-			return resp, nil
+	return dfs.AddBlocksResp{Located: located}, nil
+}
+
+// handleRetargetBlock replaces an allocated block's target set with a
+// fresh placement that avoids the excluded nodes, preserving the block's
+// ID and file offset. The writer retries the same block on the new
+// targets, so the file's block order is unaffected even when later
+// blocks are already in flight. Replicas that did land on old targets
+// are reconciled away (or kept as benign over-replication) by block
+// reports. Safe to retry: re-picking targets twice costs extra rng
+// draws but allocates nothing.
+func (nn *NameNode) handleRetargetBlock(req dfs.RetargetBlockReq) (dfs.RetargetBlockResp, error) {
+	located, err := nn.ns.Retarget(req.Path, req.Block, req.Exclude)
+	if err != nil {
+		return dfs.RetargetBlockResp{}, err
+	}
+	return dfs.RetargetBlockResp{Located: located}, nil
+}
+
+func (nn *NameNode) handleComplete(req dfs.CompleteReq) (dfs.CompleteResp, error) {
+	if err := nn.ns.Complete(req.Path); err != nil {
+		return dfs.CompleteResp{}, err
+	}
+	return dfs.CompleteResp{}, nil
+}
+
+func (nn *NameNode) handleGetInfo(req dfs.GetInfoReq) (dfs.GetInfoResp, error) {
+	info, err := nn.ns.Info(req.Path)
+	if err != nil {
+		return dfs.GetInfoResp{}, err
+	}
+	return dfs.GetInfoResp{Info: info}, nil
+}
+
+func (nn *NameNode) handleGetLocations(req dfs.GetLocationsReq) (dfs.GetLocationsResp, error) {
+	blocks, err := nn.Resolve(req.Path)
+	if err != nil {
+		return dfs.GetLocationsResp{}, err
+	}
+	if req.Job != "" {
+		for i := range blocks {
+			addr := nn.master.AssignedReplica(req.Job, blocks[i].Block.ID)
+			if addr == "" {
+				continue
+			}
+			// Only report the assignment while the replica is live.
+			for _, n := range blocks[i].Nodes {
+				if n == addr {
+					blocks[i].Assigned = addr
+					break
+				}
+			}
 		}
 	}
-	out := make([]dfs.LocatedBlock, 0, len(req.Sizes))
-	for _, size := range req.Sizes {
-		lb, err := nn.allocateBlockLocked(f, size, req.Exclude)
+	return dfs.GetLocationsResp{Blocks: blocks}, nil
+}
+
+func (nn *NameNode) handleDelete(req dfs.DeleteReq) (dfs.DeleteResp, error) {
+	toDelete, err := nn.ns.Delete(req.Path)
+	if err != nil {
+		return dfs.DeleteResp{}, err
+	}
+	// Best effort: a dead datanode's replicas die with it anyway.
+	for addr, ids := range toDelete {
+		c, err := nn.slaveClient(addr)
 		if err != nil {
-			return dfs.AddBlocksResp{}, err
+			continue
 		}
-		out = append(out, lb)
+		_, _ = transport.Call[dfs.DeleteBlocksResp](c, "dn.deleteBlocks", dfs.DeleteBlocksReq{Blocks: ids})
 	}
-	resp := dfs.AddBlocksResp{Located: out}
-	if req.ReqID != 0 {
-		f.lastAllocID, f.lastAllocResp = req.ReqID, resp
-	}
-	return resp, nil
+	return dfs.DeleteResp{}, nil
 }
 
-// openFileLocked looks up an open (unsealed) file and validates the
-// proposed block sizes against its block size. Called with mu held.
-func (nn *NameNode) openFileLocked(path string, sizes []int64) (*fileEntry, error) {
-	f, ok := nn.files[path]
-	if !ok {
-		return nil, fmt.Errorf("namenode: no such file %s", path)
-	}
-	if f.info.Complete {
-		return nil, fmt.Errorf("namenode: %s is sealed", path)
-	}
-	for _, size := range sizes {
-		if size <= 0 || size > f.info.BlockSize {
-			return nil, fmt.Errorf("namenode: bad block size %d (file block size %d)", size, f.info.BlockSize)
-		}
-	}
-	return f, nil
+func (nn *NameNode) handleList(req dfs.ListReq) (dfs.ListResp, error) {
+	return dfs.ListResp{Files: nn.ns.List(req.Prefix)}, nil
 }
 
-// allocateBlockLocked appends one block to f with freshly chosen replica
-// targets. Called with mu held.
-func (nn *NameNode) allocateBlockLocked(f *fileEntry, size int64, exclude []string) (dfs.LocatedBlock, error) {
-	targets := nn.chooseTargetsLocked(f.info.Replication, exclude)
-	if len(targets) == 0 {
-		return dfs.LocatedBlock{}, fmt.Errorf("namenode: no live datanodes")
-	}
-	nn.nextBlock++
-	b := dfs.Block{ID: nn.nextBlock, Size: size}
-	meta := &blockMeta{size: size, want: f.info.Replication, nodes: make(map[string]struct{}), pinned: make(map[string]struct{})}
-	for _, t := range targets {
-		meta.nodes[t] = struct{}{}
-	}
-	nn.blocks[b.ID] = meta
-	offset := f.info.Size
-	f.blocks = append(f.blocks, b)
-	f.info.Size += size
-	return dfs.LocatedBlock{Block: b, Offset: offset, Nodes: targets}, nil
+func (nn *NameNode) handleMigrate(req dfs.MigrateReq) (dfs.MigrateResp, error) {
+	return nn.master.Migrate(req)
 }
 
-// chooseTargetsLocked picks up to rep distinct live datanodes avoiding
-// the excluded addresses. With rack information it applies HDFS's
-// default policy; otherwise placement is a seeded random choice. The
-// exclusion filter runs after the seeded shuffle, so calls with no
-// exclusions draw the rng exactly as they always have (seeded figures
-// stay bit-identical); an exclusion list that would leave no candidates
-// is ignored rather than failing the allocation — better a replica on a
-// suspect node than none at all. Called with mu held; takes dnmu (read)
-// and rngMu itself.
-func (nn *NameNode) chooseTargetsLocked(rep int, exclude []string) []string {
+func (nn *NameNode) handleEvict(req dfs.EvictReq) (dfs.EvictResp, error) {
+	return nn.master.Evict(req)
+}
+
+// handleBlockRead ingests a client's batched cache-hit notification and
+// relays it to the Ignem master, which forwards each block to the slave
+// holding its migrated replica. Always succeeds: a notification for an
+// unknown job or block simply has no references to release.
+func (nn *NameNode) handleBlockRead(req dfs.BlockReadReq) (dfs.BlockReadResp, error) {
+	nn.master.NotifyRead(req.Job, req.Blocks)
+	return dfs.BlockReadResp{}, nil
+}
+
+// ---- replica placement ----
+
+// placeTargets picks up to rep distinct live datanodes avoiding the
+// excluded addresses, drawing randomness from the caller's rng stream
+// (the namespace passes the owning shard's). With rack information it
+// applies HDFS's default policy; otherwise placement is a seeded random
+// choice. The exclusion filter runs after the seeded shuffle, so calls
+// with no exclusions draw the rng exactly as they always have (seeded
+// figures stay bit-identical); an exclusion list that would leave no
+// candidates is ignored rather than failing the allocation — better a
+// replica on a suspect node than none at all. Takes dnmu (read) itself;
+// the caller holds its shard and rng locks.
+func (nn *NameNode) placeTargets(rng *rand.Rand, rep int, exclude []string) []string {
 	nn.dnmu.RLock()
 	live := make([]string, 0, len(nn.datanodes))
 	for addr, dn := range nn.datanodes {
@@ -373,9 +419,7 @@ func (nn *NameNode) chooseTargetsLocked(rep int, exclude []string) []string {
 	}
 	nn.dnmu.RUnlock()
 	sort.Strings(live) // deterministic base order for the seeded shuffle
-	nn.rngMu.Lock()
-	nn.rng.Shuffle(len(live), func(i, j int) { live[i], live[j] = live[j], live[i] })
-	nn.rngMu.Unlock()
+	rng.Shuffle(len(live), func(i, j int) { live[i], live[j] = live[j], live[i] })
 	if len(exclude) > 0 {
 		ex := make(map[string]bool, len(exclude))
 		for _, a := range exclude {
@@ -442,156 +486,6 @@ func (nn *NameNode) rackAwareTargets(shuffled []string, rep int) []string {
 	return targets
 }
 
-// handleRetargetBlock replaces an allocated block's target set with a
-// fresh placement that avoids the excluded nodes, preserving the block's
-// ID and file offset. The writer retries the same block on the new
-// targets, so the file's block order is unaffected even when later
-// blocks are already in flight. Replicas that did land on old targets
-// are reconciled away (or kept as benign over-replication) by block
-// reports. Safe to retry: re-picking targets twice costs extra rng
-// draws but allocates nothing.
-func (nn *NameNode) handleRetargetBlock(req dfs.RetargetBlockReq) (dfs.RetargetBlockResp, error) {
-	nn.mu.Lock()
-	defer nn.mu.Unlock()
-	f, ok := nn.files[req.Path]
-	if !ok {
-		return dfs.RetargetBlockResp{}, fmt.Errorf("namenode: no such file %s", req.Path)
-	}
-	var (
-		blk    dfs.Block
-		offset int64
-		found  bool
-	)
-	for _, b := range f.blocks {
-		if b.ID == req.Block {
-			blk, found = b, true
-			break
-		}
-		offset += b.Size
-	}
-	if !found {
-		return dfs.RetargetBlockResp{}, fmt.Errorf("namenode: block %d not in %s", req.Block, req.Path)
-	}
-	meta := nn.blocks[req.Block]
-	if meta == nil {
-		return dfs.RetargetBlockResp{}, fmt.Errorf("namenode: block %d has no metadata", req.Block)
-	}
-	targets := nn.chooseTargetsLocked(meta.want, req.Exclude)
-	if len(targets) == 0 {
-		return dfs.RetargetBlockResp{}, fmt.Errorf("namenode: no live datanodes")
-	}
-	meta.nodes = make(map[string]struct{}, len(targets))
-	for _, t := range targets {
-		meta.nodes[t] = struct{}{}
-	}
-	return dfs.RetargetBlockResp{Located: dfs.LocatedBlock{Block: blk, Offset: offset, Nodes: targets}}, nil
-}
-
-func (nn *NameNode) handleComplete(req dfs.CompleteReq) (dfs.CompleteResp, error) {
-	nn.mu.Lock()
-	defer nn.mu.Unlock()
-	f, ok := nn.files[req.Path]
-	if !ok {
-		return dfs.CompleteResp{}, fmt.Errorf("namenode: no such file %s", req.Path)
-	}
-	f.info.Complete = true
-	return dfs.CompleteResp{}, nil
-}
-
-func (nn *NameNode) handleGetInfo(req dfs.GetInfoReq) (dfs.GetInfoResp, error) {
-	nn.mu.RLock()
-	defer nn.mu.RUnlock()
-	f, ok := nn.files[req.Path]
-	if !ok {
-		return dfs.GetInfoResp{}, fmt.Errorf("namenode: no such file %s", req.Path)
-	}
-	return dfs.GetInfoResp{Info: f.info}, nil
-}
-
-func (nn *NameNode) handleGetLocations(req dfs.GetLocationsReq) (dfs.GetLocationsResp, error) {
-	blocks, err := nn.Resolve(req.Path)
-	if err != nil {
-		return dfs.GetLocationsResp{}, err
-	}
-	if req.Job != "" {
-		for i := range blocks {
-			addr := nn.master.AssignedReplica(req.Job, blocks[i].Block.ID)
-			if addr == "" {
-				continue
-			}
-			// Only report the assignment while the replica is live.
-			for _, n := range blocks[i].Nodes {
-				if n == addr {
-					blocks[i].Assigned = addr
-					break
-				}
-			}
-		}
-	}
-	return dfs.GetLocationsResp{Blocks: blocks}, nil
-}
-
-func (nn *NameNode) handleDelete(req dfs.DeleteReq) (dfs.DeleteResp, error) {
-	nn.mu.Lock()
-	f, ok := nn.files[req.Path]
-	if !ok {
-		nn.mu.Unlock()
-		return dfs.DeleteResp{}, fmt.Errorf("namenode: no such file %s", req.Path)
-	}
-	delete(nn.files, req.Path)
-	// Collect the replica-deletion work per datanode.
-	toDelete := make(map[string][]dfs.BlockID)
-	for _, b := range f.blocks {
-		if meta := nn.blocks[b.ID]; meta != nil {
-			for addr := range meta.nodes {
-				toDelete[addr] = append(toDelete[addr], b.ID)
-			}
-		}
-		delete(nn.blocks, b.ID)
-	}
-	nn.mu.Unlock()
-
-	// Best effort: a dead datanode's replicas die with it anyway.
-	for addr, ids := range toDelete {
-		c, err := nn.slaveClient(addr)
-		if err != nil {
-			continue
-		}
-		_, _ = transport.Call[dfs.DeleteBlocksResp](c, "dn.deleteBlocks", dfs.DeleteBlocksReq{Blocks: ids})
-	}
-	return dfs.DeleteResp{}, nil
-}
-
-func (nn *NameNode) handleList(req dfs.ListReq) (dfs.ListResp, error) {
-	nn.mu.RLock()
-	defer nn.mu.RUnlock()
-	var out []dfs.FileInfo
-	for path, f := range nn.files {
-		if len(path) >= len(req.Prefix) && path[:len(req.Prefix)] == req.Prefix {
-			out = append(out, f.info)
-		}
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
-	return dfs.ListResp{Files: out}, nil
-}
-
-func (nn *NameNode) handleMigrate(req dfs.MigrateReq) (dfs.MigrateResp, error) {
-	return nn.master.Migrate(req)
-}
-
-func (nn *NameNode) handleEvict(req dfs.EvictReq) (dfs.EvictResp, error) {
-	return nn.master.Evict(req)
-}
-
-// handleBlockRead ingests a client's batched cache-hit notification and
-// relays it to the Ignem master, which forwards each block to the slave
-// holding its migrated replica. Always succeeds: a notification for an
-// unknown job or block simply has no references to release.
-func (nn *NameNode) handleBlockRead(req dfs.BlockReadReq) (dfs.BlockReadResp, error) {
-	nn.master.NotifyRead(req.Job, req.Blocks)
-	return dfs.BlockReadResp{}, nil
-}
-
 // ---- datanode registry ----
 
 func (nn *NameNode) handleRegister(req dfs.RegisterReq) (dfs.RegisterResp, error) {
@@ -606,9 +500,7 @@ func (nn *NameNode) handleRegister(req dfs.RegisterReq) (dfs.RegisterResp, error
 	dn.alive = true
 	dn.lastSeen = nn.clock.Now()
 	nn.dnmu.Unlock()
-	nn.mu.Lock()
-	nn.reconcileLocked(req.Addr, req.Blocks)
-	nn.mu.Unlock()
+	nn.ns.Reconcile(req.Addr, req.Blocks)
 	if stale != nil {
 		stale.Close()
 	}
@@ -622,28 +514,8 @@ func (nn *NameNode) handleBlockReport(req dfs.BlockReportReq) (dfs.BlockReportRe
 	if !registered {
 		return dfs.BlockReportResp{}, fmt.Errorf("namenode: block report from unregistered %s", req.Addr)
 	}
-	nn.mu.Lock()
-	defer nn.mu.Unlock()
-	nn.reconcileLocked(req.Addr, req.Blocks)
+	nn.ns.Reconcile(req.Addr, req.Blocks)
 	return dfs.BlockReportResp{}, nil
-}
-
-// reconcileLocked makes the location map agree with a datanode's actual
-// replica inventory: entries it no longer holds are dropped; entries it
-// holds (for blocks the namespace still knows) are added back.
-func (nn *NameNode) reconcileLocked(addr string, held []dfs.BlockID) {
-	holds := make(map[dfs.BlockID]struct{}, len(held))
-	for _, id := range held {
-		holds[id] = struct{}{}
-	}
-	for id, meta := range nn.blocks {
-		if _, ok := holds[id]; ok {
-			meta.nodes[addr] = struct{}{}
-		} else {
-			delete(meta.nodes, addr)
-			delete(meta.pinned, addr)
-		}
-	}
 }
 
 func (nn *NameNode) handleHeartbeat(req dfs.HeartbeatReq) (dfs.HeartbeatResp, error) {
@@ -657,22 +529,11 @@ func (nn *NameNode) handleHeartbeat(req dfs.HeartbeatReq) (dfs.HeartbeatResp, er
 	dn.lastSeen = nn.clock.Now()
 	nn.dnmu.Unlock()
 	// The steady-state heartbeat carries no pin deltas; only touch the
-	// namespace lock when there is pinned state to record.
+	// namespace locks when there is pinned state to record.
 	if len(req.Pinned) == 0 && len(req.Unpinned) == 0 {
 		return dfs.HeartbeatResp{}, nil
 	}
-	nn.mu.Lock()
-	defer nn.mu.Unlock()
-	for _, id := range req.Pinned {
-		if meta := nn.blocks[id]; meta != nil {
-			meta.pinned[req.Addr] = struct{}{}
-		}
-	}
-	for _, id := range req.Unpinned {
-		if meta := nn.blocks[id]; meta != nil {
-			delete(meta.pinned, req.Addr)
-		}
-	}
+	nn.ns.PinDeltas(req.Addr, req.Pinned, req.Unpinned)
 	return dfs.HeartbeatResp{}, nil
 }
 
@@ -682,10 +543,7 @@ func (nn *NameNode) handleHeartbeat(req dfs.HeartbeatReq) (dfs.HeartbeatResp, er
 func (nn *NameNode) expiryLoop() {
 	for {
 		nn.clock.Sleep(nn.cfg.ExpirySweepInterval)
-		nn.mu.RLock()
-		closed := nn.closed
-		nn.mu.RUnlock()
-		if closed {
+		if nn.isClosed() {
 			return
 		}
 		now := nn.clock.Now()
@@ -702,13 +560,7 @@ func (nn *NameNode) expiryLoop() {
 			continue
 		}
 		// Drop the dead nodes' pinned state: their memory is gone.
-		nn.mu.Lock()
-		for _, meta := range nn.blocks {
-			for _, addr := range died {
-				delete(meta.pinned, addr)
-			}
-		}
-		nn.mu.Unlock()
+		nn.ns.DropPinned(died)
 	}
 }
 
@@ -718,75 +570,20 @@ func (nn *NameNode) expiryLoop() {
 func (nn *NameNode) replicationLoop() {
 	for {
 		nn.clock.Sleep(nn.cfg.ReplicationSweepInterval)
-		nn.mu.Lock()
-		if nn.closed {
-			nn.mu.Unlock()
+		if nn.isClosed() {
 			return
 		}
-		type job struct {
-			block  dfs.Block
-			source string
-			target string
-			meta   *blockMeta
-		}
-		var jobs []job
 		live := map[string]bool{}
 		nn.dnmu.RLock()
 		for addr, dn := range nn.datanodes {
 			live[addr] = dn.alive
 		}
 		nn.dnmu.RUnlock()
-		for id, meta := range nn.blocks {
-			if meta.healing {
-				continue
-			}
-			var holders []string
-			for addr := range meta.nodes {
-				if live[addr] {
-					holders = append(holders, addr)
-				}
-			}
-			if len(holders) == 0 || len(holders) >= meta.want {
-				continue
-			}
-			sort.Strings(holders)
-			var candidates []string
-			for addr, ok := range live {
-				if !ok {
-					continue
-				}
-				if _, holds := meta.nodes[addr]; !holds {
-					candidates = append(candidates, addr)
-				}
-			}
-			if len(candidates) == 0 {
-				continue
-			}
-			sort.Strings(candidates)
-			nn.rngMu.Lock()
-			target := candidates[nn.rng.Intn(len(candidates))]
-			source := holders[nn.rng.Intn(len(holders))]
-			nn.rngMu.Unlock()
-			meta.healing = true
-			jobs = append(jobs, job{
-				block:  dfs.Block{ID: id, Size: meta.size},
-				source: source,
-				target: target,
-				meta:   meta,
-			})
-		}
-		nn.mu.Unlock()
-
-		for _, j := range jobs {
+		for _, j := range nn.ns.RepairScan(live) {
 			j := j
 			nn.clock.Go(func() {
 				err := nn.pullReplica(j.target, j.source, j.block)
-				nn.mu.Lock()
-				j.meta.healing = false
-				if err == nil {
-					j.meta.nodes[j.target] = struct{}{}
-				}
-				nn.mu.Unlock()
+				nn.ns.RepairDone(j.block.ID, j.target, err == nil)
 			})
 		}
 	}
@@ -819,36 +616,32 @@ func (nn *NameNode) LiveDataNodes() []string {
 // ---- ignem.Resolver ----
 
 // Resolve maps a file to its blocks with live replica locations and
-// current migration state. It is the read hot path: both locks are taken
-// in read mode (mu before dnmu), so concurrent lookups never serialize.
+// current migration state. It is the read hot path: the namespace
+// returns raw locations under its shard read locks, and liveness is
+// filtered here under the registry read lock, so concurrent lookups
+// never serialize.
 func (nn *NameNode) Resolve(path string) ([]dfs.LocatedBlock, error) {
-	nn.mu.RLock()
-	defer nn.mu.RUnlock()
+	raw, err := nn.ns.Resolve(path)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]dfs.LocatedBlock, 0, len(raw))
 	nn.dnmu.RLock()
 	defer nn.dnmu.RUnlock()
-	f, ok := nn.files[path]
-	if !ok {
-		return nil, fmt.Errorf("namenode: no such file %s", path)
-	}
-	out := make([]dfs.LocatedBlock, 0, len(f.blocks))
-	var offset int64
-	for _, b := range f.blocks {
-		lb := dfs.LocatedBlock{Block: b, Offset: offset}
-		if meta := nn.blocks[b.ID]; meta != nil {
-			for addr := range meta.nodes {
-				if dn := nn.datanodes[addr]; dn != nil && dn.alive {
-					lb.Nodes = append(lb.Nodes, addr)
-				}
+	for _, rb := range raw {
+		lb := dfs.LocatedBlock{Block: rb.block, Offset: rb.offset}
+		for _, addr := range rb.nodes {
+			if dn := nn.datanodes[addr]; dn != nil && dn.alive {
+				lb.Nodes = append(lb.Nodes, addr)
 			}
-			sort.Strings(lb.Nodes)
-			for addr := range meta.pinned {
-				if dn := nn.datanodes[addr]; dn != nil && dn.alive {
-					lb.Migrated = append(lb.Migrated, addr)
-				}
-			}
-			sort.Strings(lb.Migrated)
 		}
-		offset += b.Size
+		sort.Strings(lb.Nodes)
+		for _, addr := range rb.pinned {
+			if dn := nn.datanodes[addr]; dn != nil && dn.alive {
+				lb.Migrated = append(lb.Migrated, addr)
+			}
+		}
+		sort.Strings(lb.Migrated)
 		out = append(out, lb)
 	}
 	return out, nil

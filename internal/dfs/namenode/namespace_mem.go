@@ -1,0 +1,386 @@
+package namenode
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"repro/internal/dfs"
+)
+
+// memNamespace is the historical unsharded namespace: one lock over the
+// file table and block map, one seeded placement rng. It is the
+// reference implementation the sharded plane is measured against —
+// shardedNamespace at shard count 1 must be operation-for-operation
+// equivalent, including the placement rng draws.
+type memNamespace struct {
+	place placeFunc
+
+	// mu guards the namespace: files, blocks (and each blockMeta's
+	// contents), and nextBlock. Metadata lookups (Info, Resolve, List)
+	// take it in read mode so they never contend with each other.
+	mu        sync.RWMutex
+	files     map[string]*fileEntry
+	blocks    map[dfs.BlockID]*blockMeta
+	nextBlock dfs.BlockID
+
+	// rngMu guards the placement rng. It is a leaf lock: nothing else is
+	// acquired while holding it except what placeFunc takes (the
+	// registry lock, briefly, in read mode).
+	rngMu sync.Mutex
+	rng   *rand.Rand
+}
+
+func newMemNamespace(seed int64, place placeFunc) *memNamespace {
+	return &memNamespace{
+		place:  place,
+		files:  make(map[string]*fileEntry),
+		blocks: make(map[dfs.BlockID]*blockMeta),
+		rng:    rand.New(rand.NewSource(seed)),
+	}
+}
+
+func (ns *memNamespace) Shards() int { return 1 }
+
+func (ns *memNamespace) Create(path string, blockSize int64, replication int) error {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	if _, ok := ns.files[path]; ok {
+		return fmt.Errorf("namenode: %s already exists", path)
+	}
+	ns.files[path] = &fileEntry{info: dfs.FileInfo{
+		Path: path, BlockSize: blockSize, Replication: replication,
+	}}
+	return nil
+}
+
+func (ns *memNamespace) Allocate(path string, sizes []int64, exclude []string, reqID uint64, batch bool) ([]dfs.LocatedBlock, error) {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	f, err := openFile(ns.files, path, sizes)
+	if err != nil {
+		return nil, err
+	}
+	if cached, ok := cachedAlloc(f, reqID, batch); ok {
+		return cached, nil
+	}
+	out := make([]dfs.LocatedBlock, 0, len(sizes))
+	for _, size := range sizes {
+		lb, err := ns.allocateBlockLocked(f, size, exclude)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, lb)
+	}
+	rememberAlloc(f, reqID, batch, out)
+	return out, nil
+}
+
+// allocateBlockLocked appends one block to f with freshly chosen replica
+// targets. Called with mu held.
+func (ns *memNamespace) allocateBlockLocked(f *fileEntry, size int64, exclude []string) (dfs.LocatedBlock, error) {
+	targets := ns.chooseTargets(f.info.Replication, exclude)
+	if len(targets) == 0 {
+		return dfs.LocatedBlock{}, fmt.Errorf("namenode: no live datanodes")
+	}
+	ns.nextBlock++
+	b := dfs.Block{ID: ns.nextBlock, Size: size}
+	meta := &blockMeta{size: size, want: f.info.Replication, nodes: make(map[string]struct{}), pinned: make(map[string]struct{})}
+	for _, t := range targets {
+		meta.nodes[t] = struct{}{}
+	}
+	ns.blocks[b.ID] = meta
+	offset := f.info.Size
+	f.blocks = append(f.blocks, b)
+	f.info.Size += size
+	return dfs.LocatedBlock{Block: b, Offset: offset, Nodes: targets}, nil
+}
+
+func (ns *memNamespace) chooseTargets(rep int, exclude []string) []string {
+	ns.rngMu.Lock()
+	defer ns.rngMu.Unlock()
+	return ns.place(ns.rng, rep, exclude)
+}
+
+func (ns *memNamespace) Retarget(path string, block dfs.BlockID, exclude []string) (dfs.LocatedBlock, error) {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	f, ok := ns.files[path]
+	if !ok {
+		return dfs.LocatedBlock{}, fmt.Errorf("namenode: no such file %s", path)
+	}
+	blk, offset, found := findBlock(f, block)
+	if !found {
+		return dfs.LocatedBlock{}, fmt.Errorf("namenode: block %d not in %s", block, path)
+	}
+	meta := ns.blocks[block]
+	if meta == nil {
+		return dfs.LocatedBlock{}, fmt.Errorf("namenode: block %d has no metadata", block)
+	}
+	targets := ns.chooseTargets(meta.want, exclude)
+	if len(targets) == 0 {
+		return dfs.LocatedBlock{}, fmt.Errorf("namenode: no live datanodes")
+	}
+	meta.nodes = make(map[string]struct{}, len(targets))
+	for _, t := range targets {
+		meta.nodes[t] = struct{}{}
+	}
+	return dfs.LocatedBlock{Block: blk, Offset: offset, Nodes: targets}, nil
+}
+
+func (ns *memNamespace) Complete(path string) error {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	f, ok := ns.files[path]
+	if !ok {
+		return fmt.Errorf("namenode: no such file %s", path)
+	}
+	f.info.Complete = true
+	return nil
+}
+
+func (ns *memNamespace) Info(path string) (dfs.FileInfo, error) {
+	ns.mu.RLock()
+	defer ns.mu.RUnlock()
+	f, ok := ns.files[path]
+	if !ok {
+		return dfs.FileInfo{}, fmt.Errorf("namenode: no such file %s", path)
+	}
+	return f.info, nil
+}
+
+func (ns *memNamespace) Delete(path string) (map[string][]dfs.BlockID, error) {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	f, ok := ns.files[path]
+	if !ok {
+		return nil, fmt.Errorf("namenode: no such file %s", path)
+	}
+	delete(ns.files, path)
+	toDelete := make(map[string][]dfs.BlockID)
+	for _, b := range f.blocks {
+		if meta := ns.blocks[b.ID]; meta != nil {
+			for addr := range meta.nodes {
+				toDelete[addr] = append(toDelete[addr], b.ID)
+			}
+		}
+		delete(ns.blocks, b.ID)
+	}
+	return toDelete, nil
+}
+
+func (ns *memNamespace) List(prefix string) []dfs.FileInfo {
+	ns.mu.RLock()
+	defer ns.mu.RUnlock()
+	var out []dfs.FileInfo
+	for path, f := range ns.files {
+		if len(path) >= len(prefix) && path[:len(prefix)] == prefix {
+			out = append(out, f.info)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}
+
+func (ns *memNamespace) Resolve(path string) ([]resolvedBlock, error) {
+	ns.mu.RLock()
+	defer ns.mu.RUnlock()
+	f, ok := ns.files[path]
+	if !ok {
+		return nil, fmt.Errorf("namenode: no such file %s", path)
+	}
+	out := make([]resolvedBlock, 0, len(f.blocks))
+	var offset int64
+	for _, b := range f.blocks {
+		rb := resolvedBlock{block: b, offset: offset}
+		if meta := ns.blocks[b.ID]; meta != nil {
+			rb.nodes = addrSlice(meta.nodes)
+			rb.pinned = addrSlice(meta.pinned)
+		}
+		offset += b.Size
+		out = append(out, rb)
+	}
+	return out, nil
+}
+
+func (ns *memNamespace) Reconcile(addr string, held []dfs.BlockID) {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	reconcileBlocks(ns.blocks, addr, held)
+}
+
+func (ns *memNamespace) PinDeltas(addr string, pinned, unpinned []dfs.BlockID) {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	for _, id := range pinned {
+		if meta := ns.blocks[id]; meta != nil {
+			meta.pinned[addr] = struct{}{}
+		}
+	}
+	for _, id := range unpinned {
+		if meta := ns.blocks[id]; meta != nil {
+			delete(meta.pinned, addr)
+		}
+	}
+}
+
+func (ns *memNamespace) DropPinned(addrs []string) {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	for _, meta := range ns.blocks {
+		for _, addr := range addrs {
+			delete(meta.pinned, addr)
+		}
+	}
+}
+
+func (ns *memNamespace) RepairScan(live map[string]bool) []repairJob {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	return scanShardForRepair(ns.blocks, live, &ns.rngMu, ns.rng)
+}
+
+func (ns *memNamespace) RepairDone(block dfs.BlockID, target string, ok bool) {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	repairDone(ns.blocks, block, target, ok)
+}
+
+// ---- logic shared by both namespace implementations ----
+
+// openFile looks up an open (unsealed) file and validates the proposed
+// block sizes against its block size. Called with the owning lock held.
+func openFile(files map[string]*fileEntry, path string, sizes []int64) (*fileEntry, error) {
+	f, ok := files[path]
+	if !ok {
+		return nil, fmt.Errorf("namenode: no such file %s", path)
+	}
+	if f.info.Complete {
+		return nil, fmt.Errorf("namenode: %s is sealed", path)
+	}
+	for _, size := range sizes {
+		if size <= 0 || size > f.info.BlockSize {
+			return nil, fmt.Errorf("namenode: bad block size %d (file block size %d)", size, f.info.BlockSize)
+		}
+	}
+	return f, nil
+}
+
+// cachedAlloc checks the file's one-deep idempotent allocation cache.
+func cachedAlloc(f *fileEntry, reqID uint64, batch bool) ([]dfs.LocatedBlock, bool) {
+	if reqID != 0 && reqID == f.lastAllocID && batch == f.lastAllocBatch {
+		return f.lastAlloc, true
+	}
+	return nil, false
+}
+
+func rememberAlloc(f *fileEntry, reqID uint64, batch bool, out []dfs.LocatedBlock) {
+	if reqID != 0 {
+		f.lastAllocID, f.lastAllocBatch, f.lastAlloc = reqID, batch, out
+	}
+}
+
+// findBlock locates a block in a file's block list, returning its copy
+// and byte offset.
+func findBlock(f *fileEntry, id dfs.BlockID) (dfs.Block, int64, bool) {
+	var offset int64
+	for _, b := range f.blocks {
+		if b.ID == id {
+			return b, offset, true
+		}
+		offset += b.Size
+	}
+	return dfs.Block{}, 0, false
+}
+
+func addrSlice(set map[string]struct{}) []string {
+	if len(set) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(set))
+	for addr := range set {
+		out = append(out, addr)
+	}
+	return out
+}
+
+// reconcileBlocks makes one block table agree with a datanode's actual
+// replica inventory: entries it no longer holds are dropped; entries it
+// holds (for blocks the namespace still knows) are added back. Called
+// with the table's lock held.
+func reconcileBlocks(blocks map[dfs.BlockID]*blockMeta, addr string, held []dfs.BlockID) {
+	holds := make(map[dfs.BlockID]struct{}, len(held))
+	for _, id := range held {
+		holds[id] = struct{}{}
+	}
+	for id, meta := range blocks {
+		if _, ok := holds[id]; ok {
+			meta.nodes[addr] = struct{}{}
+		} else {
+			delete(meta.nodes, addr)
+			delete(meta.pinned, addr)
+		}
+	}
+}
+
+// scanShardForRepair finds under-replicated blocks in one block table:
+// for each block with fewer live replicas than its file requested, a
+// live non-holder is chosen to pull a copy from a surviving holder, and
+// the block is marked healing. Called with the table's lock held; takes
+// the rng lock per chosen block.
+func scanShardForRepair(blocks map[dfs.BlockID]*blockMeta, live map[string]bool, rngMu *sync.Mutex, rng *rand.Rand) []repairJob {
+	var jobs []repairJob
+	for id, meta := range blocks {
+		if meta.healing {
+			continue
+		}
+		var holders []string
+		for addr := range meta.nodes {
+			if live[addr] {
+				holders = append(holders, addr)
+			}
+		}
+		if len(holders) == 0 || len(holders) >= meta.want {
+			continue
+		}
+		sort.Strings(holders)
+		var candidates []string
+		for addr, ok := range live {
+			if !ok {
+				continue
+			}
+			if _, holds := meta.nodes[addr]; !holds {
+				candidates = append(candidates, addr)
+			}
+		}
+		if len(candidates) == 0 {
+			continue
+		}
+		sort.Strings(candidates)
+		rngMu.Lock()
+		target := candidates[rng.Intn(len(candidates))]
+		source := holders[rng.Intn(len(holders))]
+		rngMu.Unlock()
+		meta.healing = true
+		jobs = append(jobs, repairJob{
+			block:  dfs.Block{ID: id, Size: meta.size},
+			source: source,
+			target: target,
+		})
+	}
+	return jobs
+}
+
+// repairDone clears a block's healing mark and records the new holder on
+// success. Called with the table's lock held.
+func repairDone(blocks map[dfs.BlockID]*blockMeta, block dfs.BlockID, target string, ok bool) {
+	meta := blocks[block]
+	if meta == nil {
+		return
+	}
+	meta.healing = false
+	if ok {
+		meta.nodes[target] = struct{}{}
+	}
+}

@@ -1,0 +1,200 @@
+package ignem
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/dfs"
+	"repro/internal/shardmap"
+)
+
+// Coordinator fronts the partitioned Ignem master: one planner (Master)
+// per metadata shard, with the cross-shard concerns — the shared epoch,
+// request fan-out by the consistent-hash block→shard map, and stats
+// merging — kept here. It is deliberately thin: it holds no per-block
+// state of its own, so the planners scale independently and the
+// coordinator can never become the serialization point the single
+// master was.
+//
+// The "one sort spans shards" case is the design driver: a job whose
+// input files hash to several shards is planned by several planners, but
+// every MigrateCmd is stamped with the job's WHOLE input size, so the
+// slaves' smallest-job-first queues order the job's fragments exactly as
+// the unsharded master would. At shard count 1 the coordinator degrades
+// to a pass-through and its planner draws the seeded replica-choice rng
+// bit-identically to the historical single master.
+type Coordinator struct {
+	resolver Resolver
+	masters  []*Master
+	ring     *shardmap.Ring
+	epoch    *epochCounter
+
+	// reqMu guards the request counters. Requests are counted here, not
+	// in the planners: a cross-shard migrate is one request no matter how
+	// many planners it touches.
+	reqMu       sync.Mutex
+	migrateReqs int64
+	evictReqs   int64
+}
+
+// NewCoordinator builds the partitioned master: shards planners over the
+// given resolver and slave link, sharing one epoch. Planner i draws its
+// replica choices from a stream derived from seed; shard 0's stream IS
+// the seed stream, so a single-shard coordinator replays the historical
+// master's draws exactly.
+func NewCoordinator(resolver Resolver, link SlaveLink, seed int64, shards int) *Coordinator {
+	if shards < 1 {
+		shards = 1
+	}
+	epoch := newEpochCounter(1)
+	co := &Coordinator{
+		resolver: resolver,
+		ring:     shardmap.NewRing(shards),
+		epoch:    epoch,
+	}
+	for i := 0; i < shards; i++ {
+		// Shard 0 keeps the undisturbed seed; later shards offset by a
+		// large odd constant so the streams never collide with each other
+		// or with the namenode's placement streams.
+		co.masters = append(co.masters, newShardMaster(resolver, link, seed+int64(i)*0x9E3779B9, epoch))
+	}
+	return co
+}
+
+// Shards returns the planner count.
+func (co *Coordinator) Shards() int { return len(co.masters) }
+
+// Migrate resolves the job's files once, partitions the blocks by the
+// consistent-hash map, and fans the fragments out to the owning
+// planners in shard order. The job's total input size — summed across
+// every shard — rides on each fragment so smallest-job-first stays a
+// global order.
+func (co *Coordinator) Migrate(req dfs.MigrateReq) (dfs.MigrateResp, error) {
+	if req.Job == "" {
+		return dfs.MigrateResp{}, fmt.Errorf("ignem: migrate with empty job ID")
+	}
+	var located []dfs.LocatedBlock
+	for _, path := range req.Paths {
+		blocks, err := co.resolver.Resolve(path)
+		if err != nil {
+			return dfs.MigrateResp{}, fmt.Errorf("ignem: resolve %s: %w", path, err)
+		}
+		located = append(located, blocks...)
+	}
+	var totalSize int64
+	for _, lb := range located {
+		totalSize += lb.Block.Size
+	}
+
+	parts := make([][]dfs.LocatedBlock, len(co.masters))
+	for _, lb := range located {
+		s := co.ring.BlockShard(uint64(lb.Block.ID))
+		parts[s] = append(parts[s], lb)
+	}
+
+	co.reqMu.Lock()
+	co.migrateReqs++
+	co.reqMu.Unlock()
+
+	var blocks int
+	var bytes int64
+	for i, m := range co.masters {
+		// Shard 0 anchors the job even when it owns none of its blocks,
+		// mirroring the unsharded master's "a migrate request always
+		// registers the job" behavior (ActiveJobs, idempotent re-migrate).
+		if len(parts[i]) == 0 && i != 0 {
+			continue
+		}
+		b, by := m.migrateLocated(req.Job, parts[i], totalSize, req.SubmitTime, req.Implicit)
+		blocks += b
+		bytes += by
+	}
+	return dfs.MigrateResp{Blocks: blocks, Bytes: bytes}, nil
+}
+
+// Evict releases the job on every planner and reports the merged
+// notification count. Planners that never planned for the job no-op.
+func (co *Coordinator) Evict(req dfs.EvictReq) (dfs.EvictResp, error) {
+	co.reqMu.Lock()
+	co.evictReqs++
+	co.reqMu.Unlock()
+	blocks := 0
+	for _, m := range co.masters {
+		blocks += m.evictJob(req.Job)
+	}
+	return dfs.EvictResp{Blocks: blocks}, nil
+}
+
+// NotifyRead partitions a cache-hit notification batch by block shard
+// and forwards each fragment to its owning planner.
+func (co *Coordinator) NotifyRead(job dfs.JobID, blocks []dfs.BlockID) {
+	if len(co.masters) == 1 {
+		co.masters[0].NotifyRead(job, blocks)
+		return
+	}
+	parts := make([][]dfs.BlockID, len(co.masters))
+	for _, id := range blocks {
+		s := co.ring.BlockShard(uint64(id))
+		parts[s] = append(parts[s], id)
+	}
+	for i, m := range co.masters {
+		if len(parts[i]) > 0 {
+			m.NotifyRead(job, parts[i])
+		}
+	}
+}
+
+// AssignedReplica reports the replica address the owning planner chose
+// for a (job, block) migration, or "" if none.
+func (co *Coordinator) AssignedReplica(job dfs.JobID, block dfs.BlockID) string {
+	return co.masters[co.ring.BlockShard(uint64(block))].AssignedReplica(job, block)
+}
+
+// Epoch returns the shared master epoch.
+func (co *Coordinator) Epoch() uint64 { return co.epoch.get() }
+
+// Restart simulates a master failure and recovery: every planner locks,
+// the shared epoch bumps exactly once, and all job state drops — the
+// same all-or-nothing transition the single master made, so slaves see
+// one epoch change, not one per shard.
+func (co *Coordinator) Restart() {
+	for _, m := range co.masters {
+		m.mu.Lock()
+	}
+	co.epoch.bump()
+	for _, m := range co.masters {
+		m.jobs = make(map[dfs.JobID]map[dfs.BlockID]string)
+	}
+	for i := len(co.masters) - 1; i >= 0; i-- {
+		co.masters[i].mu.Unlock()
+	}
+}
+
+// Stats merges the planners' counters into one cluster-wide snapshot.
+// Sums merge the work counters; ActiveJobs is the size of the UNION of
+// the planners' job sets, so a sort spanning four shards counts as one
+// active job, not four; request counts come from the coordinator, which
+// counted each client request once.
+func (co *Coordinator) Stats() MasterStats {
+	var st MasterStats
+	jobs := make(map[dfs.JobID]struct{})
+	for _, m := range co.masters {
+		ms := m.Stats()
+		st.MigrateReqs += ms.MigrateReqs
+		st.EvictReqs += ms.EvictReqs
+		st.ReadNotifies += ms.ReadNotifies
+		st.BlocksAssigned += ms.BlocksAssigned
+		st.BytesAssigned += ms.BytesAssigned
+		st.SendErrors += ms.SendErrors
+		for _, job := range m.jobIDs() {
+			jobs[job] = struct{}{}
+		}
+	}
+	co.reqMu.Lock()
+	st.MigrateReqs += co.migrateReqs
+	st.EvictReqs += co.evictReqs
+	co.reqMu.Unlock()
+	st.Epoch = co.epoch.get()
+	st.ActiveJobs = len(jobs)
+	return st
+}

@@ -1,0 +1,209 @@
+package ignem
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/dfs"
+	"repro/internal/shardmap"
+)
+
+// manyBlocks builds a file whose blocks are guaranteed to span at least
+// two shards of the given ring (it keeps adding blocks until two shard
+// owners appear).
+func manyBlocks(t *testing.T, ring *shardmap.Ring, size int64, nodes ...string) []dfs.LocatedBlock {
+	t.Helper()
+	var out []dfs.LocatedBlock
+	owners := map[int]bool{}
+	for id := dfs.BlockID(1); id <= 64; id++ {
+		out = append(out, located(id, size, nodes...))
+		owners[ring.BlockShard(uint64(id))] = true
+		if len(out) >= 8 && len(owners) >= 2 {
+			return out
+		}
+	}
+	t.Fatalf("could not span two shards in 64 blocks (owners %v)", owners)
+	return nil
+}
+
+// A job whose input spans shards is planned by several planners, but
+// every command carries the job's WHOLE input size — the invariant that
+// keeps smallest-job-first a global order when one sort spans shards.
+func TestCoordinatorCrossShardJobCarriesGlobalInputSize(t *testing.T) {
+	ring := shardmap.NewRing(4)
+	blocks := manyBlocks(t, ring, 10, "dn1", "dn2")
+	res := &fakeResolver{files: map[string][]dfs.LocatedBlock{"/sort": blocks}}
+	link := newFakeLink()
+	co := NewCoordinator(res, link, 7, 4)
+
+	resp, err := co.Migrate(dfs.MigrateReq{Job: "sort", Paths: []string{"/sort"}, SubmitTime: time.Unix(9, 0)})
+	if err != nil {
+		t.Fatalf("Migrate: %v", err)
+	}
+	wantBytes := int64(len(blocks)) * 10
+	if resp.Blocks != len(blocks) || resp.Bytes != wantBytes {
+		t.Fatalf("resp = %+v, want %d blocks / %d bytes", resp, len(blocks), wantBytes)
+	}
+	var cmds int
+	seen := map[dfs.BlockID]bool{}
+	for _, batches := range link.migrates {
+		for _, b := range batches {
+			for _, c := range b.Cmds {
+				cmds++
+				if seen[c.Block.ID] {
+					t.Errorf("block %d assigned twice", c.Block.ID)
+				}
+				seen[c.Block.ID] = true
+				if c.JobInputSize != wantBytes {
+					t.Errorf("block %d JobInputSize = %d, want global %d", c.Block.ID, c.JobInputSize, wantBytes)
+				}
+				if b.Epoch != 1 {
+					t.Errorf("batch epoch = %d, want shared epoch 1", b.Epoch)
+				}
+			}
+		}
+	}
+	if cmds != len(blocks) {
+		t.Errorf("commands = %d, want %d", cmds, len(blocks))
+	}
+
+	st := co.Stats()
+	if st.ActiveJobs != 1 {
+		t.Errorf("ActiveJobs = %d: a job spanning shards must count once", st.ActiveJobs)
+	}
+	if st.MigrateReqs != 1 {
+		t.Errorf("MigrateReqs = %d, want 1 per client request", st.MigrateReqs)
+	}
+	if st.BlocksAssigned != int64(len(blocks)) {
+		t.Errorf("BlocksAssigned = %d", st.BlocksAssigned)
+	}
+
+	// Eviction reaches every fragment and merges the count.
+	evResp, err := co.Evict(dfs.EvictReq{Job: "sort"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if evResp.Blocks != len(blocks) {
+		t.Errorf("Evict released %d blocks, want %d", evResp.Blocks, len(blocks))
+	}
+	if st := co.Stats(); st.ActiveJobs != 0 || st.EvictReqs != 1 {
+		t.Errorf("post-evict stats = %+v", st)
+	}
+}
+
+// A single-shard coordinator is the historical master: same seed, same
+// request sequence, identical batches (replica draws included).
+func TestCoordinatorSingleShardMatchesStandaloneMaster(t *testing.T) {
+	files := map[string][]dfs.LocatedBlock{
+		"/a": {located(1, 10, "dn1", "dn2", "dn3"), located(2, 20, "dn2", "dn3")},
+		"/b": {located(3, 30, "dn1", "dn3"), located(4, 5, "dn1", "dn2", "dn3")},
+	}
+	const seed = 42
+	linkA, linkB := newFakeLink(), newFakeLink()
+	std := NewMaster(&fakeResolver{files: files}, linkA, seed)
+	co := NewCoordinator(&fakeResolver{files: files}, linkB, seed, 1)
+
+	reqs := []dfs.MigrateReq{
+		{Job: "j1", Paths: []string{"/a"}, SubmitTime: time.Unix(1, 0), Implicit: true},
+		{Job: "j2", Paths: []string{"/b", "/a"}, SubmitTime: time.Unix(2, 0)},
+		{Job: "j1", Paths: []string{"/b"}, SubmitTime: time.Unix(3, 0)},
+	}
+	for _, req := range reqs {
+		ra, errA := std.Migrate(req)
+		rb, errB := co.Migrate(req)
+		if (errA == nil) != (errB == nil) || ra != rb {
+			t.Fatalf("divergence on %+v: standalone (%+v, %v) vs coordinator (%+v, %v)", req, ra, errA, rb, errB)
+		}
+	}
+	if !reflect.DeepEqual(linkA.migrates, linkB.migrates) {
+		t.Fatalf("migrate batches diverged:\nstandalone: %+v\ncoordinator: %+v", linkA.migrates, linkB.migrates)
+	}
+	for _, job := range []dfs.JobID{"j1", "j2"} {
+		for id := dfs.BlockID(1); id <= 4; id++ {
+			if a, b := std.AssignedReplica(job, id), co.AssignedReplica(job, id); a != b {
+				t.Errorf("AssignedReplica(%s, %d): %q vs %q", job, id, a, b)
+			}
+		}
+	}
+	ea, _ := std.Evict(dfs.EvictReq{Job: "j1"})
+	eb, _ := co.Evict(dfs.EvictReq{Job: "j1"})
+	if ea != eb {
+		t.Errorf("Evict: %+v vs %+v", ea, eb)
+	}
+	if !reflect.DeepEqual(linkA.evicts, linkB.evicts) {
+		t.Errorf("evict batches diverged:\nstandalone: %+v\ncoordinator: %+v", linkA.evicts, linkB.evicts)
+	}
+}
+
+// Restart bumps the shared epoch exactly once: every planner's next
+// batch — whichever shard it comes from — carries the same new epoch,
+// and all job state is gone.
+func TestCoordinatorRestartSharesOneEpoch(t *testing.T) {
+	ring := shardmap.NewRing(4)
+	blocks := manyBlocks(t, ring, 8, "dn1")
+	res := &fakeResolver{files: map[string][]dfs.LocatedBlock{"/f": blocks}}
+	link := newFakeLink()
+	co := NewCoordinator(res, link, 3, 4)
+
+	if _, err := co.Migrate(dfs.MigrateReq{Job: "j", Paths: []string{"/f"}}); err != nil {
+		t.Fatal(err)
+	}
+	co.Restart()
+	if co.Epoch() != 2 {
+		t.Fatalf("Epoch after one Restart = %d, want 2", co.Epoch())
+	}
+	if got := co.AssignedReplica("j", blocks[0].Block.ID); got != "" {
+		t.Fatalf("assignment survived restart: %q", got)
+	}
+	if st := co.Stats(); st.ActiveJobs != 0 || st.Epoch != 2 {
+		t.Fatalf("post-restart stats = %+v", st)
+	}
+	if _, err := co.Migrate(dfs.MigrateReq{Job: "j2", Paths: []string{"/f"}}); err != nil {
+		t.Fatal(err)
+	}
+	var epochs []uint64
+	for _, batches := range link.migrates {
+		for _, b := range batches {
+			epochs = append(epochs, b.Epoch)
+		}
+	}
+	sort.Slice(epochs, func(i, j int) bool { return epochs[i] < epochs[j] })
+	for _, e := range epochs {
+		if e != 1 && e != 2 {
+			t.Fatalf("unexpected epoch %d in %v (want only the shared 1 then 2)", e, epochs)
+		}
+	}
+}
+
+// Cache-hit notifications route to the planner that owns each block: a
+// notification for a cross-shard job reaches every fragment's planner
+// and the merged ReadNotifies counter sees every block.
+func TestCoordinatorNotifyReadRoutesByBlockShard(t *testing.T) {
+	ring := shardmap.NewRing(4)
+	blocks := manyBlocks(t, ring, 8, "dn1")
+	res := &fakeResolver{files: map[string][]dfs.LocatedBlock{"/f": blocks}}
+	link := newFakeLink()
+	co := NewCoordinator(res, link, 3, 4)
+	if _, err := co.Migrate(dfs.MigrateReq{Job: "j", Paths: []string{"/f"}, Implicit: true}); err != nil {
+		t.Fatal(err)
+	}
+	var ids []dfs.BlockID
+	for _, lb := range blocks {
+		ids = append(ids, lb.Block.ID)
+	}
+	co.NotifyRead("j", ids)
+	if st := co.Stats(); st.ReadNotifies != int64(len(ids)) {
+		t.Errorf("ReadNotifies = %d, want %d", st.ReadNotifies, len(ids))
+	}
+	var forwarded int
+	for _, batches := range link.notifies {
+		for _, b := range batches {
+			forwarded += len(b.Cmds)
+		}
+	}
+	if forwarded != len(ids) {
+		t.Errorf("forwarded %d notify cmds, want %d", forwarded, len(ids))
+	}
+}

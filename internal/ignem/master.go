@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/dfs"
 )
@@ -37,30 +38,65 @@ type MasterStats struct {
 	SendErrors     int64
 }
 
-// Master is the cluster-wide migration coordinator that runs inside the
-// namenode. It decides *what* to migrate; the slaves decide *how* and
-// *when*.
+// epochCounter is a master epoch shared by every planner of a
+// partitioned master. Slaves hold ONE epoch and purge all state when it
+// changes, so per-shard planners must stamp their batches from a common
+// counter — independent epochs would make shards' batches purge each
+// other's pins on every interleaving.
+type epochCounter struct {
+	mu sync.Mutex
+	v  uint64
+}
+
+func newEpochCounter(v uint64) *epochCounter { return &epochCounter{v: v} }
+
+func (e *epochCounter) get() uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.v
+}
+
+func (e *epochCounter) bump() uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.v++
+	return e.v
+}
+
+// Master is a migration planner that runs inside the namenode. It
+// decides *what* to migrate; the slaves decide *how* and *when*. A
+// cluster runs one Master per metadata shard (one at shard count 1),
+// all behind a Coordinator that owns the cross-shard concerns: the
+// shared epoch, request fan-out, and stats merging.
 type Master struct {
 	resolver Resolver
 	link     SlaveLink
 	rng      *rand.Rand
+	// epoch is shared with the sibling shard planners (and the
+	// Coordinator); a standalone master owns its counter alone.
+	epoch *epochCounter
 
-	mu    sync.Mutex
-	epoch uint64
+	mu sync.Mutex
 	// jobs records, per job, the slave address chosen for each block so
 	// evictions go to the replica that was migrated.
 	jobs  map[dfs.JobID]map[dfs.BlockID]string
 	stats MasterStats
 }
 
-// NewMaster creates a master with the given block resolver and slave
-// link. The seed drives the random single-replica choice.
+// NewMaster creates a standalone master with the given block resolver
+// and slave link. The seed drives the random single-replica choice.
 func NewMaster(resolver Resolver, link SlaveLink, seed int64) *Master {
+	return newShardMaster(resolver, link, seed, newEpochCounter(1))
+}
+
+// newShardMaster creates one shard's planner sharing the given epoch
+// counter.
+func newShardMaster(resolver Resolver, link SlaveLink, seed int64, epoch *epochCounter) *Master {
 	return &Master{
 		resolver: resolver,
 		link:     link,
 		rng:      rand.New(rand.NewSource(seed)),
-		epoch:    1,
+		epoch:    epoch,
 		jobs:     make(map[dfs.JobID]map[dfs.BlockID]string),
 	}
 }
@@ -87,11 +123,27 @@ func (m *Master) Migrate(req dfs.MigrateReq) (dfs.MigrateResp, error) {
 	}
 
 	m.mu.Lock()
-	epoch := m.epoch
-	assigned := m.jobs[req.Job]
+	m.stats.MigrateReqs++
+	m.mu.Unlock()
+	blocks, bytes := m.migrateLocated(req.Job, located, totalSize, req.SubmitTime, req.Implicit)
+	return dfs.MigrateResp{Blocks: blocks, Bytes: bytes}, nil
+}
+
+// migrateLocated assigns one replica per not-yet-assigned block and
+// pushes the batched commands to the slaves. totalSize is the job's
+// WHOLE input size — across every shard when the job's files span
+// shards — because it drives the slaves' smallest-job-first priority:
+// stamping a per-shard subtotal would let one sort's shard fragments
+// jump the global order. The request counter is the caller's concern
+// (the Coordinator counts a cross-shard request once, not once per
+// planner touched).
+func (m *Master) migrateLocated(job dfs.JobID, located []dfs.LocatedBlock, totalSize int64, submitTime time.Time, implicit bool) (int, int64) {
+	m.mu.Lock()
+	epoch := m.epoch.get()
+	assigned := m.jobs[job]
 	if assigned == nil {
 		assigned = make(map[dfs.BlockID]string)
-		m.jobs[req.Job] = assigned
+		m.jobs[job] = assigned
 	}
 	batches := make(map[string][]dfs.MigrateCmd)
 	var blocks int
@@ -107,21 +159,20 @@ func (m *Master) Migrate(req dfs.MigrateReq) (dfs.MigrateResp, error) {
 		assigned[lb.Block.ID] = addr
 		batches[addr] = append(batches[addr], dfs.MigrateCmd{
 			Block:        lb.Block,
-			Job:          req.Job,
+			Job:          job,
 			JobInputSize: totalSize,
-			SubmitTime:   req.SubmitTime,
-			Implicit:     req.Implicit,
+			SubmitTime:   submitTime,
+			Implicit:     implicit,
 		})
 		blocks++
 		bytes += lb.Block.Size
 	}
-	m.stats.MigrateReqs++
 	m.stats.BlocksAssigned += int64(blocks)
 	m.stats.BytesAssigned += bytes
 	m.mu.Unlock()
 
 	m.sendMigrateBatches(epoch, batches)
-	return dfs.MigrateResp{Blocks: blocks, Bytes: bytes}, nil
+	return blocks, bytes
 }
 
 func (m *Master) sendMigrateBatches(epoch uint64, batches map[string][]dfs.MigrateCmd) {
@@ -139,16 +190,25 @@ func (m *Master) sendMigrateBatches(epoch uint64, batches map[string][]dfs.Migra
 // state is dropped.
 func (m *Master) Evict(req dfs.EvictReq) (dfs.EvictResp, error) {
 	m.mu.Lock()
-	epoch := m.epoch
-	assigned := m.jobs[req.Job]
-	delete(m.jobs, req.Job)
+	m.stats.EvictReqs++
+	m.mu.Unlock()
+	return dfs.EvictResp{Blocks: m.evictJob(req.Job)}, nil
+}
+
+// evictJob releases every block this planner recorded for the job and
+// drops the job's state, returning how many evict notifications went
+// out. A planner that never saw the job is a no-op.
+func (m *Master) evictJob(job dfs.JobID) int {
+	m.mu.Lock()
+	epoch := m.epoch.get()
+	assigned := m.jobs[job]
+	delete(m.jobs, job)
 	batches := make(map[string][]dfs.EvictCmd)
 	blocks := 0
 	for id, addr := range assigned {
-		batches[addr] = append(batches[addr], dfs.EvictCmd{Block: id, Job: req.Job})
+		batches[addr] = append(batches[addr], dfs.EvictCmd{Block: id, Job: job})
 		blocks++
 	}
-	m.stats.EvictReqs++
 	m.mu.Unlock()
 
 	for _, addr := range sortedKeys(batches) {
@@ -160,7 +220,7 @@ func (m *Master) Evict(req dfs.EvictReq) (dfs.EvictResp, error) {
 			m.mu.Unlock()
 		}
 	}
-	return dfs.EvictResp{Blocks: blocks}, nil
+	return blocks
 }
 
 // NotifyRead handles a client's batched cache-hit notification: the
@@ -173,7 +233,7 @@ func (m *Master) Evict(req dfs.EvictReq) (dfs.EvictResp, error) {
 // there is no reference to release.
 func (m *Master) NotifyRead(job dfs.JobID, blocks []dfs.BlockID) {
 	m.mu.Lock()
-	epoch := m.epoch
+	epoch := m.epoch.get()
 	assigned := m.jobs[job]
 	batches := make(map[string][]dfs.ReadNotifyCmd)
 	for _, id := range blocks {
@@ -208,18 +268,35 @@ func (m *Master) AssignedReplica(job dfs.JobID, block dfs.BlockID) string {
 // Restart simulates a master failure and recovery: the new master starts
 // with empty state and a new epoch. Slaves purge their reference lists
 // when they first see the new epoch, staying consistent with it.
+// (Partitioned masters restart through their Coordinator, which bumps
+// the shared epoch exactly once across all planners.)
 func (m *Master) Restart() {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.epoch++
+	m.epoch.bump()
+	m.jobs = make(map[dfs.JobID]map[dfs.BlockID]string)
+}
+
+// clearJobs drops all job state without touching the epoch; the
+// Coordinator's Restart bumps the shared counter itself.
+func (m *Master) clearJobs() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	m.jobs = make(map[dfs.JobID]map[dfs.BlockID]string)
 }
 
 // Epoch returns the current master epoch.
-func (m *Master) Epoch() uint64 {
+func (m *Master) Epoch() uint64 { return m.epoch.get() }
+
+// jobIDs lists the jobs this planner currently tracks.
+func (m *Master) jobIDs() []dfs.JobID {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return m.epoch
+	out := make([]dfs.JobID, 0, len(m.jobs))
+	for job := range m.jobs {
+		out = append(out, job)
+	}
+	return out
 }
 
 // Stats returns a snapshot of master activity.
@@ -227,7 +304,7 @@ func (m *Master) Stats() MasterStats {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	st := m.stats
-	st.Epoch = m.epoch
+	st.Epoch = m.epoch.get()
 	st.ActiveJobs = len(m.jobs)
 	return st
 }

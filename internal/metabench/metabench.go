@@ -1,0 +1,448 @@
+// Package metabench hosts the metadata-plane throughput benchmarks:
+// file creates, opens (getInfo), and block allocations per second
+// against the namenode at shard counts {1, 2, 4, 8}, plus the unsharded
+// plane as the regression baseline, on both transports. The records land
+// in BENCH_meta.json via cmd/ignem-bench -metabench (or `make
+// bench-meta`).
+//
+// The two transports measure different things on purpose. The in-memory
+// transport runs on the virtual clock, where every connection is a
+// modeled link that serializes messages at the wire latency — the
+// single-endpoint funnel the sharded plane exists to remove — so its
+// records are deterministic simulated-time throughput: a shared client
+// multiplexing W workers over one namenode connection caps at
+// 1/latency ops/sec, and shard routing lifts the cap by opening one
+// connection per shard endpoint. The TCP transport runs on the real
+// clock and reports wall-clock throughput of the full stack (sockets,
+// codec, namespace locks); its scaling is bounded by the machine's core
+// count, so on a small runner the inmem records carry the scaling
+// claim and the TCP records pin the absolute single-node cost.
+package metabench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/dfs"
+	"repro/internal/dfs/client"
+	"repro/internal/dfs/datanode"
+	"repro/internal/dfs/namenode"
+	"repro/internal/shardmap"
+	"repro/internal/simclock"
+	"repro/internal/storage"
+	"repro/internal/transport"
+)
+
+// Benchmark geometry. Sixteen workers keep every shard endpoint's link
+// saturated up to eight shards (two workers per connection); the alloc
+// benchmark batches AllocBatch blocks per nn.addBlocks call, the shape
+// the parallel write path produces.
+const (
+	Nodes        = 12
+	Workers      = 16
+	OpsPerWorker = 128
+	OpenFiles    = 8 // pre-created files per worker for the open benchmark
+	AllocBatch   = 16
+	BlockSize    = 1 << 20
+	Replication  = 2
+
+	wallTimeout = 5 * time.Minute
+	benchSeed   = 7
+)
+
+// ShardCounts are the sharded configurations measured; 0 (the unsharded
+// plane) is always measured first as the regression baseline.
+var ShardCounts = []int{1, 2, 4, 8}
+
+// Transport selects the wire under benchmark.
+type Transport string
+
+const (
+	Inmem Transport = "inmem"
+	TCP   Transport = "tcp"
+)
+
+// Config sizes a metabench run. The zero value is not runnable; use
+// Default or Smoke.
+type Config struct {
+	OpsPerWorker int
+	ShardCounts  []int // sharded configs; the unsharded baseline is implicit
+	Transports   []Transport
+}
+
+// Default is the full suite behind `make bench-meta`.
+func Default() Config {
+	return Config{
+		OpsPerWorker: OpsPerWorker,
+		ShardCounts:  ShardCounts,
+		Transports:   []Transport{Inmem, TCP},
+	}
+}
+
+// Smoke is the CI shape check: enough ops to exercise every path at
+// shard counts 1 and 4 on both transports, small enough for `make ci`.
+func Smoke() Config {
+	return Config{
+		OpsPerWorker: 8,
+		ShardCounts:  []int{1, 4},
+		Transports:   []Transport{Inmem, TCP},
+	}
+}
+
+// Result is one benchmark record of BENCH_meta.json. Shards 0 is the
+// unsharded baseline. For inmem records NsPerOp is simulated time (and
+// deterministic); for TCP records it is wall time.
+type Result struct {
+	Name      string  `json:"name"`
+	Transport string  `json:"transport"`
+	Shards    int     `json:"shards"`
+	Ops       int     `json:"ops"`
+	NsPerOp   int64   `json:"ns_per_op"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+}
+
+// bench is one running cluster configuration under measurement.
+type bench struct {
+	cfg        Config
+	clock      simclock.Clock
+	net        transport.Network
+	nnAddr     string
+	shards     int // 0 = unsharded
+	shardAddrs []string
+
+	nn    *namenode.NameNode
+	dns   []*datanode.DataNode
+	cl    *client.Client
+	conns map[string]*transport.Client // alloc-path conns, one per endpoint
+	reqID atomic.Uint64
+}
+
+// startBench brings up a namenode (MetaShards=shards, one extra listener
+// per shard), Nodes datanodes, and one shared shard-routed client. addr
+// yields listen addresses: addr(-1) is the namenode, addr(0..shards-1)
+// the shard endpoints, addr(shards..) the datanodes.
+func startBench(cfg Config, clock simclock.Clock, net transport.Network, shards int, addr func(i int) (string, error)) (*bench, error) {
+	b := &bench{cfg: cfg, clock: clock, net: net, shards: shards}
+	var err error
+	if b.nnAddr, err = addr(-1); err != nil {
+		return nil, err
+	}
+	for i := 0; i < shards; i++ {
+		a, err := addr(i)
+		if err != nil {
+			return nil, err
+		}
+		b.shardAddrs = append(b.shardAddrs, a)
+	}
+	b.nn = namenode.New(clock, net, namenode.Config{
+		Addr:       b.nnAddr,
+		Seed:       benchSeed,
+		MetaShards: shards,
+		ShardAddrs: b.shardAddrs,
+		// Pure metadata ops: nothing is ever under-replicated, so the
+		// repair sweep would only add scan noise.
+		ReplicationSweepInterval: -1,
+	})
+	if err := b.nn.Start(); err != nil {
+		return nil, err
+	}
+	for i := 0; i < Nodes; i++ {
+		a, err := addr(shards + i)
+		if err != nil {
+			b.close()
+			return nil, err
+		}
+		dn, err := datanode.New(clock, net, datanode.Config{
+			Addr: a, NameNodeAddr: b.nnAddr, Media: storage.HDDSpec(),
+		})
+		if err != nil {
+			b.close()
+			return nil, err
+		}
+		if err := dn.Start(); err != nil {
+			b.close()
+			return nil, err
+		}
+		b.dns = append(b.dns, dn)
+	}
+	var opts []client.Option
+	if shards > 0 {
+		opts = append(opts, client.WithShardEndpoints(b.shardAddrs))
+	}
+	if b.cl, err = client.New(clock, net, b.nnAddr, opts...); err != nil {
+		b.close()
+		return nil, err
+	}
+	// The alloc benchmark calls nn.addBlocks at the RPC surface, one
+	// shared connection per endpoint — the same funnel model the client
+	// uses for its routed namespace calls.
+	b.conns = make(map[string]*transport.Client)
+	for _, a := range append([]string{b.nnAddr}, b.shardAddrs...) {
+		c, err := transport.Dial(clock, net, a)
+		if err != nil {
+			b.close()
+			return nil, err
+		}
+		b.conns[a] = c
+	}
+	return b, nil
+}
+
+func (b *bench) close() {
+	if b.cl != nil {
+		b.cl.Close()
+	}
+	for _, c := range b.conns {
+		c.Close()
+	}
+	for _, dn := range b.dns {
+		dn.Close()
+	}
+	if b.nn != nil {
+		b.nn.Close()
+	}
+}
+
+// allocConn returns the shared connection to the endpoint owning path.
+func (b *bench) allocConn(path string) *transport.Client {
+	if b.shards <= 1 {
+		return b.conns[b.nnAddr]
+	}
+	return b.conns[b.shardAddrs[shardmap.FileShard(path, b.shards)]]
+}
+
+// workerDirs assigns each worker a directory, round-robin across shards
+// (worker w's directory hashes to shard w mod shards) so every shard
+// endpoint carries an equal share regardless of hash luck. family keeps
+// the benchmark families in disjoint namespaces.
+func (b *bench) workerDirs(family string) []string {
+	dirs := make([]string, Workers)
+	shards := b.shards
+	if shards < 1 {
+		shards = 1
+	}
+	next := 0
+	for w := range dirs {
+		want := w % shards
+		for {
+			d := fmt.Sprintf("/%s/w%03d", family, next)
+			next++
+			if shardmap.FileShard(d+"/f", shards) == want {
+				dirs[w] = d
+				break
+			}
+		}
+	}
+	return dirs
+}
+
+// measure runs Workers concurrent workers, each performing
+// cfg.OpsPerWorker ops, and reports throughput over the clock's elapsed
+// time (virtual time on the virtual clock, wall time on the real one).
+func (b *bench) measure(op func(w, i int) error) (time.Duration, error) {
+	errs := make([]error, Workers)
+	wg := simclock.NewWaitGroup(b.clock)
+	start := b.clock.Now()
+	for w := 0; w < Workers; w++ {
+		w := w
+		wg.Go(func() {
+			for i := 0; i < b.cfg.OpsPerWorker; i++ {
+				if err := op(w, i); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		})
+	}
+	wg.Wait()
+	elapsed := b.clock.Now().Sub(start)
+	for _, err := range errs {
+		if err != nil {
+			return 0, err
+		}
+	}
+	return elapsed, nil
+}
+
+// benchCreate measures file creates: every op creates a fresh file in
+// the worker's directory through the shared (shard-routed) client.
+func (b *bench) benchCreate() (time.Duration, error) {
+	dirs := b.workerDirs("metaC")
+	return b.measure(func(w, i int) error {
+		_, err := b.cl.Create(fmt.Sprintf("%s/c%04d", dirs[w], i), BlockSize, Replication)
+		return err
+	})
+}
+
+// benchOpen measures opens: getInfo over a small per-worker working set
+// created untimed beforehand.
+func (b *bench) benchOpen() (time.Duration, error) {
+	dirs := b.workerDirs("metaO")
+	files := make([][]string, Workers)
+	for w, d := range dirs {
+		for i := 0; i < OpenFiles; i++ {
+			p := fmt.Sprintf("%s/o%02d", d, i)
+			if _, err := b.cl.Create(p, BlockSize, Replication); err != nil {
+				return 0, err
+			}
+			files[w] = append(files[w], p)
+		}
+	}
+	return b.measure(func(w, i int) error {
+		_, err := b.cl.Info(files[w][i%OpenFiles])
+		return err
+	})
+}
+
+// benchAlloc measures block allocations: every op is one nn.addBlocks
+// batch of AllocBatch blocks against the worker's open file, issued at
+// the RPC surface on the owning endpoint's shared connection.
+func (b *bench) benchAlloc() (time.Duration, error) {
+	dirs := b.workerDirs("metaA")
+	paths := make([]string, Workers)
+	for w, d := range dirs {
+		paths[w] = d + "/blocks"
+		if _, err := b.cl.Create(paths[w], BlockSize, Replication); err != nil {
+			return 0, err
+		}
+	}
+	sizes := make([]int64, AllocBatch)
+	for i := range sizes {
+		sizes[i] = BlockSize
+	}
+	return b.measure(func(w, i int) error {
+		_, err := transport.Call[dfs.AddBlocksResp](b.allocConn(paths[w]), "nn.addBlocks", dfs.AddBlocksReq{
+			Path: paths[w], Sizes: sizes, ReqID: b.reqID.Add(1),
+		})
+		return err
+	})
+}
+
+// runConfig measures the three op families on a started bench cluster.
+func (b *bench) runConfig(kind Transport) ([]Result, error) {
+	families := []struct {
+		name string
+		run  func() (time.Duration, error)
+	}{
+		{"BenchmarkMetaCreate", b.benchCreate},
+		{"BenchmarkMetaOpen", b.benchOpen},
+		{"BenchmarkMetaAlloc", b.benchAlloc},
+	}
+	variant := "unsharded"
+	if b.shards > 0 {
+		variant = fmt.Sprintf("shards=%d", b.shards)
+	}
+	var out []Result
+	for _, f := range families {
+		elapsed, err := f.run()
+		if err != nil {
+			return nil, fmt.Errorf("%s/%s/%s: %w", f.name, kind, variant, err)
+		}
+		ops := Workers * b.cfg.OpsPerWorker
+		res := Result{
+			Name:      fmt.Sprintf("%s/%s/%s", f.name, kind, variant),
+			Transport: string(kind),
+			Shards:    b.shards,
+			Ops:       ops,
+			NsPerOp:   elapsed.Nanoseconds() / int64(ops),
+		}
+		if elapsed > 0 {
+			res.OpsPerSec = float64(ops) / elapsed.Seconds()
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// runInmem measures one shard configuration on the virtual clock.
+func runInmem(cfg Config, shards int) ([]Result, error) {
+	var results []Result
+	var benchErr error
+	err := cluster.RunVirtual(wallTimeout, func(v *simclock.Virtual) {
+		net := transport.NewInmemNetwork(v)
+		addr := func(i int) (string, error) {
+			if i < 0 {
+				return "nn", nil
+			}
+			if i < shards {
+				return fmt.Sprintf("nn-s%d", i), nil
+			}
+			return fmt.Sprintf("dn%d", i-shards), nil
+		}
+		b, err := startBench(cfg, v, net, shards, addr)
+		if err != nil {
+			benchErr = err
+			return
+		}
+		defer b.close()
+		results, benchErr = b.runConfig(Inmem)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, benchErr
+}
+
+// runTCP measures one shard configuration on the real clock over
+// loopback TCP with the binary fast path.
+func runTCP(cfg Config, shards int) ([]Result, error) {
+	dfs.RegisterWire()
+	net := transport.NewTCPNetwork(transport.WithTCPFastPath(true))
+	addr := func(int) (string, error) {
+		l, err := net.Listen("127.0.0.1:0")
+		if err != nil {
+			return "", err
+		}
+		defer l.Close()
+		return l.Addr(), nil
+	}
+	b, err := startBench(cfg, simclock.NewReal(), net, shards, addr)
+	if err != nil {
+		return nil, err
+	}
+	defer b.close()
+	return b.runConfig(TCP)
+}
+
+// Run executes the configured suite: the unsharded baseline first, then
+// every shard count, per transport.
+func Run(cfg Config) ([]Result, error) {
+	var out []Result
+	for _, kind := range cfg.Transports {
+		for _, shards := range append([]int{0}, cfg.ShardCounts...) {
+			var (
+				results []Result
+				err     error
+			)
+			switch kind {
+			case Inmem:
+				results, err = runInmem(cfg, shards)
+			case TCP:
+				results, err = runTCP(cfg, shards)
+			default:
+				err = fmt.Errorf("unknown transport %q", kind)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("metabench: %s shards=%d: %w", kind, shards, err)
+			}
+			out = append(out, results...)
+		}
+	}
+	return out, nil
+}
+
+// RunAll executes the full suite (the records behind BENCH_meta.json).
+func RunAll() ([]Result, error) { return Run(Default()) }
+
+// WriteJSON writes the records to path, one indented JSON array.
+func WriteJSON(path string, results []Result) error {
+	data, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,119 @@
+package shardmap
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Keys that stay owned when a shard joins must keep their old owner:
+// growing n→n+1 may move a key only onto the NEW shard, never between
+// surviving shards. Shrinking is the mirror image. This is the ring's
+// whole reason to exist over a modulo map, so it is pinned across the
+// shard counts the metadata plane deploys.
+func TestRingStabilityOnGrowAndShrink(t *testing.T) {
+	const keys = 20000
+	cases := []struct{ from, to int }{
+		{1, 2}, {2, 3}, {3, 4}, {4, 5}, {4, 8}, {8, 9}, {8, 16},
+	}
+	for _, tc := range cases {
+		t.Run(fmt.Sprintf("grow_%d_to_%d", tc.from, tc.to), func(t *testing.T) {
+			small, big := NewRing(tc.from), NewRing(tc.to)
+			moved := 0
+			for k := uint64(0); k < keys; k++ {
+				before, after := small.BlockShard(k), big.BlockShard(k)
+				if after == before {
+					continue
+				}
+				if after < tc.from {
+					t.Fatalf("key %d moved between surviving shards: %d -> %d", k, before, after)
+				}
+				moved++
+			}
+			// Expected churn is (to-from)/to of the keyspace; allow 2x
+			// slack for vnode placement variance.
+			maxMoved := keys * 2 * (tc.to - tc.from) / tc.to
+			if moved > maxMoved {
+				t.Fatalf("grow %d->%d moved %d/%d keys, want <= %d", tc.from, tc.to, moved, keys, maxMoved)
+			}
+			if moved == 0 && tc.to > tc.from {
+				t.Fatalf("grow %d->%d moved no keys — new shard owns nothing", tc.from, tc.to)
+			}
+		})
+	}
+}
+
+// Every shard's share of a dense key range stays within a uniformity
+// band: no shard may own more than twice or less than a third of the
+// fair share. Dense integer keys are exactly what block IDs look like.
+func TestRingUniformityBounds(t *testing.T) {
+	const keys = 40000
+	for _, shards := range []int{2, 4, 8, 16} {
+		t.Run(fmt.Sprintf("shards_%d", shards), func(t *testing.T) {
+			r := NewRing(shards)
+			counts := make([]int, shards)
+			for k := uint64(1); k <= keys; k++ {
+				counts[r.BlockShard(k)]++
+			}
+			fair := keys / shards
+			for s, n := range counts {
+				if n > 2*fair || n < fair/3 {
+					t.Errorf("shard %d owns %d keys, fair share %d (counts %v)", s, n, fair, counts)
+				}
+			}
+		})
+	}
+}
+
+// A single-shard ring is the unsharded path: every key — and every
+// file — maps to shard 0, with no hashing observable from outside.
+func TestShardCountOneEquivalence(t *testing.T) {
+	r := NewRing(1)
+	for k := uint64(0); k < 4096; k++ {
+		if got := r.BlockShard(k); got != 0 {
+			t.Fatalf("BlockShard(%d) = %d at shard count 1", k, got)
+		}
+	}
+	for _, path := range []string{"", "/", "/a", "/a/b/c", "noslash", "/swim/j3"} {
+		if got := FileShard(path, 1); got != 0 {
+			t.Fatalf("FileShard(%q, 1) = %d", path, got)
+		}
+		if got := FileShard(path, 0); got != 0 {
+			t.Fatalf("FileShard(%q, 0) = %d", path, got)
+		}
+	}
+}
+
+// Files in one directory colocate; distinct directories spread.
+func TestFileShardDirectoryAffinity(t *testing.T) {
+	const shards = 8
+	for dir := 0; dir < 32; dir++ {
+		want := FileShard(fmt.Sprintf("/job%d/part-0", dir), shards)
+		for f := 1; f < 16; f++ {
+			path := fmt.Sprintf("/job%d/part-%d", dir, f)
+			if got := FileShard(path, shards); got != want {
+				t.Fatalf("%s on shard %d, sibling on %d", path, got, want)
+			}
+		}
+	}
+	seen := make(map[int]bool)
+	for dir := 0; dir < 64; dir++ {
+		seen[FileShard(fmt.Sprintf("/job%d/f", dir), shards)] = true
+	}
+	if len(seen) < shards/2 {
+		t.Fatalf("64 directories landed on only %d/%d shards", len(seen), shards)
+	}
+}
+
+// The ring is a pure function of the shard count: two independently
+// built rings agree on every key (this is what lets clients route
+// without asking the namenode per key).
+func TestRingDeterministicAcrossBuilds(t *testing.T) {
+	for _, shards := range []int{1, 3, 8} {
+		a, b := NewRing(shards), NewRing(shards)
+		for k := uint64(0); k < 8192; k++ {
+			if a.Shard(k) != b.Shard(k) {
+				t.Fatalf("shards=%d key=%d: independent rings disagree", shards, k)
+			}
+		}
+	}
+}
