@@ -4,7 +4,8 @@ GO ?= go
 
 .PHONY: all ci test race vet build fmt-check tidy-check determinism chaos \
 	bench-smoke bench bench-read bench-write bench-meta bench-meta-smoke \
-	bench-alloc profile fuzz-smoke experiments examples tidy
+	bench-scale bench-scale-smoke bench-alloc profile fuzz-smoke \
+	experiments examples tidy
 
 all: vet test
 
@@ -14,7 +15,7 @@ all: vet test
 # reproduce it. bench-meta-smoke stays in: the reduced metadata-plane
 # suite finishes in seconds and guards the sharded plane end to end.
 ci: vet build test race fmt-check tidy-check determinism chaos bench-alloc \
-	bench-meta-smoke
+	bench-meta-smoke bench-scale-smoke
 
 test:
 	$(GO) test ./...
@@ -74,10 +75,13 @@ bench-smoke:
 
 # Allocation and codec regression gate: pins the cached-read allocs/op
 # ceiling, the fast-path-vs-gob speedup floors (read and pipelined
-# write), and the ≥50% allocs/op drop on the uncached TCP block read.
+# write), the ≥50% allocs/op drop on the uncached TCP block read, and
+# the ≥4x heap-per-block reduction of the compact block map over the
+# historical two-maps-per-block representation.
 bench-alloc:
 	$(GO) test ./internal/readbench -run 'TestCachedReadAllocCeiling|TestLargeBlock' -count=1 -v
 	$(GO) test ./internal/writebench -run 'TestLargeWrite' -count=1 -v
+	$(GO) test ./internal/dfs/namenode -run 'TestBlockMapHeapPerBlock' -count=1 -v
 
 # Short deterministic-budget fuzz of every frame-codec fuzzer (the
 # committed corpus always runs in plain `make test`; this explores).
@@ -129,6 +133,23 @@ bench-meta-smoke:
 	grep -q '"name": "BenchmarkMetaAlloc/inmem/shards=4"' /tmp/ignem-smoke-meta.json
 	grep -q '"name": "BenchmarkMetaCreate/tcp/unsharded"' /tmp/ignem-smoke-meta.json
 	grep -q '"ops_per_sec"' /tmp/ignem-smoke-meta.json
+
+# Control-plane scale harness: 1000 synthetic datanodes and a million
+# blocks driving report intake on the modeled transport (TCP at reduced
+# geometry) — full block reports vs incremental deltas, plus the cold
+# reconnect storm with and without intake admission control, measured
+# against an open-loop Zipf client fleet. Records land in
+# BENCH_scale.json.
+bench-scale:
+	$(GO) run ./cmd/ignem-bench -scalebench BENCH_scale.json
+
+# Reduced scale harness for CI: every phase exercised at a small
+# geometry, checked for completion and JSON shape only.
+bench-scale-smoke:
+	$(GO) run ./cmd/ignem-bench -scalebench /tmp/ignem-smoke-scale.json -scalebench-smoke
+	grep -q '"name": "BenchmarkScaleIncremental/inmem"' /tmp/ignem-smoke-scale.json
+	grep -q '"name": "BenchmarkScaleStorm/tcp/gated"' /tmp/ignem-smoke-scale.json
+	grep -q '"bytes_ratio"' /tmp/ignem-smoke-scale.json
 
 # Regenerate every paper table and figure as rendered text (plus CSVs in
 # ./data for plotting).

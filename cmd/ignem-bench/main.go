@@ -7,6 +7,7 @@
 //	ignem-bench -readbench BENCH_read.json
 //	ignem-bench -writebench BENCH_write.json
 //	ignem-bench -metabench BENCH_meta.json [-metabench-smoke]
+//	ignem-bench -scalebench BENCH_scale.json [-scalebench-smoke]
 //
 // With no experiment arguments, every experiment runs in order.
 // -readbench instead runs the read-path throughput benchmarks (striped
@@ -15,6 +16,9 @@
 // for the write path (pipelined Writer vs serial ingest); -metabench
 // does the same for the metadata plane (creates/opens/allocs per second
 // vs namespace shard count, with -metabench-smoke selecting the reduced
+// CI configuration); -scalebench runs the control-plane load harness
+// (1000-datanode/1M-block report intake: full vs incremental reports
+// and the reconnect storm, with -scalebench-smoke selecting the reduced
 // CI configuration).
 //
 // Profiling: -cpuprofile, -memprofile, and -mutexprofile write pprof
@@ -34,6 +38,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/metabench"
 	"repro/internal/readbench"
+	"repro/internal/scalebench"
 	"repro/internal/writebench"
 )
 
@@ -94,6 +99,8 @@ func run() int {
 	writeJSON := flag.String("writebench", "", "run the write benchmarks and write JSON records to this file")
 	metaJSON := flag.String("metabench", "", "run the metadata-plane benchmarks and write JSON records to this file")
 	metaSmoke := flag.Bool("metabench-smoke", false, "with -metabench, run the reduced CI smoke configuration")
+	scaleJSON := flag.String("scalebench", "", "run the control-plane scale harness and write JSON records to this file")
+	scaleSmoke := flag.Bool("scalebench-smoke", false, "with -scalebench, run the reduced CI smoke configuration")
 	cpuProf := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProf := flag.String("memprofile", "", "write an end-of-run heap profile to this file")
 	mutexProf := flag.String("mutexprofile", "", "write an end-of-run mutex-contention profile to this file")
@@ -158,6 +165,35 @@ func run() int {
 			return 1
 		}
 		fmt.Printf("[metadata benchmarks completed in %v wall time; records in %s]\n", time.Since(start).Round(time.Millisecond), *metaJSON)
+		return 0
+	}
+
+	if *scaleJSON != "" {
+		start := time.Now()
+		cfg := scalebench.Default()
+		if *scaleSmoke {
+			cfg = scalebench.Smoke()
+		}
+		results, err := scalebench.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ignem-bench: scalebench: %v\n", err)
+			return 1
+		}
+		for _, r := range results {
+			switch {
+			case r.FleetOps > 0 || r.Gated:
+				fmt.Printf("%-45s %10.1f rpcs/s  p99 %12d ns  busy %6d\n", r.Name, r.RPCsPerSec, r.P99Ns, r.BusyRejects)
+			case r.BytesRatio > 0:
+				fmt.Printf("%-45s %10.1f rpcs/s  %12.0f B/s  (%.1fx fewer bytes than full)\n", r.Name, r.RPCsPerSec, r.BytesPerSec, r.BytesRatio)
+			default:
+				fmt.Printf("%-45s %10.1f rpcs/s  %12.0f B/s\n", r.Name, r.RPCsPerSec, r.BytesPerSec)
+			}
+		}
+		if err := scalebench.WriteJSON(*scaleJSON, results); err != nil {
+			fmt.Fprintf(os.Stderr, "ignem-bench: scalebench: %v\n", err)
+			return 1
+		}
+		fmt.Printf("[scale benchmarks completed in %v wall time; records in %s]\n", time.Since(start).Round(time.Millisecond), *scaleJSON)
 		return 0
 	}
 

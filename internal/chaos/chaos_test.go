@@ -562,3 +562,124 @@ func TestShardedPlaneMigrationsDrainUnderRollingCrash(t *testing.T) {
 		}, "eviction drains every shard's pins")
 	})
 }
+
+// A datanode whose reports are lost to the fabric keeps consuming
+// report sequence numbers, so the first heartbeat to get through after
+// the heal arrives with a gap. The namenode must notice, request a full
+// resync, and the datanode's snapshot must re-anchor the stream: after
+// one resync the counters go quiet again.
+func TestLostReportsTriggerResyncAndConverge(t *testing.T) {
+	runChaos(t, Config{Nodes: 3, Seed: 7, DFSHeartbeat: 500 * time.Millisecond}, func(v *simclock.Virtual, h *Harness) {
+		c, err := h.Client(client.WithSeed(2))
+		if err != nil {
+			t.Fatalf("client: %v", err)
+		}
+		defer c.Close()
+		const blockSize = 256 << 10
+		if err := c.WriteFile("/resync/f0", filedata(0, 4*blockSize), blockSize, 2); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		before := h.Cluster.NameNode.Stats()
+
+		// Silently eat dn1's reports (the reply path stays open: the
+		// calls time out on the datanode side, which requeues deltas and
+		// burns sequence numbers). One blocked heartbeat costs a 30s call
+		// timeout, so a 70s window guarantees at least two lost reports.
+		h.Fabric.Block("dn1", cluster.NameNodeAddr)
+		v.Sleep(70 * time.Second)
+		h.Fabric.Unblock("dn1", cluster.NameNodeAddr)
+
+		// The first post-heal heartbeat carries the gap; the namenode
+		// asks for a snapshot, the datanode delivers it, and dn1 counts
+		// as live again.
+		waitUntil(t, v, 3*time.Minute, func() bool {
+			st := h.Cluster.NameNode.Stats()
+			if st.ResyncRequests == before.ResyncRequests || st.FullReports == before.FullReports {
+				return false
+			}
+			for _, addr := range h.Cluster.NameNode.LiveDataNodes() {
+				if addr == "dn1" {
+					return true
+				}
+			}
+			return false
+		}, "gap-triggered resync and revival")
+
+		// Re-anchored: several more heartbeats flow without tripping
+		// another resync, and the file still resolves fully replicated.
+		settled := h.Cluster.NameNode.Stats().ResyncRequests
+		v.Sleep(5 * time.Second)
+		if got := h.Cluster.NameNode.Stats().ResyncRequests; got != settled {
+			t.Fatalf("resyncs kept firing after the snapshot: %d -> %d", settled, got)
+		}
+		lbs, err := c.Locations("/resync/f0")
+		if err != nil {
+			t.Fatalf("locations: %v", err)
+		}
+		for _, lb := range lbs {
+			if len(lb.Nodes) < 2 {
+				t.Fatalf("block %d under-replicated after resync: %v", lb.Block.ID, lb.Nodes)
+			}
+		}
+	})
+}
+
+// A datanode that misses an epoch while severed — the namespace moved
+// on without it (a file it replicates was deleted) — must converge on
+// Reconnect: the register's snapshot re-anchors sequence and epoch, the
+// deleted file stays deleted despite the stale replicas in the
+// snapshot, and the surviving file's reference list gets its third
+// replica back. No resync round-trips are needed at any point: the
+// register IS the snapshot.
+func TestReconnectAfterMissedEpochConverges(t *testing.T) {
+	runChaos(t, Config{Nodes: 3, Seed: 9, DFSHeartbeat: 500 * time.Millisecond}, func(v *simclock.Virtual, h *Harness) {
+		c, err := h.Client(client.WithSeed(4))
+		if err != nil {
+			t.Fatalf("client: %v", err)
+		}
+		defer c.Close()
+		const blockSize = 256 << 10
+		// Every node holds every block of both files.
+		for i, path := range []string{"/epoch/keep", "/epoch/doomed"} {
+			if err := c.WriteFile(path, filedata(i, 3*blockSize), blockSize, 3); err != nil {
+				t.Fatalf("write %s: %v", path, err)
+			}
+		}
+		h.CrashDataNode(1)
+		waitUntil(t, v, time.Minute, func() bool {
+			return len(h.Cluster.NameNode.LiveDataNodes()) == 2
+		}, "crashed node expires")
+		// The namespace moves on while dn1 is dark.
+		if err := c.Delete("/epoch/doomed"); err != nil {
+			t.Fatalf("delete: %v", err)
+		}
+
+		if err := h.ReviveDataNode(1); err != nil {
+			t.Fatalf("revive: %v", err)
+		}
+		waitUntil(t, v, time.Minute, func() bool {
+			lbs, err := c.Locations("/epoch/keep")
+			if err != nil {
+				return false
+			}
+			for _, lb := range lbs {
+				if len(lb.Nodes) != 3 {
+					return false
+				}
+			}
+			return true
+		}, "revived node back in the reference lists")
+
+		// The stale replicas in dn1's snapshot must not resurrect the
+		// deleted file.
+		if _, err := c.Locations("/epoch/doomed"); err == nil {
+			t.Fatal("deleted file resolvable again after stale snapshot")
+		}
+		// And the fresh epoch anchors cleanly: continued heartbeats from
+		// the revived node never trip a resync.
+		v.Sleep(5 * time.Second)
+		if got := h.Cluster.NameNode.Stats().ResyncRequests; got != 0 {
+			t.Fatalf("reconnect path needed %d resync round-trips; the register snapshot should anchor directly", got)
+		}
+	})
+}

@@ -73,8 +73,19 @@ type Config struct {
 	// MaxAssignPerHeartbeat caps tasks handed to one node per heartbeat
 	// (scheduler default 3 when zero).
 	MaxAssignPerHeartbeat int
-	// DFSHeartbeat carries datanode liveness and pin deltas. Default 1s.
+	// DFSHeartbeat carries datanode liveness and pin/block deltas.
+	// Default 1s.
 	DFSHeartbeat time.Duration
+	// DFSFullReportInterval adds a periodic full-inventory
+	// reconciliation report per datanode on top of the incremental
+	// deltas (see datanode.Config.FullReportInterval). Zero — the
+	// default — disables it: snapshots flow only at register/reconnect
+	// or on a namenode resync request.
+	DFSFullReportInterval time.Duration
+	// ReportIntake bounds concurrent full-inventory reconciles at the
+	// namenode (see namenode.Config.ReportIntake). Zero selects the
+	// namenode default; negative disables the bound.
+	ReportIntake int
 	// Slave configures the Ignem slaves.
 	Slave ignem.SlaveConfig
 	// Seed drives all randomness (placement, replica choice).
@@ -198,11 +209,12 @@ func Start(clock simclock.Clock, cfg Config) (*Cluster, error) {
 		}
 	}
 	nn := namenode.New(clock, wrap(NameNodeAddr), namenode.Config{
-		Addr:       NameNodeAddr,
-		Seed:       cfg.Seed,
-		Racks:      racks,
-		MetaShards: cfg.MetaShards,
-		ShardAddrs: ShardAddrs(cfg.MetaShards),
+		Addr:         NameNodeAddr,
+		Seed:         cfg.Seed,
+		Racks:        racks,
+		MetaShards:   cfg.MetaShards,
+		ShardAddrs:   ShardAddrs(cfg.MetaShards),
+		ReportIntake: cfg.ReportIntake,
 	})
 	if err := nn.Start(); err != nil {
 		return nil, err
@@ -228,13 +240,15 @@ func Start(clock simclock.Clock, cfg Config) (*Cluster, error) {
 	}
 	for _, addr := range addrs {
 		dncfg := datanode.Config{
-			Addr:              addr,
-			NameNodeAddr:      NameNodeAddr,
-			Media:             cfg.Media,
-			HeartbeatInterval: cfg.DFSHeartbeat,
-			Slave:             cfg.Slave,
-			Liveness:          sched,
-			ServeAllFromRAM:   cfg.Mode == ModeInputsInRAM,
+			Addr:               addr,
+			NameNodeAddr:       NameNodeAddr,
+			Media:              cfg.Media,
+			HeartbeatInterval:  cfg.DFSHeartbeat,
+			FullReportInterval: cfg.DFSFullReportInterval,
+			Seed:               cfg.Seed,
+			Slave:              cfg.Slave,
+			Liveness:           sched,
+			ServeAllFromRAM:    cfg.Mode == ModeInputsInRAM,
 		}
 		if cfg.Mode == ModeHotCache {
 			dncfg.HotCacheBytes = cfg.HotCacheBytes

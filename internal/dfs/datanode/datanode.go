@@ -4,7 +4,11 @@
 package datanode
 
 import (
+	"errors"
 	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
 	"sync"
 	"time"
 
@@ -45,6 +49,17 @@ type Config struct {
 	// paper argues cannot help singly-read inputs — only proactive
 	// migration can. Zero disables it.
 	HotCacheBytes int64
+	// FullReportInterval, when positive, sends a periodic epoch-tagged
+	// full block report as a safety net under incremental reports: any
+	// divergence the deltas missed reconciles within one interval. Zero
+	// (the default) disables the periodic resend — the namenode still
+	// requests a full report on demand when it detects a sequence gap.
+	FullReportInterval time.Duration
+	// Seed drives the jittered busy-backoff; the effective stream is
+	// also mixed with the address so a fleet started from one seed
+	// doesn't back off in lockstep. Only drawn when the namenode pushes
+	// back with dfs.ErrBusy.
+	Seed int64
 }
 
 func (c *Config) setDefaults() {
@@ -81,14 +96,44 @@ type DataNode struct {
 
 	hot *hotCache
 
-	mu        sync.Mutex
-	blocks    map[dfs.BlockID]*storedBlock
-	pinDelta  []dfs.BlockID // pinned since last heartbeat
-	unpinDel  []dfs.BlockID // unpinned since last heartbeat
-	nnClient  *transport.Client
-	peers     map[string]*transport.Client
-	closed    bool
-	readsByMe int64
+	mu     sync.Mutex
+	blocks map[dfs.BlockID]*storedBlock
+	// pinPending is the NET pin state change per block since the last
+	// report: true = now pinned, false = now unpinned. A block pinned
+	// then unpinned between reports collapses to a single entry instead
+	// of shipping both transitions. pinDirty records that SOME pin event
+	// happened, even if the entries collapsed away — it, not the entry
+	// count, drives the send cadence, so collapsing never changes when
+	// heartbeats go out.
+	pinPending map[dfs.BlockID]bool
+	pinDirty   bool
+	// blkPending is the incremental block report accumulator: the net
+	// presence change per replica since the last report (true = stored,
+	// false = deleted). Block deltas ride whatever heartbeat goes out
+	// next; they never trigger an early send.
+	blkPending map[dfs.BlockID]bool
+	// seq numbers every report sent (register, heartbeat, full report)
+	// from one counter; epoch counts full-inventory snapshots the
+	// namenode has accepted. Together they let the namenode detect a
+	// lost delta and request a resync (see dfs.HeartbeatReq).
+	seq   uint64
+	epoch uint64
+	// needFull is set when the namenode answered NeedFullReport; the
+	// loop sends a full block report at the next tick. needRegister is
+	// set when the namenode no longer recognizes this datanode (it
+	// restarted): re-register first.
+	needFull     bool
+	needRegister bool
+	// skipTicks/busyStreak implement the jittered busy backoff: after a
+	// dfs.ErrBusy rejection the loop sits out an exponentially growing,
+	// jittered number of report ticks.
+	skipTicks  int
+	busyStreak int
+	jitter     *rand.Rand
+	nnClient   *transport.Client
+	peers      map[string]*transport.Client
+	closed     bool
+	readsByMe  int64
 }
 
 // New creates a DataNode (not yet serving).
@@ -104,13 +149,16 @@ func New(clock simclock.Clock, net transport.Network, cfg Config) (*DataNode, er
 		return nil, fmt.Errorf("datanode: %w", err)
 	}
 	dn := &DataNode{
-		clock:  clock,
-		net:    net,
-		cfg:    cfg,
-		media:  media,
-		ram:    ram,
-		blocks: make(map[dfs.BlockID]*storedBlock),
-		peers:  make(map[string]*transport.Client),
+		clock:      clock,
+		net:        net,
+		cfg:        cfg,
+		media:      media,
+		ram:        ram,
+		blocks:     make(map[dfs.BlockID]*storedBlock),
+		pinPending: make(map[dfs.BlockID]bool),
+		blkPending: make(map[dfs.BlockID]bool),
+		jitter:     rand.New(rand.NewSource(mixSeed(cfg.Addr, cfg.Seed))),
+		peers:      make(map[string]*transport.Client),
 	}
 	if cfg.HotCacheBytes > 0 {
 		dn.hot = newHotCache(cfg.HotCacheBytes)
@@ -146,10 +194,7 @@ func (dn *DataNode) Start() error {
 	dn.mu.Lock()
 	dn.nnClient = c
 	dn.mu.Unlock()
-	if _, err := transport.Call[dfs.RegisterResp](c, "nn.register", dfs.RegisterReq{
-		Addr:   dn.cfg.Addr,
-		Blocks: dn.heldBlocks(),
-	}); err != nil {
+	if err := dn.register(c); err != nil {
 		s.Close()
 		c.Close()
 		return fmt.Errorf("datanode: register: %w", err)
@@ -248,10 +293,7 @@ func (dn *DataNode) Reconnect() error {
 		l.Close()
 		return fmt.Errorf("datanode: redial namenode: %w", err)
 	}
-	if _, err := transport.Call[dfs.RegisterResp](c, "nn.register", dfs.RegisterReq{
-		Addr:   dn.cfg.Addr,
-		Blocks: dn.heldBlocks(),
-	}); err != nil {
+	if err := dn.register(c); err != nil {
 		l.Close()
 		c.Close()
 		return fmt.Errorf("datanode: re-register: %w", err)
@@ -287,14 +329,13 @@ func (dn *DataNode) ReadForMigration(b dfs.Block) error {
 }
 
 // onPinChange queues pin-state transitions for the next heartbeat.
+// Latest state wins: a block pinned then unpinned between reports ships
+// as a single unpin instead of both transitions.
 func (dn *DataNode) onPinChange(id dfs.BlockID, pinned bool) {
 	dn.mu.Lock()
 	defer dn.mu.Unlock()
-	if pinned {
-		dn.pinDelta = append(dn.pinDelta, id)
-	} else {
-		dn.unpinDel = append(dn.unpinDel, id)
-	}
+	dn.pinPending[id] = pinned
+	dn.pinDirty = true
 }
 
 // ---- handlers ----
@@ -363,6 +404,7 @@ func (dn *DataNode) handleWriteBlock(req dfs.WriteBlockReq) (dfs.WriteBlockResp,
 	// forward above shares the same buffer read-only; the store never
 	// mutates payloads, so that alias is safe.
 	dn.blocks[req.Block.ID] = &storedBlock{size: size, data: req.Data}
+	dn.blkPending[req.Block.ID] = true
 	dn.mu.Unlock()
 
 	if wg != nil {
@@ -446,6 +488,7 @@ func (dn *DataNode) handlePullBlock(req dfs.PullBlockReq) (dfs.PullBlockResp, er
 	// As in handleWriteBlock, the store takes ownership of the pulled
 	// payload (a pooled buffer when the peer read came over TCP).
 	dn.blocks[req.Block.ID] = &storedBlock{size: size, data: resp.Data}
+	dn.blkPending[req.Block.ID] = true
 	return dfs.PullBlockResp{}, nil
 }
 
@@ -487,6 +530,7 @@ func (dn *DataNode) handleDeleteBlocks(req dfs.DeleteBlocksReq) (dfs.DeleteBlock
 	defer dn.mu.Unlock()
 	for _, id := range req.Blocks {
 		delete(dn.blocks, id)
+		dn.blkPending[id] = false
 	}
 	return dfs.DeleteBlocksResp{}, nil
 }
@@ -506,66 +550,295 @@ func (dn *DataNode) handleReadNotify(req dfs.ReadNotifyBatch) (dfs.ReadNotifyBat
 	return dfs.ReadNotifyBatchResp{}, nil
 }
 
-// heartbeatLoop reports liveness, pinned-memory occupancy, and pin-state
-// deltas to the namenode.
+// heartbeatLoop reports liveness, pinned-memory occupancy, pin-state
+// deltas, and incremental block-report deltas to the namenode.
 func (dn *DataNode) heartbeatLoop() {
 	var sinceBeat time.Duration
+	var sinceFull time.Duration
 	for {
 		dn.clock.Sleep(dn.cfg.PinReportInterval)
 		sinceBeat += dn.cfg.PinReportInterval
+		sinceFull += dn.cfg.PinReportInterval
 		dn.mu.Lock()
 		if dn.closed {
 			dn.mu.Unlock()
 			return
 		}
+		if dn.skipTicks > 0 {
+			// Busy backoff: the namenode pushed back on a report; sit
+			// this tick out.
+			dn.skipTicks--
+			dn.mu.Unlock()
+			continue
+		}
+		if dn.needRegister {
+			// The namenode rejected a report because it no longer knows
+			// us (it restarted). Re-register with a full snapshot, then
+			// resume normal reporting.
+			nn := dn.nnClient
+			dn.mu.Unlock()
+			_ = dn.register(nn)
+			continue
+		}
+		if dn.needFull || (dn.cfg.FullReportInterval > 0 && sinceFull >= dn.cfg.FullReportInterval) {
+			dn.mu.Unlock()
+			if err := dn.sendFullReport(); err == nil {
+				sinceFull = 0
+			}
+			continue
+		}
 		// Skip the RPC when there is nothing to report and the full
-		// heartbeat is not yet due.
-		if len(dn.pinDelta) == 0 && len(dn.unpinDel) == 0 && sinceBeat < dn.cfg.HeartbeatInterval {
+		// heartbeat is not yet due. pinDirty — not the surviving entry
+		// count — drives the cadence, so a pin-then-unpin pair that
+		// collapsed to one entry still sends exactly when the
+		// uncollapsed deltas would have. Block deltas deliberately do
+		// NOT trigger an early send: they ride whatever heartbeat goes
+		// out next.
+		if !dn.pinDirty && sinceBeat < dn.cfg.HeartbeatInterval {
 			dn.mu.Unlock()
 			continue
 		}
 		sinceBeat = 0
-		req := dfs.HeartbeatReq{
-			Addr:        dn.cfg.Addr,
-			PinnedBytes: dn.slave.PinnedBytes(),
-			Pinned:      dn.pinDelta,
-			Unpinned:    dn.unpinDel,
-		}
-		dn.pinDelta = nil
-		dn.unpinDel = nil
+		req, undo := dn.buildHeartbeatLocked()
 		nn := dn.nnClient
 		dn.mu.Unlock()
-		// Best effort: a down namenode only costs staleness.
-		_, _ = transport.Call[dfs.HeartbeatResp](nn, "nn.heartbeat", req)
+		// Best effort: a down namenode only costs staleness. The
+		// sequence number lets it detect anything lost here.
+		resp, err := transport.Call[dfs.HeartbeatResp](nn, "nn.heartbeat", req)
+		dn.handleHeartbeatResult(err, undo, resp.NeedFullReport)
 	}
 }
 
-// heldBlocks snapshots the replica inventory for registration and block
-// reports.
-func (dn *DataNode) heldBlocks() []dfs.BlockID {
+// reportUndo holds the delta maps drained into an in-flight report so
+// they can be merged back if the transport loses it.
+type reportUndo struct {
+	pins map[dfs.BlockID]bool
+	blks map[dfs.BlockID]bool
+}
+
+// buildHeartbeatLocked drains the pending delta maps into a heartbeat
+// request with sorted ID lists (sorted lists delta-encode to 1-2 bytes
+// per ID on the wire) and the next sequence number.
+func (dn *DataNode) buildHeartbeatLocked() (dfs.HeartbeatReq, reportUndo) {
+	req := dfs.HeartbeatReq{
+		Addr:        dn.cfg.Addr,
+		PinnedBytes: dn.slave.PinnedBytes(),
+		Seq:         dn.nextSeqLocked(),
+		Epoch:       dn.epoch,
+	}
+	for id, pinned := range dn.pinPending {
+		if pinned {
+			req.Pinned = append(req.Pinned, id)
+		} else {
+			req.Unpinned = append(req.Unpinned, id)
+		}
+	}
+	for id, present := range dn.blkPending {
+		if present {
+			req.Added = append(req.Added, id)
+		} else {
+			req.Removed = append(req.Removed, id)
+		}
+	}
+	sortIDs(req.Pinned)
+	sortIDs(req.Unpinned)
+	sortIDs(req.Added)
+	sortIDs(req.Removed)
+	undo := reportUndo{pins: dn.pinPending, blks: dn.blkPending}
+	dn.pinPending = make(map[dfs.BlockID]bool)
+	dn.blkPending = make(map[dfs.BlockID]bool)
+	dn.pinDirty = false
+	return req, undo
+}
+
+// handleHeartbeatResult processes a heartbeat outcome: schedules a full
+// report when the namenode detected a gap, re-registers when it no
+// longer knows us, and requeues the deltas when the transport may have
+// lost them.
+func (dn *DataNode) handleHeartbeatResult(err error, undo reportUndo, needFull bool) {
 	dn.mu.Lock()
 	defer dn.mu.Unlock()
+	if err == nil {
+		dn.busyStreak = 0
+		if needFull {
+			dn.needFull = true
+		}
+		return
+	}
+	var remote *transport.RemoteError
+	if errors.As(err, &remote) {
+		// The namenode answered but rejected the report: it restarted
+		// and dropped our registration. The register snapshot will
+		// supersede the unsent deltas, so they are not requeued.
+		dn.needRegister = true
+		return
+	}
+	// Transport failure: the report may or may not have arrived.
+	// Requeue the deltas (newer pending state wins); if the report did
+	// arrive, re-applying the deltas is idempotent, and if it did not,
+	// the namenode sees the sequence gap and asks for a full resync.
+	dn.requeueLocked(undo)
+}
+
+// requeueLocked merges drained deltas back into the pending maps.
+// Entries recorded after the report was built win: they are newer.
+func (dn *DataNode) requeueLocked(undo reportUndo) {
+	for id, v := range undo.pins {
+		if _, ok := dn.pinPending[id]; !ok {
+			dn.pinPending[id] = v
+		}
+	}
+	if len(dn.pinPending) > 0 {
+		dn.pinDirty = true
+	}
+	for id, v := range undo.blks {
+		if _, ok := dn.blkPending[id]; !ok {
+			dn.blkPending[id] = v
+		}
+	}
+}
+
+// backoffLocked widens the busy-backoff window: after the namenode
+// rejects a report with dfs.ErrBusy the loop sits out an exponentially
+// growing, jittered number of report ticks (at the default 250ms tick:
+// at most ~3.75s, safely under the 10s liveness expiry).
+func (dn *DataNode) backoffLocked() {
+	if dn.busyStreak < 3 {
+		dn.busyStreak++
+	}
+	base := 1 << dn.busyStreak // 2, 4, 8 ticks
+	dn.skipTicks = base + dn.jitter.Intn(base)
+}
+
+// nextSeqLocked consumes the next report sequence number. One counter
+// numbers every report (register, heartbeat, full report) so the
+// namenode can detect a lost report as a gap.
+func (dn *DataNode) nextSeqLocked() uint64 {
+	dn.seq++
+	return dn.seq
+}
+
+// heldBlocksLocked snapshots the replica inventory, sorted, for
+// registration and full block reports.
+func (dn *DataNode) heldBlocksLocked() []dfs.BlockID {
 	out := make([]dfs.BlockID, 0, len(dn.blocks))
 	for id := range dn.blocks {
 		out = append(out, id)
 	}
+	sortIDs(out)
 	return out
+}
+
+// register sends a full-inventory registration to the namenode,
+// retrying with jittered exponential backoff while the namenode pushes
+// back busy (a reconnect storm hitting the intake gate). On success the
+// epoch advances: the namenode accepted a fresh snapshot, so block
+// deltas queued before it are subsumed and dropped.
+func (dn *DataNode) register(c *transport.Client) error {
+	dn.mu.Lock()
+	req := dfs.RegisterReq{
+		Addr:   dn.cfg.Addr,
+		Blocks: dn.heldBlocksLocked(),
+		Seq:    dn.nextSeqLocked(),
+		Epoch:  dn.epoch + 1,
+	}
+	// The snapshot covers everything up to this consistent cut; deltas
+	// recorded after it accumulate for the next heartbeat.
+	clear(dn.blkPending)
+	dn.mu.Unlock()
+	delay := 50 * time.Millisecond
+	for attempt := 0; ; attempt++ {
+		_, err := transport.Call[dfs.RegisterResp](c, "nn.register", req)
+		if err == nil {
+			break
+		}
+		if !dfs.IsBusy(err) || attempt >= 8 {
+			return err
+		}
+		dn.mu.Lock()
+		sleep := time.Duration(float64(delay) * (0.5 + dn.jitter.Float64()))
+		req.Seq = dn.nextSeqLocked()
+		dn.mu.Unlock()
+		dn.clock.Sleep(sleep)
+		if delay < time.Second {
+			delay *= 2
+		}
+	}
+	dn.mu.Lock()
+	dn.epoch = req.Epoch
+	dn.needRegister = false
+	dn.needFull = false
+	dn.busyStreak = 0
+	dn.mu.Unlock()
+	return nil
+}
+
+// sendFullReport ships a full epoch-tagged inventory snapshot; on
+// success the epoch advances and the namenode discards any stale
+// replica state the deltas missed.
+func (dn *DataNode) sendFullReport() error {
+	dn.mu.Lock()
+	nn := dn.nnClient
+	if nn == nil {
+		dn.mu.Unlock()
+		return fmt.Errorf("datanode: not registered")
+	}
+	req := dfs.BlockReportReq{
+		Addr:   dn.cfg.Addr,
+		Blocks: dn.heldBlocksLocked(),
+		Seq:    dn.nextSeqLocked(),
+		Epoch:  dn.epoch + 1,
+	}
+	// As in register: the snapshot is a consistent cut, so queued block
+	// deltas are subsumed by it. Keep them aside to requeue if the
+	// transport loses the report.
+	undo := reportUndo{blks: dn.blkPending}
+	dn.blkPending = make(map[dfs.BlockID]bool)
+	dn.mu.Unlock()
+
+	_, err := transport.Call[dfs.BlockReportResp](nn, "nn.blockReport", req)
+	dn.mu.Lock()
+	defer dn.mu.Unlock()
+	if err == nil {
+		dn.epoch = req.Epoch
+		dn.needFull = false
+		dn.busyStreak = 0
+		return nil
+	}
+	if dfs.IsBusy(err) {
+		dn.backoffLocked()
+		dn.needFull = true // try again after the backoff window
+		return err
+	}
+	var remote *transport.RemoteError
+	if errors.As(err, &remote) {
+		dn.needRegister = true
+		return err
+	}
+	dn.requeueLocked(undo)
+	dn.needFull = true
+	return err
 }
 
 // SendBlockReport pushes a full replica inventory to the namenode,
 // reconciling any staleness in its location map.
 func (dn *DataNode) SendBlockReport() error {
-	dn.mu.Lock()
-	nn := dn.nnClient
-	dn.mu.Unlock()
-	if nn == nil {
-		return fmt.Errorf("datanode: not registered")
-	}
-	_, err := transport.Call[dfs.BlockReportResp](nn, "nn.blockReport", dfs.BlockReportReq{
-		Addr:   dn.cfg.Addr,
-		Blocks: dn.heldBlocks(),
-	})
-	return err
+	return dn.sendFullReport()
+}
+
+// sortIDs sorts a block-ID list in place; every report ships sorted
+// lists so the wire codec can delta-encode them compactly.
+func sortIDs(ids []dfs.BlockID) {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+}
+
+// mixSeed derives the busy-backoff jitter seed from the configured seed
+// and the datanode's address, so a fleet started from one seed does not
+// back off in lockstep.
+func mixSeed(addr string, seed int64) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(addr))
+	return int64(h.Sum64()) ^ seed
 }
 
 // BlockCount reports how many block replicas this datanode stores.

@@ -1,0 +1,195 @@
+package datanode
+
+import (
+	"testing"
+
+	"repro/internal/dfs"
+	"repro/internal/simclock"
+)
+
+// drainHeartbeat builds the next heartbeat the loop would send,
+// bypassing the timer.
+func drainHeartbeat(dn *DataNode) dfs.HeartbeatReq {
+	dn.mu.Lock()
+	defer dn.mu.Unlock()
+	req, _ := dn.buildHeartbeatLocked()
+	return req
+}
+
+// TestPinDeltaCollapse: a block pinned then unpinned between heartbeats
+// ships as a single unpin entry, and the collapse must not suppress the
+// send itself — pinDirty still marks the report due.
+func TestPinDeltaCollapse(t *testing.T) {
+	run(t, func(v *simclock.Virtual) {
+		nn, dn := startPair(t, v, Config{})
+		defer nn.Close()
+		defer dn.Close()
+
+		dn.onPinChange(7, true)
+		dn.onPinChange(7, false)
+		dn.onPinChange(9, true)
+
+		dn.mu.Lock()
+		dirty := dn.pinDirty
+		dn.mu.Unlock()
+		if !dirty {
+			t.Fatal("pin events did not mark the heartbeat due")
+		}
+		req := drainHeartbeat(dn)
+		if len(req.Pinned) != 1 || req.Pinned[0] != 9 {
+			t.Errorf("Pinned = %v, want [9]", req.Pinned)
+		}
+		if len(req.Unpinned) != 1 || req.Unpinned[0] != 7 {
+			t.Errorf("Unpinned = %v, want [7] (pin+unpin collapsed to net unpin)", req.Unpinned)
+		}
+		// Re-pinning collapses the other way: net pin, no unpin entry.
+		dn.onPinChange(7, false)
+		dn.onPinChange(7, true)
+		req = drainHeartbeat(dn)
+		if len(req.Pinned) != 1 || req.Pinned[0] != 7 || len(req.Unpinned) != 0 {
+			t.Errorf("Pinned/Unpinned = %v/%v, want [7]/[]", req.Pinned, req.Unpinned)
+		}
+		// Draining cleared the pending state.
+		req = drainHeartbeat(dn)
+		if len(req.Pinned)+len(req.Unpinned) != 0 {
+			t.Errorf("drained heartbeat still carries %v/%v", req.Pinned, req.Unpinned)
+		}
+	})
+}
+
+// TestBlockDeltaCollapse: write/delete churn between heartbeats nets
+// out, and the surviving deltas arrive sorted.
+func TestBlockDeltaCollapse(t *testing.T) {
+	run(t, func(v *simclock.Virtual) {
+		nn, dn := startPair(t, v, Config{})
+		defer nn.Close()
+		defer dn.Close()
+
+		for _, id := range []dfs.BlockID{5, 3, 8} {
+			if _, err := dn.handleWriteBlock(dfs.WriteBlockReq{Block: dfs.Block{ID: id, Size: 1024}}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// 8 written then deleted: nets to a removal. 2 never held: its
+		// delete also reports a removal (idempotent at the namenode).
+		if _, err := dn.handleDeleteBlocks(dfs.DeleteBlocksReq{Blocks: []dfs.BlockID{8, 2}}); err != nil {
+			t.Fatal(err)
+		}
+		req := drainHeartbeat(dn)
+		if len(req.Added) != 2 || req.Added[0] != 3 || req.Added[1] != 5 {
+			t.Errorf("Added = %v, want sorted [3 5]", req.Added)
+		}
+		if len(req.Removed) != 2 || req.Removed[0] != 2 || req.Removed[1] != 8 {
+			t.Errorf("Removed = %v, want sorted [2 8]", req.Removed)
+		}
+	})
+}
+
+// TestReportSequenceNumbers: every report (the register included)
+// consumes from one monotonic sequence, and a successful full report
+// advances the epoch.
+func TestReportSequenceNumbers(t *testing.T) {
+	run(t, func(v *simclock.Virtual) {
+		nn, dn := startPair(t, v, Config{})
+		defer nn.Close()
+		defer dn.Close()
+
+		dn.mu.Lock()
+		seqAfterRegister, epochAfterRegister := dn.seq, dn.epoch
+		dn.mu.Unlock()
+		if seqAfterRegister == 0 || epochAfterRegister != 1 {
+			t.Fatalf("after register: seq=%d epoch=%d, want seq>0 epoch=1", seqAfterRegister, epochAfterRegister)
+		}
+		r1 := drainHeartbeat(dn)
+		r2 := drainHeartbeat(dn)
+		if r1.Seq != seqAfterRegister+1 || r2.Seq != r1.Seq+1 {
+			t.Errorf("heartbeat seqs %d,%d after register seq %d: not consecutive", r1.Seq, r2.Seq, seqAfterRegister)
+		}
+		if r1.Epoch != epochAfterRegister {
+			t.Errorf("heartbeat epoch %d, want register epoch %d", r1.Epoch, epochAfterRegister)
+		}
+		if err := dn.SendBlockReport(); err != nil {
+			t.Fatalf("block report: %v", err)
+		}
+		dn.mu.Lock()
+		epochAfterFull := dn.epoch
+		dn.mu.Unlock()
+		if epochAfterFull != epochAfterRegister+1 {
+			t.Errorf("epoch after full report = %d, want %d", epochAfterFull, epochAfterRegister+1)
+		}
+	})
+}
+
+// TestBusyBackoffWindow: repeated busy pushback widens the jittered
+// sit-out window exponentially but never past the liveness expiry, and
+// a success resets the streak.
+func TestBusyBackoffWindow(t *testing.T) {
+	run(t, func(v *simclock.Virtual) {
+		nn, dn := startPair(t, v, Config{})
+		defer nn.Close()
+		defer dn.Close()
+
+		prevMax := 0
+		for i := 1; i <= 5; i++ {
+			dn.mu.Lock()
+			dn.backoffLocked()
+			skip, streak := dn.skipTicks, dn.busyStreak
+			dn.mu.Unlock()
+			base := 1 << min(i, 3)
+			if skip < base || skip >= 2*base {
+				t.Errorf("round %d: skipTicks = %d, want in [%d,%d)", i, skip, base, 2*base)
+			}
+			if skip > 16 {
+				t.Errorf("round %d: skipTicks = %d exceeds the expiry-safe cap", i, skip)
+			}
+			if streak > 3 {
+				t.Errorf("round %d: busyStreak = %d, want capped at 3", i, streak)
+			}
+			if skip > prevMax {
+				prevMax = skip
+			}
+		}
+		// A successful heartbeat resets the streak.
+		dn.handleHeartbeatResult(nil, reportUndo{}, false)
+		dn.mu.Lock()
+		streak := dn.busyStreak
+		dn.mu.Unlock()
+		if streak != 0 {
+			t.Errorf("busyStreak after success = %d, want 0", streak)
+		}
+	})
+}
+
+// TestTransportFailureRequeuesDeltas: deltas drained into a lost report
+// merge back, with events recorded after the drain taking precedence.
+func TestTransportFailureRequeuesDeltas(t *testing.T) {
+	run(t, func(v *simclock.Virtual) {
+		nn, dn := startPair(t, v, Config{})
+		defer nn.Close()
+		defer dn.Close()
+
+		dn.onPinChange(4, true)
+		if _, err := dn.handleWriteBlock(dfs.WriteBlockReq{Block: dfs.Block{ID: 11, Size: 64}}); err != nil {
+			t.Fatal(err)
+		}
+		dn.mu.Lock()
+		_, undo := dn.buildHeartbeatLocked()
+		dn.mu.Unlock()
+		// Before the failure lands, newer events arrive: 4 is unpinned.
+		dn.onPinChange(4, false)
+		dn.handleHeartbeatResult(errLost{}, undo, false)
+
+		req := drainHeartbeat(dn)
+		if len(req.Unpinned) != 1 || req.Unpinned[0] != 4 || len(req.Pinned) != 0 {
+			t.Errorf("Pinned/Unpinned = %v/%v, want []/[4]: newer unpin must win over requeued pin", req.Pinned, req.Unpinned)
+		}
+		if len(req.Added) != 1 || req.Added[0] != 11 {
+			t.Errorf("Added = %v, want requeued [11]", req.Added)
+		}
+	})
+}
+
+// errLost is a transport-shaped (non-remote) failure.
+type errLost struct{}
+
+func (errLost) Error() string { return "datanode test: report lost" }

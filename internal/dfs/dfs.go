@@ -14,6 +14,8 @@
 package dfs
 
 import (
+	"errors"
+	"strings"
 	"time"
 
 	"repro/internal/transport"
@@ -226,9 +228,16 @@ type BlockReadResp struct{}
 // reconciles its location map against it, so a datanode that restarted
 // empty sheds its stale replica entries (re-replication then repairs
 // the under-replicated blocks).
+//
+// Seq and Epoch seed the incremental-report protocol (see HeartbeatReq):
+// a register is a full inventory snapshot, so it starts a new epoch and
+// anchors the delta sequence the following heartbeats continue. Zero
+// values opt out of sequencing (legacy senders and tests).
 type RegisterReq struct {
 	Addr   string
 	Blocks []BlockID
+	Seq    uint64
+	Epoch  uint64
 }
 
 // RegisterResp acknowledges registration.
@@ -237,25 +246,68 @@ type RegisterResp struct{}
 // HeartbeatReq is the periodic datanode report. Pinned and Unpinned carry
 // the block IDs whose migration state changed since the last heartbeat, so
 // the namenode can serve migration-aware locality.
+//
+// Added and Removed are the incremental block report: the replica IDs
+// stored or dropped since the previous report, so the namenode's
+// location map stays fresh without the datanode shipping its full
+// inventory every reporting period. Seq numbers every report the
+// datanode sends (register, heartbeat, full block report) from one
+// counter; the namenode detects a lost delta as a sequence gap and
+// answers NeedFullReport. Epoch identifies the full-inventory snapshot
+// the deltas extend — it bumps on every register/full report, so a
+// delta from before the latest resync is recognizably stale. Zero Seq
+// opts out of sequencing entirely (legacy senders and tests).
 type HeartbeatReq struct {
 	Addr        string
 	PinnedBytes int64
 	Pinned      []BlockID
 	Unpinned    []BlockID
+	Seq         uint64
+	Epoch       uint64
+	Added       []BlockID
+	Removed     []BlockID
 }
 
-// HeartbeatResp acknowledges a heartbeat.
-type HeartbeatResp struct{}
+// HeartbeatResp acknowledges a heartbeat. NeedFullReport asks the
+// datanode to send a full block report: the namenode saw a sequence gap
+// or a stale epoch, so its incremental view may have missed a delta.
+type HeartbeatResp struct {
+	NeedFullReport bool
+}
 
 // BlockReportReq is a full replica inventory from a datanode, sent after
 // registration and usable any time the namenode's view may be stale.
+// Seq/Epoch behave as on RegisterReq: a full report is a snapshot, so it
+// starts a new epoch and re-anchors the delta sequence.
 type BlockReportReq struct {
 	Addr   string
 	Blocks []BlockID
+	Seq    uint64
+	Epoch  uint64
 }
 
 // BlockReportResp acknowledges a block report.
 type BlockReportResp struct{}
+
+// busyMarker is the substring IsBusy looks for. Application errors cross
+// the transport as strings (*transport.RemoteError), so the typed
+// sentinel must survive a round trip through its message text.
+const busyMarker = "DFS_BUSY"
+
+// ErrBusy is the namenode's admission-control pushback: the report
+// intake queue is full, so the full reconcile was rejected before
+// touching any namespace lock. Callers back off (with jitter) and
+// retry; deltas and namespace RPCs are never rejected with it.
+var ErrBusy = errors.New("namenode busy, retry report later (" + busyMarker + ")")
+
+// IsBusy reports whether err is the namenode's ErrBusy pushback,
+// directly or after crossing the transport as a remote error string.
+func IsBusy(err error) bool {
+	if err == nil {
+		return false
+	}
+	return errors.Is(err, ErrBusy) || strings.Contains(err.Error(), busyMarker)
+}
 
 // ShardInfoReq asks the namenode for the metadata plane's shard layout.
 // Shard-aware clients use it to route namespace RPCs to the endpoint
@@ -455,4 +507,10 @@ func RegisterWire() {
 	transport.RegisterFramer[WriteBlockReq, *WriteBlockReq]()
 	transport.RegisterFramer[ReadBlockReq, *ReadBlockReq]()
 	transport.RegisterFramer[ReadBlockResp, *ReadBlockResp]()
+	// Control-plane report messages are framed too: a full block report
+	// is a long ID list (a million-block datanode ships ~8 MB of IDs),
+	// and at 1000 nodes the per-message gob overhead of even the small
+	// delta heartbeats is what the namenode spends its receive CPU on.
+	transport.RegisterFramer[HeartbeatReq, *HeartbeatReq]()
+	transport.RegisterFramer[BlockReportReq, *BlockReportReq]()
 }

@@ -252,3 +252,154 @@ func (r *ReadBlockResp) Release() {
 		r.pooled = false
 	}
 }
+
+// ---- control-plane report frames ----
+
+// appendIDList frames a block-ID list as a uvarint count followed by the
+// IDs delta-encoded against the previous entry. Report senders build
+// their lists sorted ascending, so consecutive gaps are small and most
+// IDs cost one or two bytes instead of up to ten; unsorted lists still
+// round-trip (the delta wraps around uint64).
+func appendIDList(buf []byte, ids []BlockID) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(ids)))
+	var prev uint64
+	for _, id := range ids {
+		buf = binary.AppendUvarint(buf, uint64(id)-prev)
+		prev = uint64(id)
+	}
+	return buf
+}
+
+// decodeIDList is the inverse of appendIDList. The returned slice is a
+// fresh allocation: report ID lists are retained past the decode (the
+// namenode reconciles against them), so they must not alias scratch.
+func decodeIDList(b []byte) ([]BlockID, []byte, error) {
+	n, rest, err := frameUvarint(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	if n == 0 {
+		return nil, rest, nil
+	}
+	if n > uint64(len(rest)) { // each entry needs ≥1 byte
+		return nil, nil, errShortFrame
+	}
+	ids := make([]BlockID, 0, n)
+	var prev uint64
+	for i := uint64(0); i < n; i++ {
+		var d uint64
+		d, rest, err = frameUvarint(rest)
+		if err != nil {
+			return nil, nil, err
+		}
+		prev += d
+		ids = append(ids, BlockID(prev))
+	}
+	return ids, rest, nil
+}
+
+// ---- HeartbeatReq ----
+
+// AppendFrame implements transport.Framer. At 1000 datanodes the
+// heartbeat is the highest-rate control-plane message; framing it keeps
+// the namenode's receive path off gob reflection.
+func (r *HeartbeatReq) AppendFrame(buf []byte) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(r.Addr)))
+	buf = append(buf, r.Addr...)
+	buf = binary.AppendUvarint(buf, uint64(r.PinnedBytes))
+	buf = binary.AppendUvarint(buf, r.Seq)
+	buf = binary.AppendUvarint(buf, r.Epoch)
+	buf = appendIDList(buf, r.Pinned)
+	buf = appendIDList(buf, r.Unpinned)
+	buf = appendIDList(buf, r.Added)
+	return appendIDList(buf, r.Removed)
+}
+
+// DecodeFrame implements transport.Framer.
+func (r *HeartbeatReq) DecodeFrame(payload []byte) error {
+	addr, rest, err := frameBytes(payload)
+	if err != nil {
+		return err
+	}
+	pinnedBytes, rest, err := frameUvarint(rest)
+	if err != nil {
+		return err
+	}
+	seq, rest, err := frameUvarint(rest)
+	if err != nil {
+		return err
+	}
+	epoch, rest, err := frameUvarint(rest)
+	if err != nil {
+		return err
+	}
+	pinned, rest, err := decodeIDList(rest)
+	if err != nil {
+		return err
+	}
+	unpinned, rest, err := decodeIDList(rest)
+	if err != nil {
+		return err
+	}
+	added, rest, err := decodeIDList(rest)
+	if err != nil {
+		return err
+	}
+	removed, rest, err := decodeIDList(rest)
+	if err != nil {
+		return err
+	}
+	if len(rest) != 0 {
+		return errShortFrame
+	}
+	// Datanode addresses are a small fixed population; intern instead of
+	// copying one out of the frame per heartbeat.
+	r.Addr = transport.InternBytes(addr)
+	r.PinnedBytes = int64(pinnedBytes)
+	r.Seq = seq
+	r.Epoch = epoch
+	r.Pinned, r.Unpinned = pinned, unpinned
+	r.Added, r.Removed = added, removed
+	return nil
+}
+
+// ---- BlockReportReq ----
+
+// AppendFrame implements transport.Framer. A full report from a
+// million-block datanode is megabytes of IDs; hand framing (with delta
+// encoding) keeps both the bytes and the decode allocations bounded.
+func (r *BlockReportReq) AppendFrame(buf []byte) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(r.Addr)))
+	buf = append(buf, r.Addr...)
+	buf = binary.AppendUvarint(buf, r.Seq)
+	buf = binary.AppendUvarint(buf, r.Epoch)
+	return appendIDList(buf, r.Blocks)
+}
+
+// DecodeFrame implements transport.Framer.
+func (r *BlockReportReq) DecodeFrame(payload []byte) error {
+	addr, rest, err := frameBytes(payload)
+	if err != nil {
+		return err
+	}
+	seq, rest, err := frameUvarint(rest)
+	if err != nil {
+		return err
+	}
+	epoch, rest, err := frameUvarint(rest)
+	if err != nil {
+		return err
+	}
+	blocks, rest, err := decodeIDList(rest)
+	if err != nil {
+		return err
+	}
+	if len(rest) != 0 {
+		return errShortFrame
+	}
+	r.Addr = transport.InternBytes(addr)
+	r.Seq = seq
+	r.Epoch = epoch
+	r.Blocks = blocks
+	return nil
+}

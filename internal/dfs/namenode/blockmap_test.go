@@ -1,0 +1,198 @@
+package namenode
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"testing"
+
+	"repro/internal/dfs"
+)
+
+func TestNodeTableIntern(t *testing.T) {
+	tab := newNodeTable()
+	a := tab.intern("dn-0")
+	b := tab.intern("dn-1")
+	if a == b {
+		t.Fatalf("distinct addrs share id %d", a)
+	}
+	if got := tab.intern("dn-0"); got != a {
+		t.Fatalf("re-intern dn-0 = %d, want %d", got, a)
+	}
+	if id, ok := tab.lookup("dn-1"); !ok || id != b {
+		t.Fatalf("lookup dn-1 = %d,%v, want %d,true", id, ok, b)
+	}
+	if _, ok := tab.lookup("dn-9"); ok {
+		t.Fatal("lookup of never-interned addr succeeded")
+	}
+	view := tab.addrsView()
+	// The view stays valid for its indices even as the table grows.
+	tab.intern("dn-2")
+	if view[a] != "dn-0" || view[b] != "dn-1" {
+		t.Fatalf("addrsView = %v, want dn-0/dn-1 at %d/%d", view, a, b)
+	}
+}
+
+func TestNodeSetInlineAndSpill(t *testing.T) {
+	var s nodeSet
+	// Out-of-order inserts stay sorted inline.
+	for _, id := range []nodeID{30, 10, 20} {
+		if !s.add(id) {
+			t.Fatalf("add(%d) reported no change", id)
+		}
+	}
+	if s.add(20) {
+		t.Fatal("duplicate add reported a change")
+	}
+	if s.spill != nil {
+		t.Fatal("3 members should stay inline")
+	}
+	if got := s.view(); got[0] != 10 || got[1] != 20 || got[2] != 30 {
+		t.Fatalf("inline view = %v, want [10 20 30]", got)
+	}
+	// A fourth member spills, still sorted.
+	s.add(15)
+	if s.spill == nil || s.len() != 4 {
+		t.Fatalf("expected spill with 4 members, got spill=%v n=%d", s.spill, s.n)
+	}
+	if got := s.view(); !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Fatalf("spill view not sorted: %v", got)
+	}
+	for _, id := range []nodeID{10, 15, 20, 30} {
+		if !s.contains(id) {
+			t.Fatalf("contains(%d) = false after insert", id)
+		}
+	}
+	// Shrinking back to inline capacity releases the spill.
+	if !s.remove(15) {
+		t.Fatal("remove(15) reported no change")
+	}
+	if s.spill != nil {
+		t.Fatalf("expected return to inline after shrink, spill=%v", s.spill)
+	}
+	if s.remove(15) {
+		t.Fatal("second remove(15) reported a change")
+	}
+	if got := s.view(); len(got) != 3 || got[0] != 10 || got[1] != 20 || got[2] != 30 {
+		t.Fatalf("view after shrink = %v, want [10 20 30]", got)
+	}
+	s.reset([]nodeID{7, 7, 3})
+	if got := s.view(); len(got) != 2 || got[0] != 3 || got[1] != 7 {
+		t.Fatalf("reset view = %v, want [3 7]", got)
+	}
+}
+
+// TestNodeSetRandomized cross-checks nodeSet against a reference map
+// through a few thousand seeded add/remove operations, crossing the
+// inline/spill boundary many times.
+func TestNodeSetRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var s nodeSet
+	ref := make(map[nodeID]bool)
+	for i := 0; i < 5000; i++ {
+		id := nodeID(rng.Intn(12))
+		if rng.Intn(2) == 0 {
+			if s.add(id) == ref[id] {
+				t.Fatalf("op %d: add(%d) change mismatch (ref has=%v)", i, id, ref[id])
+			}
+			ref[id] = true
+		} else {
+			if s.remove(id) != ref[id] {
+				t.Fatalf("op %d: remove(%d) change mismatch (ref has=%v)", i, id, ref[id])
+			}
+			delete(ref, id)
+		}
+		if s.len() != len(ref) {
+			t.Fatalf("op %d: len %d != ref %d", i, s.len(), len(ref))
+		}
+		v := s.view()
+		for j, m := range v {
+			if !ref[m] {
+				t.Fatalf("op %d: set holds %d not in ref", i, m)
+			}
+			if j > 0 && v[j-1] >= m {
+				t.Fatalf("op %d: view unsorted: %v", i, v)
+			}
+		}
+	}
+}
+
+// legacyBlockMeta reproduces the pre-compaction block-map entry shape —
+// two eagerly allocated address-keyed maps per block — for the heap
+// comparison below.
+type legacyBlockMeta struct {
+	size    int64
+	want    int
+	nodes   map[string]struct{}
+	pinned  map[string]struct{}
+	healing bool
+}
+
+func measureHeap(build func() any) (int64, any) {
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	v := build()
+	runtime.GC()
+	runtime.ReadMemStats(&after)
+	return int64(after.HeapAlloc) - int64(before.HeapAlloc), v
+}
+
+// TestBlockMapHeapPerBlock is the heap-regression gate for the compact
+// block map: an N-block map of interned sorted replica triples must use
+// at least 4x less heap per block than the historical representation
+// (two map[string]struct{} per block). Run via `make bench-alloc`.
+func TestBlockMapHeapPerBlock(t *testing.T) {
+	const n = 100_000
+	addrs := make([]string, 32)
+	for i := range addrs {
+		addrs[i] = fmt.Sprintf("10.0.%d.%d:9866", i/256, i%256)
+	}
+
+	legacyBytes, legacyRef := measureHeap(func() any {
+		m := make(map[dfs.BlockID]*legacyBlockMeta, n)
+		for i := 0; i < n; i++ {
+			meta := &legacyBlockMeta{
+				size:   128 << 20,
+				want:   3,
+				nodes:  make(map[string]struct{}),
+				pinned: make(map[string]struct{}),
+			}
+			for r := 0; r < 3; r++ {
+				meta.nodes[addrs[(i+r)%len(addrs)]] = struct{}{}
+			}
+			m[dfs.BlockID(i)] = meta
+		}
+		return m
+	})
+
+	compactBytes, compactRef := measureHeap(func() any {
+		table := newNodeTable()
+		pins := make(pinMap) // empty: freshly allocated blocks are unpinned
+		m := make(map[dfs.BlockID]*blockMeta, n)
+		for i := 0; i < n; i++ {
+			targets := []string{
+				addrs[i%len(addrs)],
+				addrs[(i+1)%len(addrs)],
+				addrs[(i+2)%len(addrs)],
+			}
+			m[dfs.BlockID(i)] = newBlockMeta(table, 128<<20, 3, targets)
+		}
+		return []any{m, pins}
+	})
+	runtime.KeepAlive(legacyRef)
+	runtime.KeepAlive(compactRef)
+
+	legacyPer := float64(legacyBytes) / n
+	compactPer := float64(compactBytes) / n
+	t.Logf("heap per block: legacy %.0f B, compact %.0f B (%.1fx)",
+		legacyPer, compactPer, legacyPer/compactPer)
+	if compactPer <= 0 {
+		t.Fatalf("implausible compact heap measurement: %.0f B/block", compactPer)
+	}
+	if legacyPer/compactPer < 4 {
+		t.Errorf("compact block map is only %.1fx smaller than legacy per block (legacy %.0f B, compact %.0f B), want >= 4x",
+			legacyPer/compactPer, legacyPer, compactPer)
+	}
+}

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/dfs"
 	"repro/internal/ignem"
+	"repro/internal/metrics"
 	"repro/internal/simclock"
 	"repro/internal/transport"
 )
@@ -56,6 +57,15 @@ type Config struct {
 	// match MetaShards — extra addresses are ignored, missing ones fall
 	// back to Addr.
 	ShardAddrs []string
+	// ReportIntake bounds how many full-inventory reconciles (register
+	// and block-report handling) may run concurrently; reports beyond
+	// the bound are rejected with dfs.ErrBusy and the datanode retries
+	// with jittered backoff. This is the admission control that keeps a
+	// reconnect storm of full reports from stalling namespace RPCs
+	// behind a convoy of full-table scans. 0 selects the default
+	// (2 x max(1, MetaShards)); negative disables the bound. Delta
+	// heartbeats are never gated — they are O(delta) cheap.
+	ReportIntake int
 }
 
 func (c *Config) setDefaults() {
@@ -81,6 +91,14 @@ type dnInfo struct {
 	lastSeen time.Time
 	alive    bool
 	client   *transport.Client
+	// nextSeq is the report sequence number the namenode expects next
+	// from this datanode; a heartbeat arriving with any other non-zero
+	// Seq means a delta was lost (or reordered) and the incremental view
+	// may be stale. Zero until the datanode opts into sequencing.
+	nextSeq uint64
+	// epoch identifies the full-inventory snapshot the datanode's deltas
+	// extend; bumped by every register/full report.
+	epoch uint64
 }
 
 // NameNode is the file-system master process. Start it with Start, stop
@@ -101,14 +119,76 @@ type NameNode struct {
 	stateMu sync.Mutex
 	closed  bool
 
-	// dnmu guards the datanode registry: the datanodes map and every
-	// dnInfo's fields. Splitting it from the namespace locks keeps
-	// heartbeats and registrations off the metadata path. dnmu nests
-	// innermost: it is only ever acquired under namespace locks (via
-	// placeTargets and Resolve), never the reverse.
+	// dnmu guards the datanode registry: the datanodes map, every
+	// dnInfo's fields, and liveCache. Splitting it from the namespace
+	// locks keeps heartbeats and registrations off the metadata path.
+	// dnmu nests innermost: it is only ever acquired under namespace
+	// locks (via placeTargets and Resolve), never the reverse.
 	dnmu      sync.RWMutex
 	datanodes map[string]*dnInfo
+	// liveCache is the sorted live-address list placement shuffles; nil
+	// means stale (rebuilt on next use). Maintaining it on membership
+	// and liveness changes takes the per-allocation O(n log n) sort off
+	// the placement path — at 1000 nodes that sort dominated placeTargets.
+	liveCache []string
+
+	// intake is the bounded report-admission gate (see
+	// Config.ReportIntake); nil means unbounded.
+	intake chan struct{}
+
+	metrics nnMetrics
 }
+
+// nnMetrics are the NameNode's control-plane counters. They are written
+// on hot paths, so everything is an atomic counter/gauge from
+// internal/metrics; Stats snapshots them.
+type nnMetrics struct {
+	heartbeats     metrics.Counter // heartbeat RPCs processed
+	fullReports    metrics.Counter // full-inventory reconciles (register + blockReport)
+	deltaAdded     metrics.Counter // block IDs added via incremental reports
+	deltaRemoved   metrics.Counter // block IDs removed via incremental reports
+	reportBytes    metrics.Counter // estimated wire bytes of report intake
+	resyncRequests metrics.Counter // NeedFullReport responses issued
+	busyRejects    metrics.Counter // reports rejected with dfs.ErrBusy
+	sweeps         metrics.Counter // expiry sweeps run
+	sweepLastNs    metrics.Gauge   // duration of the latest expiry sweep
+}
+
+// Stats is a point-in-time snapshot of the NameNode's control-plane
+// counters.
+type Stats struct {
+	Heartbeats         int64
+	FullReports        int64
+	DeltaBlocksAdded   int64
+	DeltaBlocksRemoved int64
+	ReportBytes        int64
+	ResyncRequests     int64
+	BusyRejects        int64
+	ExpirySweeps       int64
+	LastSweepNanos     int64
+}
+
+// Stats snapshots the control-plane counters.
+func (nn *NameNode) Stats() Stats {
+	return Stats{
+		Heartbeats:         nn.metrics.heartbeats.Load(),
+		FullReports:        nn.metrics.fullReports.Load(),
+		DeltaBlocksAdded:   nn.metrics.deltaAdded.Load(),
+		DeltaBlocksRemoved: nn.metrics.deltaRemoved.Load(),
+		ReportBytes:        nn.metrics.reportBytes.Load(),
+		ResyncRequests:     nn.metrics.resyncRequests.Load(),
+		BusyRejects:        nn.metrics.busyRejects.Load(),
+		ExpirySweeps:       nn.metrics.sweeps.Load(),
+		LastSweepNanos:     nn.metrics.sweepLastNs.Load(),
+	}
+}
+
+// reportWireBytes estimates the control-plane wire cost of a report
+// carrying n block IDs: a fixed per-message overhead plus the nominal 8
+// bytes per ID. An estimator (rather than encoding every message) keeps
+// the accounting off the wire path; the full-vs-incremental comparison
+// only needs the per-ID cost to be charged consistently on both sides.
+func reportWireBytes(n int) int64 { return 64 + 8*int64(n) }
 
 // New creates a NameNode (not yet serving).
 func New(clock simclock.Clock, net transport.Network, cfg Config) *NameNode {
@@ -118,6 +198,16 @@ func New(clock simclock.Clock, net transport.Network, cfg Config) *NameNode {
 		net:       net,
 		cfg:       cfg,
 		datanodes: make(map[string]*dnInfo),
+	}
+	if cfg.ReportIntake >= 0 {
+		depth := cfg.ReportIntake
+		if depth == 0 {
+			depth = 2
+			if cfg.MetaShards > 1 {
+				depth = 2 * cfg.MetaShards
+			}
+		}
+		nn.intake = make(chan struct{}, depth)
 	}
 	if cfg.MetaShards > 0 {
 		nn.ns = newShardedNamespace(cfg.MetaShards, cfg.Seed, nn.placeTargets)
@@ -410,15 +500,12 @@ func (nn *NameNode) handleBlockRead(req dfs.BlockReadReq) (dfs.BlockReadResp, er
 // replica on a suspect node than none at all. Takes dnmu (read) itself;
 // the caller holds its shard and rng locks.
 func (nn *NameNode) placeTargets(rng *rand.Rand, rep int, exclude []string) []string {
-	nn.dnmu.RLock()
-	live := make([]string, 0, len(nn.datanodes))
-	for addr, dn := range nn.datanodes {
-		if dn.alive {
-			live = append(live, addr)
-		}
-	}
-	nn.dnmu.RUnlock()
-	sort.Strings(live) // deterministic base order for the seeded shuffle
+	cached := nn.liveSorted()
+	// Copy before shuffling: the cache is shared. The base order is the
+	// same sorted list the historical per-call build produced, so the
+	// seeded shuffle draws identically.
+	live := make([]string, len(cached))
+	copy(live, cached)
 	rng.Shuffle(len(live), func(i, j int) { live[i], live[j] = live[j], live[i] })
 	if len(exclude) > 0 {
 		ex := make(map[string]bool, len(exclude))
@@ -488,7 +575,35 @@ func (nn *NameNode) rackAwareTargets(shuffled []string, rep int) []string {
 
 // ---- datanode registry ----
 
+// acquireIntake claims a slot on the bounded report-admission gate; a
+// false return means the caller must answer dfs.ErrBusy. Non-blocking
+// by design: pushing back immediately (and letting the datanode retry
+// with jittered backoff) is what prevents a reconnect storm from
+// queueing an unbounded convoy of full-table reconciles.
+func (nn *NameNode) acquireIntake() bool {
+	if nn.intake == nil {
+		return true
+	}
+	select {
+	case nn.intake <- struct{}{}:
+		return true
+	default:
+		nn.metrics.busyRejects.Inc()
+		return false
+	}
+}
+
+func (nn *NameNode) releaseIntake() {
+	if nn.intake != nil {
+		<-nn.intake
+	}
+}
+
 func (nn *NameNode) handleRegister(req dfs.RegisterReq) (dfs.RegisterResp, error) {
+	if !nn.acquireIntake() {
+		return dfs.RegisterResp{}, dfs.ErrBusy
+	}
+	defer nn.releaseIntake()
 	nn.dnmu.Lock()
 	dn := nn.datanodes[req.Addr]
 	if dn == nil {
@@ -499,7 +614,16 @@ func (nn *NameNode) handleRegister(req dfs.RegisterReq) (dfs.RegisterResp, error
 	dn.client = nil
 	dn.alive = true
 	dn.lastSeen = nn.clock.Now()
+	if req.Seq > 0 {
+		// A register is a full snapshot: it re-anchors the delta
+		// sequence and starts the epoch its deltas will extend.
+		dn.nextSeq = req.Seq + 1
+		dn.epoch = req.Epoch
+	}
+	nn.liveCache = nil
 	nn.dnmu.Unlock()
+	nn.metrics.fullReports.Inc()
+	nn.metrics.reportBytes.Add(reportWireBytes(len(req.Blocks)))
 	nn.ns.Reconcile(req.Addr, req.Blocks)
 	if stale != nil {
 		stale.Close()
@@ -509,11 +633,29 @@ func (nn *NameNode) handleRegister(req dfs.RegisterReq) (dfs.RegisterResp, error
 
 func (nn *NameNode) handleBlockReport(req dfs.BlockReportReq) (dfs.BlockReportResp, error) {
 	nn.dnmu.RLock()
-	registered := nn.datanodes[req.Addr] != nil
+	dn := nn.datanodes[req.Addr]
 	nn.dnmu.RUnlock()
-	if !registered {
+	if dn == nil {
 		return dfs.BlockReportResp{}, fmt.Errorf("namenode: block report from unregistered %s", req.Addr)
 	}
+	if !nn.acquireIntake() {
+		return dfs.BlockReportResp{}, dfs.ErrBusy
+	}
+	defer nn.releaseIntake()
+	nn.dnmu.Lock()
+	// A full report proves the node is alive just as well as a heartbeat.
+	if !dn.alive {
+		nn.liveCache = nil
+	}
+	dn.alive = true
+	dn.lastSeen = nn.clock.Now()
+	if req.Seq > 0 {
+		dn.nextSeq = req.Seq + 1
+		dn.epoch = req.Epoch
+	}
+	nn.dnmu.Unlock()
+	nn.metrics.fullReports.Inc()
+	nn.metrics.reportBytes.Add(reportWireBytes(len(req.Blocks)))
 	nn.ns.Reconcile(req.Addr, req.Blocks)
 	return dfs.BlockReportResp{}, nil
 }
@@ -525,37 +667,96 @@ func (nn *NameNode) handleHeartbeat(req dfs.HeartbeatReq) (dfs.HeartbeatResp, er
 		nn.dnmu.Unlock()
 		return dfs.HeartbeatResp{}, fmt.Errorf("namenode: heartbeat from unregistered %s", req.Addr)
 	}
+	if !dn.alive {
+		nn.liveCache = nil
+	}
 	dn.alive = true
 	dn.lastSeen = nn.clock.Now()
-	nn.dnmu.Unlock()
-	// The steady-state heartbeat carries no pin deltas; only touch the
-	// namespace locks when there is pinned state to record.
-	if len(req.Pinned) == 0 && len(req.Unpinned) == 0 {
-		return dfs.HeartbeatResp{}, nil
+	var needFull, staleEpoch bool
+	if req.Seq > 0 {
+		if dn.nextSeq != 0 && req.Seq != dn.nextSeq {
+			// A delta went missing (lost heartbeat, reordered retry):
+			// the incremental view may have diverged, so ask for a full
+			// snapshot. The deltas that DID arrive still apply — they
+			// only ever make the view fresher.
+			needFull = true
+		}
+		if req.Epoch != dn.epoch {
+			needFull = true
+			// Deltas from an older snapshot than the one already
+			// reconciled could resurrect state the resync removed; skip
+			// them entirely.
+			staleEpoch = req.Epoch < dn.epoch
+		}
+		dn.nextSeq = req.Seq + 1
 	}
-	nn.ns.PinDeltas(req.Addr, req.Pinned, req.Unpinned)
-	return dfs.HeartbeatResp{}, nil
+	nn.dnmu.Unlock()
+	nn.metrics.heartbeats.Inc()
+	nn.metrics.reportBytes.Add(reportWireBytes(
+		len(req.Pinned) + len(req.Unpinned) + len(req.Added) + len(req.Removed)))
+	if needFull {
+		nn.metrics.resyncRequests.Inc()
+	}
+	if staleEpoch {
+		return dfs.HeartbeatResp{NeedFullReport: true}, nil
+	}
+	// The steady-state heartbeat carries no deltas; only touch the
+	// namespace locks when there is state to record.
+	if len(req.Pinned)+len(req.Unpinned) > 0 {
+		nn.ns.PinDeltas(req.Addr, req.Pinned, req.Unpinned)
+	}
+	if len(req.Added)+len(req.Removed) > 0 {
+		nn.ns.ApplyReplicaDeltas(req.Addr, req.Added, req.Removed)
+		nn.metrics.deltaAdded.Add(int64(len(req.Added)))
+		nn.metrics.deltaRemoved.Add(int64(len(req.Removed)))
+	}
+	return dfs.HeartbeatResp{NeedFullReport: needFull}, nil
 }
 
 // expiryLoop marks datanodes dead when their heartbeats stop; the block
 // manager then reports only live replica locations, which is how the
 // Ignem master sees "an updated view with only live locations".
+//
+// The scan runs under the registry READ lock — at 1000 datanodes a
+// write-locked scan would stall every heartbeat once a second — and
+// only the (rare, usually empty) suspect list is re-checked and marked
+// under the write lock.
 func (nn *NameNode) expiryLoop() {
 	for {
 		nn.clock.Sleep(nn.cfg.ExpirySweepInterval)
 		if nn.isClosed() {
 			return
 		}
+		// Sweep duration is measured in wall time: it meters real scan
+		// cost, and on the virtual clock the whole sweep is instantaneous.
+		start := time.Now()
 		now := nn.clock.Now()
-		var died []string
-		nn.dnmu.Lock()
+		var suspects []*dnInfo
+		nn.dnmu.RLock()
 		for _, dn := range nn.datanodes {
 			if dn.alive && now.Sub(dn.lastSeen) > nn.cfg.HeartbeatExpiry {
-				dn.alive = false
-				died = append(died, dn.addr)
+				suspects = append(suspects, dn)
 			}
 		}
-		nn.dnmu.Unlock()
+		nn.dnmu.RUnlock()
+		var died []string
+		if len(suspects) > 0 {
+			nn.dnmu.Lock()
+			for _, dn := range suspects {
+				// Re-check under the write lock: a heartbeat may have
+				// revived the node between the two lock acquisitions.
+				if dn.alive && now.Sub(dn.lastSeen) > nn.cfg.HeartbeatExpiry {
+					dn.alive = false
+					died = append(died, dn.addr)
+				}
+			}
+			if len(died) > 0 {
+				nn.liveCache = nil
+			}
+			nn.dnmu.Unlock()
+		}
+		nn.metrics.sweeps.Inc()
+		nn.metrics.sweepLastNs.Set(time.Since(start).Nanoseconds())
 		if len(died) == 0 {
 			continue
 		}
@@ -599,17 +800,36 @@ func (nn *NameNode) pullReplica(target, source string, b dfs.Block) error {
 	return err
 }
 
+// liveSorted returns the cached sorted live-address list, rebuilding it
+// if a membership or liveness change invalidated it. The returned slice
+// is shared and must not be mutated.
+func (nn *NameNode) liveSorted() []string {
+	nn.dnmu.RLock()
+	cached := nn.liveCache
+	nn.dnmu.RUnlock()
+	if cached != nil {
+		return cached
+	}
+	nn.dnmu.Lock()
+	defer nn.dnmu.Unlock()
+	if nn.liveCache == nil {
+		live := make([]string, 0, len(nn.datanodes))
+		for addr, dn := range nn.datanodes {
+			if dn.alive {
+				live = append(live, addr)
+			}
+		}
+		sort.Strings(live)
+		nn.liveCache = live
+	}
+	return nn.liveCache
+}
+
 // LiveDataNodes returns the addresses of datanodes considered alive.
 func (nn *NameNode) LiveDataNodes() []string {
-	nn.dnmu.RLock()
-	defer nn.dnmu.RUnlock()
-	var out []string
-	for addr, dn := range nn.datanodes {
-		if dn.alive {
-			out = append(out, addr)
-		}
-	}
-	sort.Strings(out)
+	live := nn.liveSorted()
+	out := make([]string, len(live))
+	copy(out, live)
 	return out
 }
 

@@ -46,6 +46,11 @@ type Namespace interface {
 	// Reconcile makes the location map agree with a datanode's actual
 	// replica inventory.
 	Reconcile(addr string, held []dfs.BlockID)
+	// ApplyReplicaDeltas applies an incremental block report: addr now
+	// also holds added and no longer holds removed. Unknown block IDs
+	// are ignored (the namespace may have deleted the file since the
+	// datanode queued the delta).
+	ApplyReplicaDeltas(addr string, added, removed []dfs.BlockID)
 	// PinDeltas applies a heartbeat's pinned/unpinned block deltas.
 	PinDeltas(addr string, pinned, unpinned []dfs.BlockID)
 	// DropPinned drops all pinned state for the given (dead) datanodes.
@@ -97,10 +102,14 @@ type fileEntry struct {
 	lastAlloc      []dfs.LocatedBlock
 }
 
+// blockMeta is one block-map entry. It is a single flat allocation in
+// the 48-byte size class: replica locations are a sorted interned-node-
+// ID set (see blockmap.go), not a per-block string map, and pin state
+// lives in the sparse side pinMap, which together is what lets the
+// NameNode track a million blocks in tens of megabytes.
 type blockMeta struct {
 	size    int64
-	want    int                 // the file's replication factor
-	nodes   map[string]struct{} // datanode addresses with a replica
-	pinned  map[string]struct{} // addresses where Ignem has it in memory
-	healing bool                // a re-replication pull is in flight
+	nodes   nodeSet // datanodes with a replica
+	want    uint16  // the file's replication factor
+	healing bool    // a re-replication pull is in flight
 }

@@ -16,6 +16,8 @@ import (
 // equivalent, including the placement rng draws.
 type memNamespace struct {
 	place placeFunc
+	// table interns datanode addresses for the compact block map.
+	table *nodeTable
 
 	// mu guards the namespace: files, blocks (and each blockMeta's
 	// contents), and nextBlock. Metadata lookups (Info, Resolve, List)
@@ -23,6 +25,7 @@ type memNamespace struct {
 	mu        sync.RWMutex
 	files     map[string]*fileEntry
 	blocks    map[dfs.BlockID]*blockMeta
+	pins      pinMap
 	nextBlock dfs.BlockID
 
 	// rngMu guards the placement rng. It is a leaf lock: nothing else is
@@ -35,8 +38,10 @@ type memNamespace struct {
 func newMemNamespace(seed int64, place placeFunc) *memNamespace {
 	return &memNamespace{
 		place:  place,
+		table:  newNodeTable(),
 		files:  make(map[string]*fileEntry),
 		blocks: make(map[dfs.BlockID]*blockMeta),
+		pins:   make(pinMap),
 		rng:    rand.New(rand.NewSource(seed)),
 	}
 }
@@ -86,10 +91,7 @@ func (ns *memNamespace) allocateBlockLocked(f *fileEntry, size int64, exclude []
 	}
 	ns.nextBlock++
 	b := dfs.Block{ID: ns.nextBlock, Size: size}
-	meta := &blockMeta{size: size, want: f.info.Replication, nodes: make(map[string]struct{}), pinned: make(map[string]struct{})}
-	for _, t := range targets {
-		meta.nodes[t] = struct{}{}
-	}
+	meta := newBlockMeta(ns.table, size, f.info.Replication, targets)
 	ns.blocks[b.ID] = meta
 	offset := f.info.Size
 	f.blocks = append(f.blocks, b)
@@ -118,14 +120,11 @@ func (ns *memNamespace) Retarget(path string, block dfs.BlockID, exclude []strin
 	if meta == nil {
 		return dfs.LocatedBlock{}, fmt.Errorf("namenode: block %d has no metadata", block)
 	}
-	targets := ns.chooseTargets(meta.want, exclude)
+	targets := ns.chooseTargets(int(meta.want), exclude)
 	if len(targets) == 0 {
 		return dfs.LocatedBlock{}, fmt.Errorf("namenode: no live datanodes")
 	}
-	meta.nodes = make(map[string]struct{}, len(targets))
-	for _, t := range targets {
-		meta.nodes[t] = struct{}{}
-	}
+	meta.nodes.reset(internAll(ns.table, targets))
 	return dfs.LocatedBlock{Block: blk, Offset: offset, Nodes: targets}, nil
 }
 
@@ -159,13 +158,15 @@ func (ns *memNamespace) Delete(path string) (map[string][]dfs.BlockID, error) {
 	}
 	delete(ns.files, path)
 	toDelete := make(map[string][]dfs.BlockID)
+	addrs := ns.table.addrsView()
 	for _, b := range f.blocks {
 		if meta := ns.blocks[b.ID]; meta != nil {
-			for addr := range meta.nodes {
-				toDelete[addr] = append(toDelete[addr], b.ID)
+			for _, id := range meta.nodes.view() {
+				toDelete[addrs[id]] = append(toDelete[addrs[id]], b.ID)
 			}
 		}
 		delete(ns.blocks, b.ID)
+		delete(ns.pins, b.ID)
 	}
 	return toDelete, nil
 }
@@ -192,11 +193,12 @@ func (ns *memNamespace) Resolve(path string) ([]resolvedBlock, error) {
 	}
 	out := make([]resolvedBlock, 0, len(f.blocks))
 	var offset int64
+	addrs := ns.table.addrsView()
 	for _, b := range f.blocks {
 		rb := resolvedBlock{block: b, offset: offset}
 		if meta := ns.blocks[b.ID]; meta != nil {
-			rb.nodes = addrSlice(meta.nodes)
-			rb.pinned = addrSlice(meta.pinned)
+			rb.nodes = addrSlice(addrs, &meta.nodes)
+			rb.pinned = idAddrs(addrs, ns.pins.view(b.ID))
 		}
 		offset += b.Size
 		out = append(out, rb)
@@ -205,46 +207,54 @@ func (ns *memNamespace) Resolve(path string) ([]resolvedBlock, error) {
 }
 
 func (ns *memNamespace) Reconcile(addr string, held []dfs.BlockID) {
+	id := ns.table.intern(addr)
 	ns.mu.Lock()
 	defer ns.mu.Unlock()
-	reconcileBlocks(ns.blocks, addr, held)
+	reconcileBlocks(ns.blocks, ns.pins, id, held)
+}
+
+func (ns *memNamespace) ApplyReplicaDeltas(addr string, added, removed []dfs.BlockID) {
+	id := ns.table.intern(addr)
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	applyReplicaDeltas(ns.blocks, ns.pins, id, added, removed)
 }
 
 func (ns *memNamespace) PinDeltas(addr string, pinned, unpinned []dfs.BlockID) {
+	id := ns.table.intern(addr)
 	ns.mu.Lock()
 	defer ns.mu.Unlock()
-	for _, id := range pinned {
-		if meta := ns.blocks[id]; meta != nil {
-			meta.pinned[addr] = struct{}{}
+	for _, b := range pinned {
+		if _, ok := ns.blocks[b]; ok {
+			ns.pins.add(b, id)
 		}
 	}
-	for _, id := range unpinned {
-		if meta := ns.blocks[id]; meta != nil {
-			delete(meta.pinned, addr)
-		}
+	for _, b := range unpinned {
+		ns.pins.remove(b, id)
 	}
 }
 
 func (ns *memNamespace) DropPinned(addrs []string) {
+	ids := lookupAll(ns.table, addrs)
+	if len(ids) == 0 {
+		return
+	}
 	ns.mu.Lock()
 	defer ns.mu.Unlock()
-	for _, meta := range ns.blocks {
-		for _, addr := range addrs {
-			delete(meta.pinned, addr)
-		}
-	}
+	ns.pins.dropNodes(ids)
 }
 
 func (ns *memNamespace) RepairScan(live map[string]bool) []repairJob {
 	ns.mu.Lock()
 	defer ns.mu.Unlock()
-	return scanShardForRepair(ns.blocks, live, &ns.rngMu, ns.rng)
+	return scanShardForRepair(ns.blocks, ns.table, live, &ns.rngMu, ns.rng)
 }
 
 func (ns *memNamespace) RepairDone(block dfs.BlockID, target string, ok bool) {
+	id := ns.table.intern(target)
 	ns.mu.Lock()
 	defer ns.mu.Unlock()
-	repairDone(ns.blocks, block, target, ok)
+	repairDone(ns.blocks, block, id, ok)
 }
 
 // ---- logic shared by both namespace implementations ----
@@ -294,13 +304,50 @@ func findBlock(f *fileEntry, id dfs.BlockID) (dfs.Block, int64, bool) {
 	return dfs.Block{}, 0, false
 }
 
-func addrSlice(set map[string]struct{}) []string {
-	if len(set) == 0 {
+// newBlockMeta builds a block-map entry with the given replica targets
+// interned through t.
+func newBlockMeta(t *nodeTable, size int64, want int, targets []string) *blockMeta {
+	meta := &blockMeta{size: size, want: uint16(want)}
+	meta.nodes.reset(internAll(t, targets))
+	return meta
+}
+
+// internAll interns a target list, preserving order.
+func internAll(t *nodeTable, addrs []string) []nodeID {
+	out := make([]nodeID, len(addrs))
+	for i, a := range addrs {
+		out[i] = t.intern(a)
+	}
+	return out
+}
+
+// lookupAll resolves already-interned addresses, skipping unknown ones
+// (an address the table never saw cannot appear in any nodeSet).
+func lookupAll(t *nodeTable, addrs []string) []nodeID {
+	out := make([]nodeID, 0, len(addrs))
+	for _, a := range addrs {
+		if id, ok := t.lookup(a); ok {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// addrSlice maps a nodeSet back to address strings through an
+// addrsView snapshot.
+func addrSlice(addrs []string, set *nodeSet) []string {
+	return idAddrs(addrs, set.view())
+}
+
+// idAddrs maps node IDs back to address strings through an addrsView
+// snapshot.
+func idAddrs(addrs []string, ids []nodeID) []string {
+	if len(ids) == 0 {
 		return nil
 	}
-	out := make([]string, 0, len(set))
-	for addr := range set {
-		out = append(out, addr)
+	out := make([]string, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, addrs[id])
 	}
 	return out
 }
@@ -309,17 +356,35 @@ func addrSlice(set map[string]struct{}) []string {
 // replica inventory: entries it no longer holds are dropped; entries it
 // holds (for blocks the namespace still knows) are added back. Called
 // with the table's lock held.
-func reconcileBlocks(blocks map[dfs.BlockID]*blockMeta, addr string, held []dfs.BlockID) {
+func reconcileBlocks(blocks map[dfs.BlockID]*blockMeta, pins pinMap, node nodeID, held []dfs.BlockID) {
 	holds := make(map[dfs.BlockID]struct{}, len(held))
 	for _, id := range held {
 		holds[id] = struct{}{}
 	}
 	for id, meta := range blocks {
 		if _, ok := holds[id]; ok {
-			meta.nodes[addr] = struct{}{}
+			meta.nodes.add(node)
 		} else {
-			delete(meta.nodes, addr)
-			delete(meta.pinned, addr)
+			meta.nodes.remove(node)
+			pins.remove(id, node)
+		}
+	}
+}
+
+// applyReplicaDeltas applies an incremental report to one block table:
+// O(delta), never a full-table scan. A removed replica also drops the
+// node's pin — storage gone means the pinned copy is gone too. Called
+// with the table's lock held.
+func applyReplicaDeltas(blocks map[dfs.BlockID]*blockMeta, pins pinMap, node nodeID, added, removed []dfs.BlockID) {
+	for _, b := range added {
+		if meta := blocks[b]; meta != nil {
+			meta.nodes.add(node)
+		}
+	}
+	for _, b := range removed {
+		if meta := blocks[b]; meta != nil {
+			meta.nodes.remove(node)
+			pins.remove(b, node)
 		}
 	}
 }
@@ -328,20 +393,27 @@ func reconcileBlocks(blocks map[dfs.BlockID]*blockMeta, addr string, held []dfs.
 // for each block with fewer live replicas than its file requested, a
 // live non-holder is chosen to pull a copy from a surviving holder, and
 // the block is marked healing. Called with the table's lock held; takes
-// the rng lock per chosen block.
-func scanShardForRepair(blocks map[dfs.BlockID]*blockMeta, live map[string]bool, rngMu *sync.Mutex, rng *rand.Rand) []repairJob {
+// the rng lock per chosen block. Holder and candidate lists are built
+// and sorted as address strings, exactly as the historical map-of-maps
+// scan did, so the seeded draws are unchanged.
+func scanShardForRepair(blocks map[dfs.BlockID]*blockMeta, table *nodeTable, live map[string]bool, rngMu *sync.Mutex, rng *rand.Rand) []repairJob {
 	var jobs []repairJob
+	addrs := table.addrsView()
 	for id, meta := range blocks {
 		if meta.healing {
 			continue
 		}
 		var holders []string
-		for addr := range meta.nodes {
-			if live[addr] {
-				holders = append(holders, addr)
+		holdsLive := func(addr string) bool {
+			nid, ok := table.lookup(addr)
+			return ok && meta.nodes.contains(nid)
+		}
+		for _, nid := range meta.nodes.view() {
+			if live[addrs[nid]] {
+				holders = append(holders, addrs[nid])
 			}
 		}
-		if len(holders) == 0 || len(holders) >= meta.want {
+		if len(holders) == 0 || len(holders) >= int(meta.want) {
 			continue
 		}
 		sort.Strings(holders)
@@ -350,7 +422,7 @@ func scanShardForRepair(blocks map[dfs.BlockID]*blockMeta, live map[string]bool,
 			if !ok {
 				continue
 			}
-			if _, holds := meta.nodes[addr]; !holds {
+			if !holdsLive(addr) {
 				candidates = append(candidates, addr)
 			}
 		}
@@ -374,13 +446,13 @@ func scanShardForRepair(blocks map[dfs.BlockID]*blockMeta, live map[string]bool,
 
 // repairDone clears a block's healing mark and records the new holder on
 // success. Called with the table's lock held.
-func repairDone(blocks map[dfs.BlockID]*blockMeta, block dfs.BlockID, target string, ok bool) {
+func repairDone(blocks map[dfs.BlockID]*blockMeta, block dfs.BlockID, target nodeID, ok bool) {
 	meta := blocks[block]
 	if meta == nil {
 		return
 	}
 	meta.healing = false
 	if ok {
-		meta.nodes[target] = struct{}{}
+		meta.nodes.add(target)
 	}
 }

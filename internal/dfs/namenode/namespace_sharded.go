@@ -34,6 +34,9 @@ type shardedNamespace struct {
 	place  placeFunc
 	ring   *shardmap.Ring
 	shards int
+	// table interns datanode addresses for the compact block map; it is
+	// shared by every shard (addresses are cluster-global).
+	table *nodeTable
 
 	fileShards  []*fileShard
 	blockShards []*blockShard
@@ -58,6 +61,7 @@ type fileShard struct {
 type blockShard struct {
 	mu     sync.RWMutex
 	blocks map[dfs.BlockID]*blockMeta
+	pins   pinMap
 }
 
 func newShardedNamespace(shards int, seed int64, place placeFunc) *shardedNamespace {
@@ -68,6 +72,7 @@ func newShardedNamespace(shards int, seed int64, place placeFunc) *shardedNamesp
 		place:  place,
 		ring:   shardmap.NewRing(shards),
 		shards: shards,
+		table:  newNodeTable(),
 	}
 	for i := 0; i < shards; i++ {
 		ns.fileShards = append(ns.fileShards, &fileShard{
@@ -76,6 +81,7 @@ func newShardedNamespace(shards int, seed int64, place placeFunc) *shardedNamesp
 		})
 		ns.blockShards = append(ns.blockShards, &blockShard{
 			blocks: make(map[dfs.BlockID]*blockMeta),
+			pins:   make(pinMap),
 		})
 	}
 	return ns
@@ -137,10 +143,7 @@ func (ns *shardedNamespace) allocateBlock(fs *fileShard, f *fileEntry, size int6
 		return dfs.LocatedBlock{}, fmt.Errorf("namenode: no live datanodes")
 	}
 	b := dfs.Block{ID: dfs.BlockID(ns.nextBlock.Add(1)), Size: size}
-	meta := &blockMeta{size: size, want: f.info.Replication, nodes: make(map[string]struct{}), pinned: make(map[string]struct{})}
-	for _, t := range targets {
-		meta.nodes[t] = struct{}{}
-	}
+	meta := newBlockMeta(ns.table, size, f.info.Replication, targets)
 	bs := ns.blockShardOf(b.ID)
 	bs.mu.Lock()
 	bs.blocks[b.ID] = meta
@@ -176,17 +179,15 @@ func (ns *shardedNamespace) Retarget(path string, block dfs.BlockID, exclude []s
 	if meta == nil {
 		return dfs.LocatedBlock{}, fmt.Errorf("namenode: block %d has no metadata", block)
 	}
-	targets := fs.chooseTargets(ns.place, meta.want, exclude)
+	targets := fs.chooseTargets(ns.place, int(meta.want), exclude)
 	if len(targets) == 0 {
 		return dfs.LocatedBlock{}, fmt.Errorf("namenode: no live datanodes")
 	}
+	ids := internAll(ns.table, targets)
 	// Re-lock to swap the node set: meta contents are guarded by the
 	// owning block shard's lock.
 	bs.mu.Lock()
-	meta.nodes = make(map[string]struct{}, len(targets))
-	for _, t := range targets {
-		meta.nodes[t] = struct{}{}
-	}
+	meta.nodes.reset(ids)
 	bs.mu.Unlock()
 	return dfs.LocatedBlock{Block: blk, Offset: offset, Nodes: targets}, nil
 }
@@ -234,6 +235,7 @@ func (ns *shardedNamespace) Delete(path string) (map[string][]dfs.BlockID, error
 		parts[s] = append(parts[s], b.ID)
 	}
 	toDelete := make(map[string][]dfs.BlockID)
+	addrs := ns.table.addrsView()
 	for s, ids := range parts {
 		if len(ids) == 0 {
 			continue
@@ -242,11 +244,12 @@ func (ns *shardedNamespace) Delete(path string) (map[string][]dfs.BlockID, error
 		bs.mu.Lock()
 		for _, id := range ids {
 			if meta := bs.blocks[id]; meta != nil {
-				for addr := range meta.nodes {
-					toDelete[addr] = append(toDelete[addr], id)
+				for _, nid := range meta.nodes.view() {
+					toDelete[addrs[nid]] = append(toDelete[addrs[nid]], id)
 				}
 			}
 			delete(bs.blocks, id)
+			delete(bs.pins, id)
 		}
 		bs.mu.Unlock()
 	}
@@ -288,6 +291,7 @@ func (ns *shardedNamespace) Resolve(path string) ([]resolvedBlock, error) {
 		s := ns.ring.BlockShard(uint64(b.ID))
 		parts[s] = append(parts[s], i)
 	}
+	addrs := ns.table.addrsView()
 	for s, idxs := range parts {
 		if len(idxs) == 0 {
 			continue
@@ -296,8 +300,8 @@ func (ns *shardedNamespace) Resolve(path string) ([]resolvedBlock, error) {
 		bs.mu.RLock()
 		for _, i := range idxs {
 			if meta := bs.blocks[out[i].block.ID]; meta != nil {
-				out[i].nodes = addrSlice(meta.nodes)
-				out[i].pinned = addrSlice(meta.pinned)
+				out[i].nodes = addrSlice(addrs, &meta.nodes)
+				out[i].pinned = idAddrs(addrs, bs.pins.view(out[i].block.ID))
 			}
 		}
 		bs.mu.RUnlock()
@@ -306,14 +310,39 @@ func (ns *shardedNamespace) Resolve(path string) ([]resolvedBlock, error) {
 }
 
 func (ns *shardedNamespace) Reconcile(addr string, held []dfs.BlockID) {
+	id := ns.table.intern(addr)
 	for _, bs := range ns.blockShards {
 		bs.mu.Lock()
-		reconcileBlocks(bs.blocks, addr, held)
+		reconcileBlocks(bs.blocks, bs.pins, id, held)
+		bs.mu.Unlock()
+	}
+}
+
+func (ns *shardedNamespace) ApplyReplicaDeltas(addr string, added, removed []dfs.BlockID) {
+	id := ns.table.intern(addr)
+	type delta struct{ added, removed []dfs.BlockID }
+	parts := make([]delta, len(ns.blockShards))
+	for _, b := range added {
+		s := ns.ring.BlockShard(uint64(b))
+		parts[s].added = append(parts[s].added, b)
+	}
+	for _, b := range removed {
+		s := ns.ring.BlockShard(uint64(b))
+		parts[s].removed = append(parts[s].removed, b)
+	}
+	for s, d := range parts {
+		if len(d.added) == 0 && len(d.removed) == 0 {
+			continue
+		}
+		bs := ns.blockShards[s]
+		bs.mu.Lock()
+		applyReplicaDeltas(bs.blocks, bs.pins, id, d.added, d.removed)
 		bs.mu.Unlock()
 	}
 }
 
 func (ns *shardedNamespace) PinDeltas(addr string, pinned, unpinned []dfs.BlockID) {
+	nid := ns.table.intern(addr)
 	type delta struct{ pinned, unpinned []dfs.BlockID }
 	parts := make([]delta, len(ns.blockShards))
 	for _, id := range pinned {
@@ -331,27 +360,25 @@ func (ns *shardedNamespace) PinDeltas(addr string, pinned, unpinned []dfs.BlockI
 		bs := ns.blockShards[s]
 		bs.mu.Lock()
 		for _, id := range d.pinned {
-			if meta := bs.blocks[id]; meta != nil {
-				meta.pinned[addr] = struct{}{}
+			if _, ok := bs.blocks[id]; ok {
+				bs.pins.add(id, nid)
 			}
 		}
 		for _, id := range d.unpinned {
-			if meta := bs.blocks[id]; meta != nil {
-				delete(meta.pinned, addr)
-			}
+			bs.pins.remove(id, nid)
 		}
 		bs.mu.Unlock()
 	}
 }
 
 func (ns *shardedNamespace) DropPinned(addrs []string) {
+	ids := lookupAll(ns.table, addrs)
+	if len(ids) == 0 {
+		return
+	}
 	for _, bs := range ns.blockShards {
 		bs.mu.Lock()
-		for _, meta := range bs.blocks {
-			for _, addr := range addrs {
-				delete(meta.pinned, addr)
-			}
-		}
+		bs.pins.dropNodes(ids)
 		bs.mu.Unlock()
 	}
 }
@@ -364,15 +391,16 @@ func (ns *shardedNamespace) RepairScan(live map[string]bool) []repairJob {
 		// stream exactly as memNamespace interleaves them.
 		fs := ns.fileShards[i]
 		bs.mu.Lock()
-		jobs = append(jobs, scanShardForRepair(bs.blocks, live, &fs.rngMu, fs.rng)...)
+		jobs = append(jobs, scanShardForRepair(bs.blocks, ns.table, live, &fs.rngMu, fs.rng)...)
 		bs.mu.Unlock()
 	}
 	return jobs
 }
 
 func (ns *shardedNamespace) RepairDone(block dfs.BlockID, target string, ok bool) {
+	id := ns.table.intern(target)
 	bs := ns.blockShardOf(block)
 	bs.mu.Lock()
 	defer bs.mu.Unlock()
-	repairDone(bs.blocks, block, target, ok)
+	repairDone(bs.blocks, block, id, ok)
 }

@@ -185,8 +185,16 @@ func TestRepeatedScanCacheSpeedup(t *testing.T) {
 
 	uncached := elapsed(0)
 	cached := elapsed(RepeatedScanCacheBytes)
-	if float64(cached)*2 > float64(uncached) {
-		t.Errorf("cached repeated scan %v is not ≥2x faster than uncached %v", cached, uncached)
+	// Under -race the cache-hit path (pure instrumented memory reads)
+	// is taxed far harder than the uncached side's modeled device
+	// charge, so only the direction is asserted there; the 2x bar is
+	// enforced on the normal build.
+	bar := 2.0
+	if raceEnabled {
+		bar = 1.2
+	}
+	if float64(cached)*bar > float64(uncached) {
+		t.Errorf("cached repeated scan %v is not ≥%.1fx faster than uncached %v", cached, bar, uncached)
 	}
 	t.Logf("uncached %v, cached %v, speedup %.1fx", uncached, cached, float64(uncached)/float64(cached))
 }

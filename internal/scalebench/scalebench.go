@@ -1,0 +1,722 @@
+// Package scalebench hosts the control-plane-at-scale load harness: a
+// synthetic registry of up to 1000 datanodes and a million blocks
+// driving the namenode's report intake — full block reports, the
+// incremental (delta) reports that replace them in steady state, and a
+// cold reconnect storm — while an open-loop Zipf client fleet measures
+// namespace-op latency through the same RPC surface. The records land
+// in BENCH_scale.json via cmd/ignem-bench -scalebench (or `make
+// bench-scale`).
+//
+// Unlike the figure experiments, every phase here runs on the REAL
+// clock, on both transports. The phenomenon under measurement is
+// handler CPU and lock-hold time — a full-inventory reconcile walks the
+// whole block table — and on the virtual clock that work takes zero
+// simulated time, which would make a reconnect storm look free. The
+// in-memory transport carries the full 1000-node/1M-block geometry (its
+// modeled links are cheap enough to host a thousand reporters); TCP
+// runs a reduced geometry and pins the absolute cost of the real socket
+// stack. Report wire bytes are accounted analytically from the
+// namenode's intake counters (dfs report frames are 64 bytes plus 8 per
+// block entry), normalized to a one-second freshness interval, so the
+// full-vs-incremental byte ratio is exact rather than
+// transport-dependent.
+package scalebench
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/dfs"
+	"repro/internal/dfs/namenode"
+	"repro/internal/shardmap"
+	"repro/internal/simclock"
+	"repro/internal/transport"
+)
+
+// Transport selects the wire under load.
+type Transport string
+
+const (
+	Inmem Transport = "inmem"
+	TCP   Transport = "tcp"
+)
+
+const (
+	benchSeed   = 11
+	replication = 1 // one replica per block: the registry's block count IS the namespace's
+)
+
+// Config sizes a scalebench run. The zero value is not runnable; use
+// Default or Smoke.
+type Config struct {
+	// Nodes is the synthetic datanode count (the inmem geometry; TCP
+	// runs Nodes/8, floor 16).
+	Nodes int
+	// BlocksPerNode sizes each reporter's inventory; Nodes ×
+	// BlocksPerNode is the total block count.
+	BlocksPerNode int
+	// FileBlocks is the namespace shape: blocks per file.
+	FileBlocks int
+	// Churn is how many block adds plus removes each incremental report
+	// carries — the steady-state delta per node per interval.
+	Churn int
+	// IncRounds is how many incremental rounds are averaged.
+	IncRounds int
+	// ArrivalInterval is the open-loop client fleet's request spacing.
+	ArrivalInterval time.Duration
+	// MetaShards is the namespace shard count under load.
+	MetaShards int
+	Transports []Transport
+}
+
+// Default is the full harness behind `make bench-scale`: a thousand
+// datanodes, a million blocks.
+func Default() Config {
+	return Config{
+		Nodes:           1000,
+		BlocksPerNode:   1000,
+		FileBlocks:      250,
+		Churn:           8,
+		IncRounds:       4,
+		ArrivalInterval: 2 * time.Millisecond,
+		MetaShards:      4,
+		Transports:      []Transport{Inmem, TCP},
+	}
+}
+
+// Smoke is the CI shape check: every phase exercised, seconds of wall
+// time. 128 blocks per node against churn 1 keeps the
+// full-vs-incremental byte ratio above the 10x acceptance floor even at
+// this tiny geometry (a report frame is 64 bytes plus 8 per entry, and
+// one churned block costs two entries: a remove and an add).
+func Smoke() Config {
+	return Config{
+		Nodes:           48,
+		BlocksPerNode:   128,
+		FileBlocks:      32,
+		Churn:           1,
+		IncRounds:       2,
+		ArrivalInterval: time.Millisecond,
+		MetaShards:      4,
+		Transports:      []Transport{Inmem, TCP},
+	}
+}
+
+// scaledForTCP shrinks the geometry for the real socket stack: the
+// report phases are CPU-bound in the namenode either way, and a
+// thousand loopback connections measure the kernel more than the
+// control plane.
+func (c Config) scaledForTCP() Config {
+	c.Nodes = max(16, c.Nodes/8)
+	c.BlocksPerNode = max(32, c.BlocksPerNode/2)
+	return c
+}
+
+// Result is one record of BENCH_scale.json. RPCsPerSec counts report
+// intake; BytesPerSec is the analytic steady-state report byte rate at
+// a one-second freshness interval. For the storm rows, P50/P99 are the
+// client fleet's nn.getLocations latencies while the storm runs, and
+// BusyRejects counts intake-gate pushbacks.
+type Result struct {
+	Name        string  `json:"name"`
+	Transport   string  `json:"transport"`
+	Nodes       int     `json:"nodes"`
+	Blocks      int     `json:"blocks"`
+	Ops         int     `json:"ops,omitempty"`
+	WallNs      int64   `json:"wall_ns,omitempty"`
+	RPCsPerSec  float64 `json:"rpcs_per_sec,omitempty"`
+	BytesPerSec float64 `json:"bytes_per_sec,omitempty"`
+	BytesRatio  float64 `json:"bytes_ratio,omitempty"`
+	P50Ns       int64   `json:"p50_ns,omitempty"`
+	P99Ns       int64   `json:"p99_ns,omitempty"`
+	FleetOps    int     `json:"fleet_ops,omitempty"`
+	BusyRejects int64   `json:"busy_rejects,omitempty"`
+	Gated       bool    `json:"gated,omitempty"`
+}
+
+// bench is one synthetic cluster: a namenode and Nodes reporter
+// connections, each standing in for a datanode's control-plane side
+// (register, heartbeat, block report) without the storage machinery.
+type bench struct {
+	cfg        Config
+	clock      simclock.Clock
+	nnAddr     string
+	shardAddrs []string
+	nn         *namenode.NameNode
+
+	reporters []*reporter
+	conns     map[string]*transport.Client // client-fleet conns, one per endpoint
+	files     []string
+}
+
+// reporter is one synthetic datanode's control-plane state.
+type reporter struct {
+	addr   string
+	conn   *transport.Client
+	blocks []dfs.BlockID
+	seq    uint64
+	epoch  uint64
+	rng    *rand.Rand
+}
+
+func (r *reporter) nextSeq() uint64 { r.seq++; return r.seq }
+
+func startBench(cfg Config, clock simclock.Clock, net transport.Network, gated bool, addr func(i int) (string, error)) (*bench, error) {
+	b := &bench{cfg: cfg, clock: clock}
+	var err error
+	if b.nnAddr, err = addr(-1); err != nil {
+		return nil, err
+	}
+	for i := 0; i < cfg.MetaShards; i++ {
+		a, err := addr(i)
+		if err != nil {
+			return nil, err
+		}
+		b.shardAddrs = append(b.shardAddrs, a)
+	}
+	intake := 0 // default: bounded at 2 x shards
+	if !gated {
+		intake = -1 // unbounded: the storm hits the namespace directly
+	}
+	b.nn = namenode.New(clock, net, namenode.Config{
+		Addr:       b.nnAddr,
+		Seed:       benchSeed,
+		MetaShards: cfg.MetaShards,
+		ShardAddrs: b.shardAddrs,
+		// The reporters heartbeat only when driven (populating a million
+		// blocks takes real minutes of placement work), so liveness
+		// expiry and repair sweeps stay out of the measurement entirely.
+		HeartbeatExpiry:          1000 * time.Hour,
+		ReplicationSweepInterval: -1,
+		ReportIntake:             intake,
+	})
+	if err := b.nn.Start(); err != nil {
+		return nil, err
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		a, err := addr(cfg.MetaShards + i)
+		if err != nil {
+			b.close()
+			return nil, err
+		}
+		// A reporter's full-inventory report behind an ungated reconnect
+		// storm can legitimately wait out the whole serialized backlog —
+		// that queueing IS the measurement — so reports must not give up
+		// on the default 30s deadline.
+		c, err := transport.Dial(clock, net, b.nnAddr, transport.WithCallTimeout(time.Hour))
+		if err != nil {
+			b.close()
+			return nil, err
+		}
+		b.reporters = append(b.reporters, &reporter{
+			addr: a, conn: c,
+			rng: rand.New(rand.NewSource(benchSeed + int64(i)*7919)),
+		})
+	}
+	b.conns = make(map[string]*transport.Client)
+	for _, a := range append([]string{b.nnAddr}, b.shardAddrs...) {
+		// The fleet, too: a namespace op starved through a storm must be
+		// *measured* at its true latency, not censored by a timeout.
+		c, err := transport.Dial(clock, net, a, transport.WithCallTimeout(time.Hour))
+		if err != nil {
+			b.close()
+			return nil, err
+		}
+		b.conns[a] = c
+	}
+	return b, nil
+}
+
+func (b *bench) close() {
+	for _, r := range b.reporters {
+		if r.conn != nil {
+			r.conn.Close()
+		}
+	}
+	for _, c := range b.conns {
+		c.Close()
+	}
+	if b.nn != nil {
+		b.nn.Close()
+	}
+}
+
+// nsConn returns the client-fleet connection to the endpoint owning
+// path.
+func (b *bench) nsConn(path string) *transport.Client {
+	if b.cfg.MetaShards <= 1 {
+		return b.conns[b.nnAddr]
+	}
+	return b.conns[b.shardAddrs[shardmap.FileShard(path, b.cfg.MetaShards)]]
+}
+
+// populate registers the reporters (empty — the cheap path) and builds
+// the namespace: totalBlocks blocks across files of FileBlocks each,
+// with placement assigning every block to a reporter. Each reporter's
+// inventory is read back from the allocation responses, so reports
+// describe exactly what the namenode assigned.
+func (b *bench) populate() error {
+	for _, r := range b.reporters {
+		if _, err := transport.Call[dfs.RegisterResp](r.conn, "nn.register", dfs.RegisterReq{
+			Addr: r.addr, Seq: r.nextSeq(), Epoch: 1,
+		}); err != nil {
+			return fmt.Errorf("register %s: %w", r.addr, err)
+		}
+		r.epoch = 1
+	}
+	byAddr := make(map[string]*reporter, len(b.reporters))
+	for _, r := range b.reporters {
+		byAddr[r.addr] = r
+	}
+	total := b.cfg.Nodes * b.cfg.BlocksPerNode
+	nfiles := (total + b.cfg.FileBlocks - 1) / b.cfg.FileBlocks
+	for i := 0; i < nfiles; i++ {
+		b.files = append(b.files, fmt.Sprintf("/scale/f%06d", i))
+	}
+	sizes := make([]int64, b.cfg.FileBlocks)
+	for i := range sizes {
+		sizes[i] = 1 << 20
+	}
+	// Allocation is the expensive part of populate — each block's
+	// placement shuffles the whole live list — so fan the files out
+	// across workers. Shard locks bound the effective parallelism; the
+	// workers just keep every shard busy.
+	const workers = 16
+	var (
+		mu   sync.Mutex
+		next int
+		wg   sync.WaitGroup
+	)
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= nfiles {
+					return
+				}
+				path := b.files[i]
+				conn := b.nsConn(path)
+				if _, err := transport.Call[dfs.CreateResp](conn, "nn.create", dfs.CreateReq{
+					Path: path, BlockSize: 1 << 20, Replication: replication,
+				}); err != nil {
+					errs[w] = fmt.Errorf("create %s: %w", path, err)
+					return
+				}
+				batch := sizes
+				if rem := total - i*b.cfg.FileBlocks; rem < len(batch) {
+					batch = sizes[:rem]
+				}
+				resp, err := transport.Call[dfs.AddBlocksResp](conn, "nn.addBlocks", dfs.AddBlocksReq{
+					Path: path, Sizes: batch, ReqID: uint64(i + 1),
+				})
+				if err != nil {
+					errs[w] = fmt.Errorf("addBlocks %s: %w", path, err)
+					return
+				}
+				if _, err := transport.Call[dfs.CompleteResp](conn, "nn.complete", dfs.CompleteReq{Path: path}); err != nil {
+					errs[w] = fmt.Errorf("complete %s: %w", path, err)
+					return
+				}
+				mu.Lock()
+				for _, lb := range resp.Located {
+					for _, addr := range lb.Nodes {
+						if r := byAddr[addr]; r != nil {
+							r.blocks = append(r.blocks, lb.Block.ID)
+						}
+					}
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	// At these geometries uniform placement leaves no node empty; an
+	// empty inventory means reporter identities collided somewhere.
+	for _, r := range b.reporters {
+		if len(r.blocks) == 0 {
+			return fmt.Errorf("populate: reporter %s was assigned no blocks", r.addr)
+		}
+	}
+	return nil
+}
+
+// fullReportRound has every reporter push its complete inventory — the
+// pre-incremental steady state, and the resync path after gaps.
+func (b *bench) fullReportRound() (time.Duration, error) {
+	start := time.Now()
+	errs := make([]error, len(b.reporters))
+	var wg sync.WaitGroup
+	for i, r := range b.reporters {
+		i, r := i, r
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs[i] = r.sendFull(b)
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return 0, err
+		}
+	}
+	return time.Since(start), nil
+}
+
+// sendFull pushes the reporter's inventory, retrying with its seeded
+// jittered backoff while the intake gate pushes back.
+func (r *reporter) sendFull(b *bench) error {
+	req := dfs.BlockReportReq{Addr: r.addr, Blocks: r.blocks, Seq: r.nextSeq(), Epoch: r.epoch + 1}
+	delay := 2 * time.Millisecond
+	for {
+		_, err := transport.Call[dfs.BlockReportResp](r.conn, "nn.blockReport", req)
+		if err == nil {
+			r.epoch = req.Epoch
+			return nil
+		}
+		if !dfs.IsBusy(err) {
+			return err
+		}
+		time.Sleep(time.Duration(float64(delay) * (0.5 + r.rng.Float64())))
+		if delay < 256*time.Millisecond {
+			delay *= 2
+		}
+		req.Seq = r.nextSeq()
+	}
+}
+
+// incrementalRound has every reporter send one delta heartbeat: Churn
+// removes (this round's window of its inventory) and Churn adds (the
+// window the previous round removed — an idempotent re-add on round
+// 0), the shape of steady-state replica churn. At most one window per
+// node is ever absent. The two lists stay disjoint because a real
+// datanode nets out a block appearing in both (the pending-map
+// collapse), and the namenode applies adds before removes.
+func (b *bench) incrementalRound(round int) (time.Duration, error) {
+	start := time.Now()
+	errs := make([]error, len(b.reporters))
+	var wg sync.WaitGroup
+	window := func(blocks []dfs.BlockID, r int) []dfs.BlockID {
+		churn := min(b.cfg.Churn, len(blocks))
+		if churn == 0 {
+			return nil
+		}
+		windows := max(1, len(blocks)/churn)
+		at := (((r % windows) + windows) % windows) * churn
+		return blocks[at:min(at+churn, len(blocks))]
+	}
+	for i, r := range b.reporters {
+		i, r := i, r
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := transport.Call[dfs.HeartbeatResp](r.conn, "nn.heartbeat", dfs.HeartbeatReq{
+				Addr: r.addr, Seq: r.nextSeq(), Epoch: r.epoch,
+				Added:   window(r.blocks, round-1),
+				Removed: window(r.blocks, round),
+			})
+			errs[i] = err
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return 0, err
+		}
+	}
+	return time.Since(start), nil
+}
+
+// storm reconnects every reporter at once — the cold-restart reconnect
+// storm, each register carrying a full inventory reconcile — while an
+// open-loop client fleet issues Zipf-distributed nn.getLocations calls
+// against the namespace endpoints and records their latency.
+func (b *bench) storm() (stormWall time.Duration, lat []time.Duration, fleetOps int, err error) {
+	done := make(chan struct{})
+	errs := make([]error, len(b.reporters))
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i, r := range b.reporters {
+		i, r := i, r
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			req := dfs.RegisterReq{Addr: r.addr, Blocks: r.blocks, Seq: r.nextSeq(), Epoch: r.epoch + 1}
+			delay := 2 * time.Millisecond
+			for {
+				_, cerr := transport.Call[dfs.RegisterResp](r.conn, "nn.register", req)
+				if cerr == nil {
+					r.epoch = req.Epoch
+					return
+				}
+				if !dfs.IsBusy(cerr) {
+					errs[i] = cerr
+					return
+				}
+				time.Sleep(time.Duration(float64(delay) * (0.5 + r.rng.Float64())))
+				if delay < 256*time.Millisecond {
+					delay *= 2
+				}
+				req.Seq = r.nextSeq()
+			}
+		}()
+	}
+	go func() { wg.Wait(); close(done) }()
+
+	// The open-loop fleet: arrivals on a fixed clock, each its own
+	// goroutine, so namenode slowdown queues requests instead of
+	// thinning the arrival rate (the closed-loop trap).
+	zipfRng := rand.New(rand.NewSource(benchSeed))
+	zipf := rand.NewZipf(zipfRng, 1.2, 1, uint64(len(b.files)-1))
+	var latMu sync.Mutex
+	var fleetWG sync.WaitGroup
+	ticker := time.NewTicker(b.cfg.ArrivalInterval)
+	defer ticker.Stop()
+	// Sample at least this many arrivals even if the storm drains first,
+	// so small geometries still yield a percentile; the storm wall is
+	// captured the moment the storm itself completes.
+	const minArrivals = 64
+	for arrivals, stormRunning := 0, true; stormRunning || arrivals < minArrivals; {
+		select {
+		case <-done:
+			stormWall = time.Since(start)
+			stormRunning, done = false, nil
+		case <-ticker.C:
+			arrivals++
+			path := b.files[zipf.Uint64()]
+			fleetWG.Add(1)
+			go func() {
+				defer fleetWG.Done()
+				t0 := time.Now()
+				_, cerr := transport.Call[dfs.GetLocationsResp](b.nsConn(path), "nn.getLocations", dfs.GetLocationsReq{Path: path})
+				d := time.Since(t0)
+				latMu.Lock()
+				if cerr == nil {
+					lat = append(lat, d)
+				}
+				latMu.Unlock()
+			}()
+		}
+	}
+	fleetWG.Wait()
+	for _, e := range errs {
+		if e != nil {
+			return 0, nil, 0, e
+		}
+	}
+	return stormWall, lat, len(lat), nil
+}
+
+func percentile(lat []time.Duration, p float64) time.Duration {
+	if len(lat) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), lat...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(p * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+// reportBytes reads the namenode's analytic report-byte counter.
+func (b *bench) reportBytes() int64 { return b.nn.Stats().ReportBytes }
+
+// runTransport measures one transport: the gated instance carries the
+// report rounds and the gated storm; a second, ungated instance
+// re-runs the storm with the intake bound disabled for contrast.
+func runTransport(cfg Config, kind Transport, newNet func() (transport.Network, func(i int) (string, error), error)) ([]Result, error) {
+	totalBlocks := cfg.Nodes * cfg.BlocksPerNode
+	base := Result{Transport: string(kind), Nodes: cfg.Nodes, Blocks: totalBlocks}
+	var out []Result
+
+	net, addr, err := newNet()
+	if err != nil {
+		return nil, err
+	}
+	b, err := startBench(cfg, simclock.NewReal(), net, true, addr)
+	if err != nil {
+		return nil, err
+	}
+	if err := b.populate(); err != nil {
+		b.close()
+		return nil, err
+	}
+
+	// Full-report round: bytes normalized to one report per node per
+	// one-second freshness interval.
+	before := b.reportBytes()
+	wall, err := b.fullReportRound()
+	if err != nil {
+		b.close()
+		return nil, err
+	}
+	fullBytes := b.reportBytes() - before
+	full := base
+	full.Name = fmt.Sprintf("BenchmarkScaleFullReport/%s", kind)
+	full.Ops = cfg.Nodes
+	full.WallNs = wall.Nanoseconds()
+	full.RPCsPerSec = float64(cfg.Nodes) / wall.Seconds()
+	full.BytesPerSec = float64(fullBytes)
+	out = append(out, full)
+
+	// Incremental rounds: the steady state the deltas buy.
+	before = b.reportBytes()
+	var incWall time.Duration
+	for round := 0; round < cfg.IncRounds; round++ {
+		w, err := b.incrementalRound(round)
+		if err != nil {
+			b.close()
+			return nil, err
+		}
+		incWall += w
+	}
+	incBytes := (b.reportBytes() - before) / int64(cfg.IncRounds)
+	inc := base
+	inc.Name = fmt.Sprintf("BenchmarkScaleIncremental/%s", kind)
+	inc.Ops = cfg.Nodes * cfg.IncRounds
+	inc.WallNs = incWall.Nanoseconds()
+	inc.RPCsPerSec = float64(inc.Ops) / incWall.Seconds()
+	inc.BytesPerSec = float64(incBytes)
+	if incBytes > 0 {
+		inc.BytesRatio = float64(fullBytes) / float64(incBytes)
+	}
+	out = append(out, inc)
+
+	// Gated storm.
+	rejectsBefore := b.nn.Stats().BusyRejects
+	wall, lat, fleetOps, err := b.storm()
+	if err != nil {
+		b.close()
+		return nil, err
+	}
+	gated := base
+	gated.Name = fmt.Sprintf("BenchmarkScaleStorm/%s/gated", kind)
+	gated.Gated = true
+	gated.Ops = cfg.Nodes
+	gated.WallNs = wall.Nanoseconds()
+	gated.RPCsPerSec = float64(cfg.Nodes) / wall.Seconds()
+	gated.P50Ns = percentile(lat, 0.50).Nanoseconds()
+	gated.P99Ns = percentile(lat, 0.99).Nanoseconds()
+	gated.FleetOps = fleetOps
+	gated.BusyRejects = b.nn.Stats().BusyRejects - rejectsBefore
+	out = append(out, gated)
+	b.close()
+
+	// Ungated storm on a fresh instance: same registry, no intake bound.
+	net, addr, err = newNet()
+	if err != nil {
+		return nil, err
+	}
+	b, err = startBench(cfg, simclock.NewReal(), net, false, addr)
+	if err != nil {
+		return nil, err
+	}
+	defer b.close()
+	if err := b.populate(); err != nil {
+		return nil, err
+	}
+	wall, lat, fleetOps, err = b.storm()
+	if err != nil {
+		return nil, err
+	}
+	ungated := base
+	ungated.Name = fmt.Sprintf("BenchmarkScaleStorm/%s/ungated", kind)
+	ungated.Ops = cfg.Nodes
+	ungated.WallNs = wall.Nanoseconds()
+	ungated.RPCsPerSec = float64(cfg.Nodes) / wall.Seconds()
+	ungated.P50Ns = percentile(lat, 0.50).Nanoseconds()
+	ungated.P99Ns = percentile(lat, 0.99).Nanoseconds()
+	ungated.FleetOps = fleetOps
+	out = append(out, ungated)
+	return out, nil
+}
+
+func runInmem(cfg Config) ([]Result, error) {
+	return runTransport(cfg, Inmem, func() (transport.Network, func(i int) (string, error), error) {
+		net := transport.NewInmemNetwork(simclock.NewReal())
+		addr := func(i int) (string, error) {
+			if i < 0 {
+				return "nn", nil
+			}
+			if i < cfg.MetaShards {
+				return fmt.Sprintf("nn-s%d", i), nil
+			}
+			return fmt.Sprintf("dn%04d", i-cfg.MetaShards), nil
+		}
+		return net, addr, nil
+	})
+}
+
+func runTCP(cfg Config) ([]Result, error) {
+	cfg = cfg.scaledForTCP()
+	dfs.RegisterWire()
+	return runTransport(cfg, TCP, func() (transport.Network, func(i int) (string, error), error) {
+		net := transport.NewTCPNetwork(transport.WithTCPFastPath(true))
+		addr := func(i int) (string, error) {
+			// Only the namenode and shard endpoints need real listening
+			// sockets. Reporters are never dialed — their address is just
+			// a registry identity — and reserving real ports for hundreds
+			// of them risks the listen-then-close port being reissued,
+			// which would silently collapse two reporters into one.
+			if i >= cfg.MetaShards {
+				return fmt.Sprintf("10.77.%d.%d:9866", (i-cfg.MetaShards)/256, (i-cfg.MetaShards)%256), nil
+			}
+			l, err := net.Listen("127.0.0.1:0")
+			if err != nil {
+				return "", err
+			}
+			defer l.Close()
+			return l.Addr(), nil
+		}
+		return net, addr, nil
+	})
+}
+
+// Run executes the configured suite.
+func Run(cfg Config) ([]Result, error) {
+	var out []Result
+	for _, kind := range cfg.Transports {
+		var (
+			results []Result
+			err     error
+		)
+		switch kind {
+		case Inmem:
+			results, err = runInmem(cfg)
+		case TCP:
+			results, err = runTCP(cfg)
+		default:
+			err = fmt.Errorf("unknown transport %q", kind)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("scalebench: %s: %w", kind, err)
+		}
+		out = append(out, results...)
+	}
+	return out, nil
+}
+
+// WriteJSON writes the records to path, one indented JSON array.
+func WriteJSON(path string, results []Result) error {
+	data, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
