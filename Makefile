@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all ci test race vet build fmt-check tidy-check determinism chaos \
+.PHONY: all ci test race vet build fmt-check tidy-check determinism chaos chaos-wal \
 	bench-smoke bench bench-read bench-write bench-meta bench-meta-smoke \
 	bench-scale bench-scale-smoke bench-alloc profile fuzz-smoke \
 	experiments examples tidy
@@ -64,6 +64,16 @@ chaos:
 	$(GO) test -count=2 ./internal/faultnet ./internal/chaos
 	$(GO) test -race -count=1 ./internal/faultnet ./internal/chaos
 
+# The durability suite on its own (it also runs as part of `make
+# chaos`): the WAL crash-at-every-record sweep, checksum corruption
+# recovery with and without readers, and retry-pump convergence
+# through a one-way partition — plain and race-checked.
+chaos-wal:
+	$(GO) test -count=1 ./internal/wal
+	$(GO) test -run 'TestWAL' -count=1 ./internal/chaos
+	$(GO) test -race -count=1 ./internal/wal
+	$(GO) test -race -run 'TestWAL' -count=1 ./internal/chaos
+
 # Smoke-runs both benchmark suites and checks the JSON shape only — no
 # throughput-ratio assertions, so it is safe on loaded shared runners.
 bench-smoke:
@@ -75,13 +85,15 @@ bench-smoke:
 
 # Allocation and codec regression gate: pins the cached-read allocs/op
 # ceiling, the fast-path-vs-gob speedup floors (read and pipelined
-# write), the ≥50% allocs/op drop on the uncached TCP block read, and
-# the ≥4x heap-per-block reduction of the compact block map over the
-# historical two-maps-per-block representation.
+# write), the ≥50% allocs/op drop on the uncached TCP block read, the
+# ≥4x heap-per-block reduction of the compact block map over the
+# historical two-maps-per-block representation, and the ≤1 alloc/op
+# ceiling on WAL appends.
 bench-alloc:
 	$(GO) test ./internal/readbench -run 'TestCachedReadAllocCeiling|TestLargeBlock' -count=1 -v
 	$(GO) test ./internal/writebench -run 'TestLargeWrite' -count=1 -v
 	$(GO) test ./internal/dfs/namenode -run 'TestBlockMapHeapPerBlock' -count=1 -v
+	$(GO) test ./internal/wal -run 'TestWALAppendAllocCeiling' -count=1 -v
 
 # Short deterministic-budget fuzz of every frame-codec fuzzer (the
 # committed corpus always runs in plain `make test`; this explores).

@@ -19,6 +19,7 @@ import (
 	"repro/internal/ignem"
 	"repro/internal/simclock"
 	"repro/internal/transport"
+	"repro/internal/wal"
 )
 
 // ClientAddr is the fabric node chaos clients dial from, so tests can
@@ -42,6 +43,14 @@ type Config struct {
 	// MetaShards partitions the namenode's metadata plane (see
 	// cluster.Config.MetaShards). Zero keeps the unsharded plane.
 	MetaShards int
+	// WALBackend gives the Ignem master a migration write-ahead log
+	// (see cluster.Config.WALBackend). Chaos scenarios pass a
+	// wal.MemBackend so they can crash the master at chosen record
+	// boundaries and recover from the surviving prefix.
+	WALBackend wal.Backend
+	// ScrubInterval enables the datanodes' background checksum scrubber
+	// (see cluster.Config.ScrubInterval).
+	ScrubInterval time.Duration
 }
 
 // Harness is a running cluster whose fabric is under test control.
@@ -59,12 +68,14 @@ func Start(v *simclock.Virtual, cfg Config) (*Harness, error) {
 	}
 	h := &Harness{Clock: v}
 	c, err := cluster.Start(v, cluster.Config{
-		Nodes:        cfg.Nodes,
-		Mode:         cfg.Mode,
-		Seed:         cfg.Seed,
-		Slave:        cfg.Slave,
-		DFSHeartbeat: cfg.DFSHeartbeat,
-		MetaShards:   cfg.MetaShards,
+		Nodes:         cfg.Nodes,
+		Mode:          cfg.Mode,
+		Seed:          cfg.Seed,
+		Slave:         cfg.Slave,
+		DFSHeartbeat:  cfg.DFSHeartbeat,
+		MetaShards:    cfg.MetaShards,
+		WALBackend:    cfg.WALBackend,
+		ScrubInterval: cfg.ScrubInterval,
 		WrapNet: func(node string, base transport.Network) transport.Network {
 			if h.Fabric == nil {
 				h.Fabric = faultnet.New(v, base, cfg.Seed)

@@ -23,6 +23,7 @@ import (
 	"repro/internal/simclock"
 	"repro/internal/storage"
 	"repro/internal/transport"
+	"repro/internal/wal"
 )
 
 // Mode selects the file-system configuration under test (paper §IV-A).
@@ -108,6 +109,16 @@ type Config struct {
 	// touching experiment code. One extra namenode endpoint per shard
 	// ("namenode-s0"…) is listened for shard-aware clients.
 	MetaShards int
+	// WALBackend, when set, gives the namenode's Ignem master a
+	// migration write-ahead log (see namenode.Config.WALBackend):
+	// durable planning, journal-backed batch retries, and
+	// RecoverMaster-style resume. Nil — the default — keeps the
+	// historical unjournaled master, so seeded figures are untouched.
+	WALBackend wal.Backend
+	// ScrubInterval enables the datanodes' background checksum scrubber
+	// at this cadence (see datanode.Config.ScrubInterval). Zero — the
+	// default — disables scrubbing.
+	ScrubInterval time.Duration
 	// WrapNet, when set, wraps each component's view of the fabric —
 	// the chaos suite injects faults here (internal/faultnet). It is
 	// called once per component with its address ("namenode", "dn0"…,
@@ -215,6 +226,7 @@ func Start(clock simclock.Clock, cfg Config) (*Cluster, error) {
 		MetaShards:   cfg.MetaShards,
 		ShardAddrs:   ShardAddrs(cfg.MetaShards),
 		ReportIntake: cfg.ReportIntake,
+		WALBackend:   cfg.WALBackend,
 	})
 	if err := nn.Start(); err != nil {
 		return nil, err
@@ -249,6 +261,7 @@ func Start(clock simclock.Clock, cfg Config) (*Cluster, error) {
 			Slave:              cfg.Slave,
 			Liveness:           sched,
 			ServeAllFromRAM:    cfg.Mode == ModeInputsInRAM,
+			ScrubInterval:      cfg.ScrubInterval,
 		}
 		if cfg.Mode == ModeHotCache {
 			dncfg.HotCacheBytes = cfg.HotCacheBytes

@@ -90,6 +90,17 @@ func WithWriteParallelism(n int) Option {
 	}
 }
 
+// WithChecksums toggles end-to-end block checksums (default on). When
+// enabled, the writer computes a CRC32C per real-data block, records it
+// at the namenode during allocation, and ships it with the block; every
+// read verifies the returned bytes against the located block's
+// checksum, and a mismatch fails over to another replica. Synthetic
+// (size-only) blocks are never checksummed, so experiment-scale
+// workloads are unaffected either way.
+func WithChecksums(on bool) Option {
+	return func(c *Client) { c.checksums = on }
+}
+
 // WithDataNodeTimeout overrides the per-call timeout on datanode
 // connections (default dfs.DefaultDataNodeTimeout). Bulk block
 // transfers ride these connections, so the default is generous; lower
@@ -118,6 +129,11 @@ type Client struct {
 	writePar   int
 	cacheBytes int64
 	cache      *blockcache.Cache
+	checksums  bool
+
+	// checksumFailures counts reads whose bytes failed verification
+	// against the write-time checksum (each triggers replica failover).
+	checksumFailures atomic.Int64
 
 	// allocSeq numbers block-allocation requests so the namenode can
 	// recognise (and not repeat) a retried allocation.
@@ -162,6 +178,7 @@ func New(clock simclock.Clock, net transport.Network, nnAddr string, opts ...Opt
 		readPar:       DefaultReadParallelism,
 		readAhead:     DefaultReadAhead,
 		writePar:      DefaultWriteParallelism,
+		checksums:     true,
 		pendingNotify: make(map[dfs.JobID][]dfs.BlockID),
 	}
 	for _, o := range opts {
@@ -352,6 +369,16 @@ func (c *Client) readBlockFrom(addr string, lb dfs.LocatedBlock, job dfs.JobID) 
 	if err != nil {
 		return dfs.ReadBlockResp{}, fmt.Errorf("dfs client: read block %d from %s: %w", lb.Block.ID, addr, err)
 	}
+	// End-to-end verification: the returned bytes must match the CRC the
+	// writer recorded at allocation time. This catches corruption the
+	// datanode's own check cannot — anything that happened after its
+	// stored checksum was (wrongly) recomputed, or on the wire. A
+	// mismatch counts as a failed replica, so the caller fails over.
+	if c.checksums && lb.Checksum != 0 && len(resp.Data) > 0 && dfs.Checksum(resp.Data) != lb.Checksum {
+		resp.Release()
+		c.checksumFailures.Add(1)
+		return dfs.ReadBlockResp{}, fmt.Errorf("dfs client: read block %d from %s: %w", lb.Block.ID, addr, dfs.ErrChecksum)
+	}
 	if c.observer != nil {
 		c.observer(BlockReadEvent{
 			Block:      lb.Block.ID,
@@ -504,6 +531,10 @@ func (c *Client) readBlocksPath(path string, blocks []dfs.LocatedBlock, job dfs.
 	}
 	return out, nil
 }
+
+// ChecksumFailures reports how many block reads failed end-to-end
+// checksum verification (each triggered a replica failover).
+func (c *Client) ChecksumFailures() int64 { return c.checksumFailures.Load() }
 
 // datanode returns a cached (or fresh) connection to addr.
 func (c *Client) datanode(addr string) (*transport.Client, error) {

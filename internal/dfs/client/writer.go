@@ -107,7 +107,14 @@ func (w *Writer) flushFullBlocks() error {
 		for i := range sizes {
 			sizes[i] = w.blockSize
 		}
-		lbs, err := w.c.addBlocks(w.path, sizes)
+		var sums []uint32
+		if w.c.checksums {
+			sums = make([]uint32, n)
+			for i := range sums {
+				sums[i] = dfs.Checksum(w.buf[int64(i)*w.blockSize : int64(i+1)*w.blockSize])
+			}
+		}
+		lbs, err := w.c.addBlocks(w.path, sizes, sums)
 		if err != nil {
 			return err
 		}
@@ -165,7 +172,7 @@ func (w *Writer) WriteSynthetic(size int64) error {
 			sizes = append(sizes, n)
 			size -= n
 		}
-		lbs, err := w.c.addBlocks(w.path, sizes)
+		lbs, err := w.c.addBlocks(w.path, sizes, nil)
 		if err != nil {
 			return err
 		}
@@ -185,7 +192,7 @@ func (w *Writer) flushBlock(data []byte, synthSize *int64) error {
 	if synthSize != nil {
 		size = *synthSize
 	}
-	lbs, err := w.c.addBlocks(w.path, []int64{size})
+	lbs, err := w.c.addBlocks(w.path, []int64{size}, w.c.blockSums(data))
 	if err != nil {
 		return err
 	}
@@ -253,7 +260,7 @@ func (w *Writer) Close() error {
 			flushErr = w.flushBlock(w.buf, nil)
 		} else if flushErr = w.asyncErr(); flushErr == nil {
 			var lbs []dfs.LocatedBlock
-			lbs, flushErr = w.c.addBlocks(w.path, []int64{int64(len(w.buf))})
+			lbs, flushErr = w.c.addBlocks(w.path, []int64{int64(len(w.buf))}, w.c.blockSums(w.buf))
 			if flushErr == nil {
 				flushErr = w.dispatch(lbs[0], w.buf)
 			}
@@ -347,7 +354,7 @@ func (c *Client) sendBlock(lb dfs.LocatedBlock, data []byte, eager bool) error {
 	if len(lb.Nodes) == 0 {
 		return fmt.Errorf("dfs client: block %d allocated with no targets", lb.Block.ID)
 	}
-	req := dfs.WriteBlockReq{Block: lb.Block, Data: data, Pipeline: lb.Nodes[1:], EagerPipeline: eager}
+	req := dfs.WriteBlockReq{Block: lb.Block, Data: data, Checksum: lb.Checksum, Pipeline: lb.Nodes[1:], EagerPipeline: eager}
 	dc, err := c.datanode(lb.Nodes[0])
 	if err != nil {
 		return err
@@ -358,21 +365,35 @@ func (c *Client) sendBlock(lb dfs.LocatedBlock, data []byte, eager bool) error {
 	return nil
 }
 
+// blockSums wraps one real-data block's CRC32C for an allocation
+// request; nil when checksums are disabled or the block is synthetic.
+func (c *Client) blockSums(data []byte) []uint32 {
+	if !c.checksums || len(data) == 0 {
+		return nil
+	}
+	return []uint32{dfs.Checksum(data)}
+}
+
 // addBlocks allocates len(sizes) blocks for path in one namenode round
-// trip (a plain nn.addBlock when the window holds a single block). The
+// trip (a plain nn.addBlock when the window holds a single block),
+// registering each block's write-time checksum (sums may be nil). The
 // request carries a fresh request ID, so the transport-level retry in
 // callNN cannot double-allocate: a retry of a request whose reply was
 // lost gets the blocks the first attempt allocated.
-func (c *Client) addBlocks(path string, sizes []int64) ([]dfs.LocatedBlock, error) {
+func (c *Client) addBlocks(path string, sizes []int64, sums []uint32) ([]dfs.LocatedBlock, error) {
 	reqID := c.allocSeq.Add(1)
 	if len(sizes) == 1 {
-		resp, err := callNNPath[dfs.AddBlockResp](c, "nn.addBlock", path, dfs.AddBlockReq{Path: path, Size: sizes[0], ReqID: reqID})
+		req := dfs.AddBlockReq{Path: path, Size: sizes[0], ReqID: reqID}
+		if len(sums) > 0 {
+			req.Checksum = sums[0]
+		}
+		resp, err := callNNPath[dfs.AddBlockResp](c, "nn.addBlock", path, req)
 		if err != nil {
 			return nil, fmt.Errorf("dfs client: addBlock: %w", err)
 		}
 		return []dfs.LocatedBlock{resp.Located}, nil
 	}
-	resp, err := callNNPath[dfs.AddBlocksResp](c, "nn.addBlocks", path, dfs.AddBlocksReq{Path: path, Sizes: sizes, ReqID: reqID})
+	resp, err := callNNPath[dfs.AddBlocksResp](c, "nn.addBlocks", path, dfs.AddBlocksReq{Path: path, Sizes: sizes, Checksums: sums, ReqID: reqID})
 	if err != nil {
 		return nil, fmt.Errorf("dfs client: addBlocks: %w", err)
 	}

@@ -60,6 +60,12 @@ type Config struct {
 	// doesn't back off in lockstep. Only drawn when the namenode pushes
 	// back with dfs.ErrBusy.
 	Seed int64
+	// ScrubInterval, when positive, runs a background scrubber: each
+	// interval it re-reads every stored replica payload (charged to the
+	// media device), verifies it against the write-time CRC32C, and
+	// reports corrupt replicas to the namenode for re-replication. Zero
+	// (the default) disables scrubbing.
+	ScrubInterval time.Duration
 }
 
 func (c *Config) setDefaults() {
@@ -77,9 +83,13 @@ func (c *Config) setDefaults() {
 	}
 }
 
-type storedBlock struct {
-	size int64
-	data []byte // nil for synthetic (size-only) blocks
+// ScrubStats counts the background scrubber's work.
+type ScrubStats struct {
+	// Scanned is the number of replica payloads re-read and verified.
+	Scanned int64
+	// Corrupt is the number of replicas whose payload no longer matched
+	// its checksum; each was dropped and reported to the namenode.
+	Corrupt int64
 }
 
 // DataNode is the file-system worker process. Start it with Start, stop
@@ -96,8 +106,13 @@ type DataNode struct {
 
 	hot *hotCache
 
-	mu     sync.Mutex
-	blocks map[dfs.BlockID]*storedBlock
+	// store holds the replica payloads with their write-time checksums;
+	// it has its own lock and never calls back into the datanode, so it
+	// is safe to use both under dn.mu (keeping store and blkPending
+	// updates atomic) and without it.
+	store *storage.ReplicaStore
+
+	mu sync.Mutex
 	// pinPending is the NET pin state change per block since the last
 	// report: true = now pinned, false = now unpinned. A block pinned
 	// then unpinned between reports collapses to a single entry instead
@@ -134,6 +149,7 @@ type DataNode struct {
 	peers      map[string]*transport.Client
 	closed     bool
 	readsByMe  int64
+	scrub      ScrubStats
 }
 
 // New creates a DataNode (not yet serving).
@@ -154,7 +170,7 @@ func New(clock simclock.Clock, net transport.Network, cfg Config) (*DataNode, er
 		cfg:        cfg,
 		media:      media,
 		ram:        ram,
-		blocks:     make(map[dfs.BlockID]*storedBlock),
+		store:      storage.NewReplicaStore(),
 		pinPending: make(map[dfs.BlockID]bool),
 		blkPending: make(map[dfs.BlockID]bool),
 		jitter:     rand.New(rand.NewSource(mixSeed(cfg.Addr, cfg.Seed))),
@@ -200,6 +216,9 @@ func (dn *DataNode) Start() error {
 		return fmt.Errorf("datanode: register: %w", err)
 	}
 	dn.clock.Go(dn.heartbeatLoop)
+	if dn.cfg.ScrubInterval > 0 {
+		dn.clock.Go(dn.scrubLoop)
+	}
 	return nil
 }
 
@@ -324,8 +343,50 @@ func (dn *DataNode) RestartSlaveProcess() { dn.slave.Restart() }
 
 // ReadForMigration performs the timed cold-device read that brings a
 // block into memory; it is the slave's one-at-a-time migration read.
-func (dn *DataNode) ReadForMigration(b dfs.Block) error {
-	return dn.media.Read(b.Size)
+// The stored replica is verified against checksum (falling back to the
+// checksum recorded at write time) during the copy, so a rotten replica
+// is never pinned: on a mismatch the replica is dropped, reported to
+// the namenode, and the migration fails with dfs.ErrChecksum.
+func (dn *DataNode) ReadForMigration(b dfs.Block, checksum uint32) error {
+	if err := dn.media.Read(b.Size); err != nil {
+		return err
+	}
+	rep, ok := dn.store.Get(b.ID)
+	if !ok {
+		return nil // deleted under us; the epoch/tombstone checks handle it
+	}
+	want := checksum
+	if want == 0 {
+		want = rep.Checksum
+	}
+	if want != 0 && len(rep.Data) > 0 && dfs.Checksum(rep.Data) != want {
+		dn.dropCorrupt(b.ID)
+		return fmt.Errorf("datanode: migrate block %d: %w", b.ID, dfs.ErrChecksum)
+	}
+	return nil
+}
+
+// dropCorrupt removes a replica whose payload failed verification and
+// reports it to the namenode (best effort, off the caller's path) so
+// the replication sweep can restore the missing copy from a healthy
+// peer.
+func (dn *DataNode) dropCorrupt(id dfs.BlockID) {
+	dn.mu.Lock()
+	if dn.closed {
+		dn.mu.Unlock()
+		return
+	}
+	dn.store.Delete(id)
+	dn.blkPending[id] = false
+	nn := dn.nnClient
+	dn.mu.Unlock()
+	if nn == nil {
+		return
+	}
+	dn.clock.Go(func() {
+		_, _ = transport.Call[dfs.CorruptReplicaResp](nn, "nn.corruptReplica",
+			dfs.CorruptReplicaReq{Addr: dn.cfg.Addr, Block: id})
+	})
 }
 
 // onPinChange queues pin-state transitions for the next heartbeat.
@@ -347,6 +408,19 @@ func (dn *DataNode) handleWriteBlock(req dfs.WriteBlockReq) (dfs.WriteBlockResp,
 	}
 	if size <= 0 {
 		return dfs.WriteBlockResp{}, fmt.Errorf("datanode: empty block %d", req.Block.ID)
+	}
+	// Verify the payload against the client's checksum before storing or
+	// forwarding: a block mangled in transit fails the write, and the
+	// client retries against fresh targets. When the writer sent no
+	// checksum, record a locally computed one so the read path and the
+	// scrubber can still detect later rot (zero for synthetic blocks).
+	sum := req.Checksum
+	if len(req.Data) > 0 {
+		if got := dfs.Checksum(req.Data); sum == 0 {
+			sum = got
+		} else if got != sum {
+			return dfs.WriteBlockResp{}, fmt.Errorf("datanode: write block %d: %w", req.Block.ID, dfs.ErrChecksum)
+		}
 	}
 	// Forward along the HDFS-style write pipeline and wait for the
 	// downstream ack; a broken chain fails the whole write so the client
@@ -403,7 +477,7 @@ func (dn *DataNode) handleWriteBlock(req dfs.WriteBlockReq) (dfs.WriteBlockResp,
 	// pool — deletion simply lets the GC have them. The eager-pipeline
 	// forward above shares the same buffer read-only; the store never
 	// mutates payloads, so that alias is safe.
-	dn.blocks[req.Block.ID] = &storedBlock{size: size, data: req.Data}
+	dn.store.Put(req.Block.ID, size, req.Data, sum)
 	dn.blkPending[req.Block.ID] = true
 	dn.mu.Unlock()
 
@@ -421,11 +495,17 @@ func (dn *DataNode) handleWriteBlock(req dfs.WriteBlockReq) (dfs.WriteBlockResp,
 }
 
 func (dn *DataNode) handleReadBlock(req dfs.ReadBlockReq) (dfs.ReadBlockResp, error) {
-	dn.mu.Lock()
-	sb := dn.blocks[req.Block]
-	dn.mu.Unlock()
-	if sb == nil {
+	sb, ok := dn.store.Get(req.Block)
+	if !ok {
 		return dfs.ReadBlockResp{}, fmt.Errorf("datanode: no block %d on %s", req.Block, dn.cfg.Addr)
+	}
+	// Never serve bytes that no longer match their write-time checksum:
+	// drop the replica, report it, and fail the read so the client fails
+	// over to a healthy copy. Checked before touching the slave so a
+	// corrupt replica leaves no read-tracking side effects.
+	if sb.Checksum != 0 && len(sb.Data) > 0 && dfs.Checksum(sb.Data) != sb.Checksum {
+		dn.dropCorrupt(req.Block)
+		return dfs.ReadBlockResp{}, fmt.Errorf("datanode: read block %d on %s: %w", req.Block, dn.cfg.Addr, dfs.ErrChecksum)
 	}
 	// The read path carries the job ID (the paper's HDFS extension): the
 	// slave decides memory vs media and performs implicit eviction.
@@ -439,30 +519,27 @@ func (dn *DataNode) handleReadBlock(req dfs.ReadBlockReq) (dfs.ReadBlockResp, er
 	if fromMemory || dn.cfg.ServeAllFromRAM {
 		dev = dn.ram
 	}
-	if err := dev.Read(sb.size); err != nil {
+	if err := dev.Read(sb.Size); err != nil {
 		return dfs.ReadBlockResp{}, fmt.Errorf("datanode: read block %d: %w", req.Block, err)
 	}
 	if !fromMemory && dn.hot != nil {
 		// Retain what was just read; hot caches only ever help the NEXT
 		// access, which is exactly why they cannot speed up cold,
 		// singly-read inputs.
-		dn.hot.insert(req.Block, sb.size)
+		dn.hot.insert(req.Block, sb.Size)
 	}
 	dn.mu.Lock()
 	dn.readsByMe++
 	dn.mu.Unlock()
-	return dfs.ReadBlockResp{Data: sb.data, Size: sb.size, FromMemory: fromMemory, Local: req.Local}, nil
+	return dfs.ReadBlockResp{Data: sb.Data, Size: sb.Size, FromMemory: fromMemory, Local: req.Local}, nil
 }
 
 // handlePullBlock fetches a replica from a peer datanode and stores it
 // locally — the receiving end of namenode-driven re-replication.
 func (dn *DataNode) handlePullBlock(req dfs.PullBlockReq) (dfs.PullBlockResp, error) {
-	dn.mu.Lock()
-	if _, have := dn.blocks[req.Block.ID]; have {
-		dn.mu.Unlock()
+	if _, have := dn.store.Get(req.Block.ID); have {
 		return dfs.PullBlockResp{}, nil // already hold a replica
 	}
-	dn.mu.Unlock()
 
 	peer, err := dn.peer(req.From)
 	if err != nil {
@@ -486,8 +563,12 @@ func (dn *DataNode) handlePullBlock(req dfs.PullBlockReq) (dfs.PullBlockResp, er
 		return dfs.PullBlockResp{}, fmt.Errorf("datanode: closed")
 	}
 	// As in handleWriteBlock, the store takes ownership of the pulled
-	// payload (a pooled buffer when the peer read came over TCP).
-	dn.blocks[req.Block.ID] = &storedBlock{size: size, data: resp.Data}
+	// payload (a pooled buffer when the peer read came over TCP). The
+	// checksum is recomputed locally from the received bytes — the peer's
+	// read path already verified them against the write-time CRC, so a
+	// mismatch here could only be our own, which is what we must detect
+	// later.
+	dn.store.Put(req.Block.ID, size, resp.Data, dfs.Checksum(resp.Data))
 	dn.blkPending[req.Block.ID] = true
 	return dfs.PullBlockResp{}, nil
 }
@@ -529,7 +610,7 @@ func (dn *DataNode) handleDeleteBlocks(req dfs.DeleteBlocksReq) (dfs.DeleteBlock
 	dn.mu.Lock()
 	defer dn.mu.Unlock()
 	for _, id := range req.Blocks {
-		delete(dn.blocks, id)
+		dn.store.Delete(id)
 		dn.blkPending[id] = false
 	}
 	return dfs.DeleteBlocksResp{}, nil
@@ -721,12 +802,7 @@ func (dn *DataNode) nextSeqLocked() uint64 {
 // heldBlocksLocked snapshots the replica inventory, sorted, for
 // registration and full block reports.
 func (dn *DataNode) heldBlocksLocked() []dfs.BlockID {
-	out := make([]dfs.BlockID, 0, len(dn.blocks))
-	for id := range dn.blocks {
-		out = append(out, id)
-	}
-	sortIDs(out)
-	return out
+	return dn.store.IDs()
 }
 
 // register sends a full-inventory registration to the namenode,
@@ -843,7 +919,61 @@ func mixSeed(addr string, seed int64) int64 {
 
 // BlockCount reports how many block replicas this datanode stores.
 func (dn *DataNode) BlockCount() int {
+	return dn.store.Len()
+}
+
+// CorruptReplica flips a byte in one stored replica while keeping its
+// recorded checksum — the fault-injection hook corruption-recovery
+// tests use. Returns false if the block is absent or payload-less.
+func (dn *DataNode) CorruptReplica(id dfs.BlockID) bool {
+	return dn.store.Corrupt(id)
+}
+
+// ScrubberStats snapshots the background scrubber's counters.
+func (dn *DataNode) ScrubberStats() ScrubStats {
 	dn.mu.Lock()
 	defer dn.mu.Unlock()
-	return len(dn.blocks)
+	return dn.scrub
+}
+
+// scrubLoop is the background scrubber: every ScrubInterval it re-reads
+// each stored replica payload against the media device and verifies it
+// against its write-time checksum — the paranoid final scan that
+// catches rot after a block was written, migrated, and forgotten.
+// Corrupt replicas are dropped and reported for re-replication.
+func (dn *DataNode) scrubLoop() {
+	for {
+		dn.clock.Sleep(dn.cfg.ScrubInterval)
+		dn.mu.Lock()
+		closed := dn.closed
+		dn.mu.Unlock()
+		if closed {
+			return
+		}
+		dn.scrubOnce()
+	}
+}
+
+// scrubOnce sweeps the replica inventory once, in sorted-ID order for
+// determinism. Payload-less (synthetic) and unchecksummed replicas have
+// nothing to verify and are skipped without charging the device.
+func (dn *DataNode) scrubOnce() {
+	for _, id := range dn.store.IDs() {
+		rep, ok := dn.store.Get(id)
+		if !ok || len(rep.Data) == 0 || rep.Checksum == 0 {
+			continue
+		}
+		if err := dn.media.Read(rep.Size); err != nil {
+			return // device closed; abandon the sweep
+		}
+		dn.mu.Lock()
+		dn.scrub.Scanned++
+		dn.mu.Unlock()
+		if dfs.Checksum(rep.Data) != rep.Checksum {
+			dn.mu.Lock()
+			dn.scrub.Corrupt++
+			dn.mu.Unlock()
+			dn.dropCorrupt(id)
+		}
+	}
 }

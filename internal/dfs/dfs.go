@@ -15,6 +15,7 @@ package dfs
 
 import (
 	"errors"
+	"hash/crc32"
 	"strings"
 	"time"
 
@@ -23,6 +24,25 @@ import (
 
 // BlockID identifies a block cluster-wide.
 type BlockID uint64
+
+// castagnoli is the CRC32C polynomial table used for end-to-end block
+// checksums (the same polynomial HDFS and iSCSI use).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Checksum computes the CRC32C of a block payload. Zero means "no
+// checksum": synthetic (size-only) blocks carry no bytes to sum, and a
+// real payload whose CRC lands on 0 is nudged to 1 so zero stays
+// unambiguous — a 1-in-4-billion bias no integrity check will notice.
+func Checksum(data []byte) uint32 {
+	if len(data) == 0 {
+		return 0
+	}
+	sum := crc32.Checksum(data, castagnoli)
+	if sum == 0 {
+		return 1
+	}
+	return sum
+}
 
 // JobID identifies a job for migration reference lists, carried on the
 // read path exactly as the paper extends HDFS reads.
@@ -49,6 +69,11 @@ type LocatedBlock struct {
 	// will be, which is how the paper's migrated-block locality
 	// preference works.
 	Assigned string
+	// Checksum is the block's CRC32C, recorded at allocation from the
+	// writing client and carried to readers so every fetched payload is
+	// verifiable end to end. Zero means no checksum (synthetic blocks,
+	// or writers that opted out).
+	Checksum uint32
 }
 
 // FileInfo is file metadata.
@@ -98,6 +123,9 @@ type AddBlockReq struct {
 	// already allocated instead of allocating again, so an RPC retry
 	// after a lost reply cannot double-allocate.
 	ReqID uint64
+	// Checksum is the CRC32C of the block's payload, computed by the
+	// writing client before allocation. Zero means unchecksummed.
+	Checksum uint32
 }
 
 // AddBlockResp returns the allocated block and its target datanodes.
@@ -117,6 +145,9 @@ type AddBlocksReq struct {
 	// Exclude and ReqID behave exactly as on AddBlockReq.
 	Exclude []string
 	ReqID   uint64
+	// Checksums are the per-block CRC32Cs, parallel to Sizes. Nil (or
+	// any zero entry) means the corresponding block is unchecksummed.
+	Checksums []uint32
 }
 
 // AddBlocksResp returns the allocated blocks, in request order.
@@ -309,6 +340,40 @@ func IsBusy(err error) bool {
 	return errors.Is(err, ErrBusy) || strings.Contains(err.Error(), busyMarker)
 }
 
+// checksumMarker is the substring IsChecksum looks for. Like
+// busyMarker, the typed sentinel must survive crossing the transport
+// as a *transport.RemoteError string.
+const checksumMarker = "DFS_CHECKSUM"
+
+// ErrChecksum means a block payload failed CRC32C verification: the
+// stored replica (or the bytes in flight) do not match the checksum
+// recorded at write time. The client read path treats it like a lost
+// replica and fails over to another holder; the serving datanode drops
+// the corrupt replica and reports it for re-replication.
+var ErrChecksum = errors.New("block checksum mismatch (" + checksumMarker + ")")
+
+// IsChecksum reports whether err is a checksum-verification failure,
+// directly or after crossing the transport as a remote error string.
+func IsChecksum(err error) bool {
+	if err == nil {
+		return false
+	}
+	return errors.Is(err, ErrChecksum) || strings.Contains(err.Error(), checksumMarker)
+}
+
+// CorruptReplicaReq reports a checksum-verification failure to the
+// namenode: the datanode at Addr found its replica of Block corrupt
+// (on a read, a migrate copy, or a background scrub) and dropped it.
+// The namenode removes the replica from its location map, so the
+// replication sweep re-replicates from a healthy holder.
+type CorruptReplicaReq struct {
+	Addr  string
+	Block BlockID
+}
+
+// CorruptReplicaResp acknowledges a corruption report.
+type CorruptReplicaResp struct{}
+
 // ShardInfoReq asks the namenode for the metadata plane's shard layout.
 // Shard-aware clients use it to route namespace RPCs to the endpoint
 // serving the shard that owns each path.
@@ -348,6 +413,11 @@ type WriteBlockReq struct {
 	Data          []byte
 	Pipeline      []string
 	EagerPipeline bool
+	// Checksum is the client-computed CRC32C of Data (zero when
+	// unchecksummed). Each datanode on the pipeline verifies the
+	// payload against it before storing, so a corruption anywhere on
+	// the write path fails the write instead of persisting silently.
+	Checksum uint32
 
 	// pooled marks Data as a bufpool buffer owned by the holder; set
 	// only by the TCP fast-path decode (see frame.go). Unexported so
@@ -425,6 +495,11 @@ type MigrateCmd struct {
 	JobInputSize int64
 	SubmitTime   time.Time
 	Implicit     bool
+	// Checksum is the block's CRC32C from the namespace (zero when
+	// unchecksummed); the slave verifies the stored replica against it
+	// during the migrate copy, so a corrupt replica is reported instead
+	// of pinned.
+	Checksum uint32
 }
 
 // MigrateBatch carries a batch of migrate commands (the paper batches
@@ -497,6 +572,7 @@ func RegisterWire() {
 		ReadNotifyBatch{}, ReadNotifyBatchResp{},
 		EpochReq{}, EpochResp{},
 		ShardInfoReq{}, ShardInfoResp{},
+		CorruptReplicaReq{}, CorruptReplicaResp{},
 	} {
 		transport.RegisterType(v)
 	}

@@ -70,6 +70,7 @@ func (r *WriteBlockReq) AppendFrame(buf []byte) []byte {
 		flags |= wbFlagEager
 	}
 	buf = append(buf, flags)
+	buf = binary.AppendUvarint(buf, uint64(r.Checksum))
 	buf = binary.AppendUvarint(buf, uint64(len(r.Pipeline)))
 	for _, p := range r.Pipeline {
 		buf = binary.AppendUvarint(buf, uint64(len(p)))
@@ -96,6 +97,13 @@ func (r *WriteBlockReq) DecodeFrame(payload []byte) error {
 	}
 	flags := rest[0]
 	rest = rest[1:]
+	sum, rest, err := frameUvarint(rest)
+	if err != nil {
+		return err
+	}
+	if sum > 0xFFFFFFFF {
+		return errShortFrame
+	}
 	np, rest, err := frameUvarint(rest)
 	if err != nil {
 		return err
@@ -124,6 +132,7 @@ func (r *WriteBlockReq) DecodeFrame(payload []byte) error {
 	}
 	r.Block = Block{ID: BlockID(id), Size: int64(size)}
 	r.EagerPipeline = flags&wbFlagEager != 0
+	r.Checksum = uint32(sum)
 	r.Pipeline = pipeline
 	r.Data, r.pooled = copyPooled(raw)
 	return nil

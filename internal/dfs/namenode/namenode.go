@@ -14,6 +14,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/simclock"
 	"repro/internal/transport"
+	"repro/internal/wal"
 )
 
 // Config configures a NameNode.
@@ -57,6 +58,20 @@ type Config struct {
 	// match MetaShards — extra addresses are ignored, missing ones fall
 	// back to Addr.
 	ShardAddrs []string
+	// WALBackend, when set, gives the Ignem master a migration
+	// write-ahead log: planning becomes durable-before-send, transport-
+	// failed command batches are retried from the journal instead of
+	// dropped, and RecoverMaster resumes in-flight migrations after a
+	// master restart without bumping the epoch (so slave pins survive).
+	// Takes precedence over WALDir. Nil (with an empty WALDir) disables
+	// journaling — the historical behavior.
+	WALBackend wal.Backend
+	// WALDir, when non-empty and WALBackend is nil, persists the
+	// migration WAL to a file ("ignem-master.wal") under this directory.
+	WALDir string
+	// WALRetryInterval paces the journal's retry pump (re-sending
+	// transport-failed batches). Default 1s.
+	WALRetryInterval time.Duration
 	// ReportIntake bounds how many full-inventory reconciles (register
 	// and block-report handling) may run concurrently; reports beyond
 	// the bound are rejected with dfs.ErrBusy and the datanode retries
@@ -114,6 +129,9 @@ type NameNode struct {
 	shardListeners []transport.Listener
 	master         *ignem.Coordinator
 	ns             Namespace
+	// walLog is the migration WAL handed to the Ignem master, nil when
+	// journaling is off; the namenode owns its lifecycle.
+	walLog *wal.Log
 
 	// stateMu guards closed.
 	stateMu sync.Mutex
@@ -152,6 +170,7 @@ type nnMetrics struct {
 	busyRejects    metrics.Counter // reports rejected with dfs.ErrBusy
 	sweeps         metrics.Counter // expiry sweeps run
 	sweepLastNs    metrics.Gauge   // duration of the latest expiry sweep
+	corruptReports metrics.Counter // corrupt-replica reports from datanodes
 }
 
 // Stats is a point-in-time snapshot of the NameNode's control-plane
@@ -166,6 +185,10 @@ type Stats struct {
 	BusyRejects        int64
 	ExpirySweeps       int64
 	LastSweepNanos     int64
+	// CorruptReports counts corrupt-replica reports received from
+	// datanode read paths and scrubbers; each drops the bad replica from
+	// the location map so the replication sweep restores a healthy copy.
+	CorruptReports int64
 }
 
 // Stats snapshots the control-plane counters.
@@ -180,6 +203,7 @@ func (nn *NameNode) Stats() Stats {
 		BusyRejects:        nn.metrics.busyRejects.Load(),
 		ExpirySweeps:       nn.metrics.sweeps.Load(),
 		LastSweepNanos:     nn.metrics.sweepLastNs.Load(),
+		CorruptReports:     nn.metrics.corruptReports.Load(),
 	}
 }
 
@@ -218,6 +242,35 @@ func New(clock simclock.Clock, net transport.Network, cfg Config) *NameNode {
 	return nn
 }
 
+// attachWAL opens the configured migration WAL (if any) and hands it to
+// the Ignem master. Called from Start so the retry pump's goroutine
+// spawns alongside the other serving loops.
+func (nn *NameNode) attachWAL() error {
+	be := nn.cfg.WALBackend
+	if be == nil {
+		if nn.cfg.WALDir == "" {
+			return nil
+		}
+		fb, err := wal.OpenFile(nn.cfg.WALDir, "ignem-master.wal")
+		if err != nil {
+			return fmt.Errorf("namenode: open migration WAL: %w", err)
+		}
+		be = fb
+	}
+	nn.walLog = wal.New(be)
+	nn.master.AttachJournal(nn.clock, nn.walLog, nn.cfg.WALRetryInterval)
+	return nil
+}
+
+// RecoverMaster rebuilds the Ignem master's state from the migration
+// WAL, resuming in-flight migrations after a master crash. Unlike
+// RestartMaster it does NOT bump the epoch or broadcast purges: slaves
+// keep their pins, and undelivered command batches are re-sent
+// idempotently from the journal.
+func (nn *NameNode) RecoverMaster() error {
+	return nn.master.RecoverFromJournal()
+}
+
 // Start binds the RPC server and begins serving. It also starts the
 // datanode-expiry sweeper.
 func (nn *NameNode) Start() error {
@@ -243,6 +296,7 @@ func (nn *NameNode) Start() error {
 	s.Handle("nn.heartbeat", wrap(nn.handleHeartbeat))
 	s.Handle("nn.epoch", wrap(nn.handleEpoch))
 	s.Handle("nn.shardInfo", wrap(nn.handleShardInfo))
+	s.Handle("nn.corruptReplica", wrap(nn.handleCorruptReplica))
 	s.ServeBackground(l)
 	nn.server = s
 	nn.listener = l
@@ -258,6 +312,10 @@ func (nn *NameNode) Start() error {
 		}
 		s.ServeBackground(sl)
 		nn.shardListeners = append(nn.shardListeners, sl)
+	}
+	if err := nn.attachWAL(); err != nil {
+		nn.Close()
+		return err
 	}
 	nn.clock.Go(nn.expiryLoop)
 	if nn.cfg.ReplicationSweepInterval > 0 {
@@ -302,6 +360,10 @@ func (nn *NameNode) Close() {
 	}
 	if nn.server != nil {
 		nn.server.Close()
+	}
+	nn.master.StopJournal()
+	if nn.walLog != nil {
+		nn.walLog.Close()
 	}
 }
 
@@ -373,7 +435,11 @@ func (nn *NameNode) handleCreate(req dfs.CreateReq) (dfs.CreateResp, error) {
 }
 
 func (nn *NameNode) handleAddBlock(req dfs.AddBlockReq) (dfs.AddBlockResp, error) {
-	located, err := nn.ns.Allocate(req.Path, []int64{req.Size}, req.Exclude, req.ReqID, false)
+	var sums []uint32
+	if req.Checksum != 0 {
+		sums = []uint32{req.Checksum}
+	}
+	located, err := nn.ns.Allocate(req.Path, []int64{req.Size}, sums, req.Exclude, req.ReqID, false)
 	if err != nil {
 		return dfs.AddBlockResp{}, err
 	}
@@ -389,7 +455,10 @@ func (nn *NameNode) handleAddBlocks(req dfs.AddBlocksReq) (dfs.AddBlocksResp, er
 	if len(req.Sizes) == 0 {
 		return dfs.AddBlocksResp{}, fmt.Errorf("namenode: addBlocks with no sizes")
 	}
-	located, err := nn.ns.Allocate(req.Path, req.Sizes, req.Exclude, req.ReqID, true)
+	if len(req.Checksums) != 0 && len(req.Checksums) != len(req.Sizes) {
+		return dfs.AddBlocksResp{}, fmt.Errorf("namenode: addBlocks with %d checksums for %d sizes", len(req.Checksums), len(req.Sizes))
+	}
+	located, err := nn.ns.Allocate(req.Path, req.Sizes, req.Checksums, req.Exclude, req.ReqID, true)
 	if err != nil {
 		return dfs.AddBlocksResp{}, err
 	}
@@ -410,6 +479,18 @@ func (nn *NameNode) handleRetargetBlock(req dfs.RetargetBlockReq) (dfs.RetargetB
 		return dfs.RetargetBlockResp{}, err
 	}
 	return dfs.RetargetBlockResp{Located: located}, nil
+}
+
+// handleCorruptReplica processes a datanode's report that one of its
+// replicas failed checksum verification (on read, migrate-copy, or a
+// scrub sweep). The replica is dropped from the location map — the
+// datanode already deleted its copy — which makes the block
+// under-replicated, so the next replication sweep pulls a fresh copy
+// from a healthy holder.
+func (nn *NameNode) handleCorruptReplica(req dfs.CorruptReplicaReq) (dfs.CorruptReplicaResp, error) {
+	nn.metrics.corruptReports.Add(1)
+	nn.ns.ApplyReplicaDeltas(req.Addr, nil, []dfs.BlockID{req.Block})
+	return dfs.CorruptReplicaResp{}, nil
 }
 
 func (nn *NameNode) handleComplete(req dfs.CompleteReq) (dfs.CompleteResp, error) {
@@ -704,6 +785,10 @@ func (nn *NameNode) handleHeartbeat(req dfs.HeartbeatReq) (dfs.HeartbeatResp, er
 	// namespace locks when there is state to record.
 	if len(req.Pinned)+len(req.Unpinned) > 0 {
 		nn.ns.PinDeltas(req.Addr, req.Pinned, req.Unpinned)
+		// Confirmed pins advance the migration WAL's state machine to
+		// swapped/checked (no-op without a journal): the slave verified
+		// and pinned these blocks, so recovery won't re-send them.
+		nn.master.NotePinned(req.Addr, req.Pinned)
 	}
 	if len(req.Added)+len(req.Removed) > 0 {
 		nn.ns.ApplyReplicaDeltas(req.Addr, req.Added, req.Removed)
@@ -849,7 +934,7 @@ func (nn *NameNode) Resolve(path string) ([]dfs.LocatedBlock, error) {
 	nn.dnmu.RLock()
 	defer nn.dnmu.RUnlock()
 	for _, rb := range raw {
-		lb := dfs.LocatedBlock{Block: rb.block, Offset: rb.offset}
+		lb := dfs.LocatedBlock{Block: rb.block, Offset: rb.offset, Checksum: rb.checksum}
 		for _, addr := range rb.nodes {
 			if dn := nn.datanodes[addr]; dn != nil && dn.alive {
 				lb.Nodes = append(lb.Nodes, addr)

@@ -23,11 +23,15 @@ type Namespace interface {
 	Create(path string, blockSize int64, replication int) error
 	// Allocate appends len(sizes) blocks to an open file, choosing
 	// replica targets for each, and returns the located blocks in order.
-	// reqID (when non-zero) keys a one-deep idempotency cache so a
-	// retried allocation after a lost reply returns the cached result
-	// instead of allocating twice; batch distinguishes the single-block
-	// and batched call shapes, which must not share cache entries.
-	Allocate(path string, sizes []int64, exclude []string, reqID uint64, batch bool) ([]dfs.LocatedBlock, error)
+	// sums carries the client-computed CRC32C per block (nil, or a slice
+	// parallel to sizes; zero entries mean unchecksummed) — the namespace
+	// records them so every later Resolve can hand readers the write-time
+	// checksum to verify against. reqID (when non-zero) keys a one-deep
+	// idempotency cache so a retried allocation after a lost reply
+	// returns the cached result instead of allocating twice; batch
+	// distinguishes the single-block and batched call shapes, which must
+	// not share cache entries.
+	Allocate(path string, sizes []int64, sums []uint32, exclude []string, reqID uint64, batch bool) ([]dfs.LocatedBlock, error)
 	// Retarget replaces an allocated block's target set with a fresh
 	// placement avoiding the excluded nodes, preserving ID and offset.
 	Retarget(path string, block dfs.BlockID, exclude []string) (dfs.LocatedBlock, error)
@@ -83,10 +87,11 @@ type repairJob struct {
 // resolvedBlock is one block of a resolved file with raw locations;
 // liveness filtering happens in the NameNode against the registry.
 type resolvedBlock struct {
-	block  dfs.Block
-	offset int64
-	nodes  []string
-	pinned []string
+	block    dfs.Block
+	offset   int64
+	checksum uint32 // write-time CRC32C; 0 = unchecksummed
+	nodes    []string
+	pinned   []string
 }
 
 type fileEntry struct {

@@ -22,10 +22,14 @@ type memNamespace struct {
 	// mu guards the namespace: files, blocks (and each blockMeta's
 	// contents), and nextBlock. Metadata lookups (Info, Resolve, List)
 	// take it in read mode so they never contend with each other.
-	mu        sync.RWMutex
-	files     map[string]*fileEntry
-	blocks    map[dfs.BlockID]*blockMeta
-	pins      pinMap
+	mu     sync.RWMutex
+	files  map[string]*fileEntry
+	blocks map[dfs.BlockID]*blockMeta
+	pins   pinMap
+	// sums is the sparse write-time checksum map. A side map, not a
+	// blockMeta field: most experiment blocks are synthetic and
+	// unchecksummed, and blockMeta's flat size class is budget-gated.
+	sums      map[dfs.BlockID]uint32
 	nextBlock dfs.BlockID
 
 	// rngMu guards the placement rng. It is a leaf lock: nothing else is
@@ -42,6 +46,7 @@ func newMemNamespace(seed int64, place placeFunc) *memNamespace {
 		files:  make(map[string]*fileEntry),
 		blocks: make(map[dfs.BlockID]*blockMeta),
 		pins:   make(pinMap),
+		sums:   make(map[dfs.BlockID]uint32),
 		rng:    rand.New(rand.NewSource(seed)),
 	}
 }
@@ -60,7 +65,7 @@ func (ns *memNamespace) Create(path string, blockSize int64, replication int) er
 	return nil
 }
 
-func (ns *memNamespace) Allocate(path string, sizes []int64, exclude []string, reqID uint64, batch bool) ([]dfs.LocatedBlock, error) {
+func (ns *memNamespace) Allocate(path string, sizes []int64, sums []uint32, exclude []string, reqID uint64, batch bool) ([]dfs.LocatedBlock, error) {
 	ns.mu.Lock()
 	defer ns.mu.Unlock()
 	f, err := openFile(ns.files, path, sizes)
@@ -71,8 +76,8 @@ func (ns *memNamespace) Allocate(path string, sizes []int64, exclude []string, r
 		return cached, nil
 	}
 	out := make([]dfs.LocatedBlock, 0, len(sizes))
-	for _, size := range sizes {
-		lb, err := ns.allocateBlockLocked(f, size, exclude)
+	for i, size := range sizes {
+		lb, err := ns.allocateBlockLocked(f, size, sumAt(sums, i), exclude)
 		if err != nil {
 			return nil, err
 		}
@@ -84,7 +89,7 @@ func (ns *memNamespace) Allocate(path string, sizes []int64, exclude []string, r
 
 // allocateBlockLocked appends one block to f with freshly chosen replica
 // targets. Called with mu held.
-func (ns *memNamespace) allocateBlockLocked(f *fileEntry, size int64, exclude []string) (dfs.LocatedBlock, error) {
+func (ns *memNamespace) allocateBlockLocked(f *fileEntry, size int64, sum uint32, exclude []string) (dfs.LocatedBlock, error) {
 	targets := ns.chooseTargets(f.info.Replication, exclude)
 	if len(targets) == 0 {
 		return dfs.LocatedBlock{}, fmt.Errorf("namenode: no live datanodes")
@@ -93,10 +98,13 @@ func (ns *memNamespace) allocateBlockLocked(f *fileEntry, size int64, exclude []
 	b := dfs.Block{ID: ns.nextBlock, Size: size}
 	meta := newBlockMeta(ns.table, size, f.info.Replication, targets)
 	ns.blocks[b.ID] = meta
+	if sum != 0 {
+		ns.sums[b.ID] = sum
+	}
 	offset := f.info.Size
 	f.blocks = append(f.blocks, b)
 	f.info.Size += size
-	return dfs.LocatedBlock{Block: b, Offset: offset, Nodes: targets}, nil
+	return dfs.LocatedBlock{Block: b, Offset: offset, Checksum: sum, Nodes: targets}, nil
 }
 
 func (ns *memNamespace) chooseTargets(rep int, exclude []string) []string {
@@ -125,7 +133,7 @@ func (ns *memNamespace) Retarget(path string, block dfs.BlockID, exclude []strin
 		return dfs.LocatedBlock{}, fmt.Errorf("namenode: no live datanodes")
 	}
 	meta.nodes.reset(internAll(ns.table, targets))
-	return dfs.LocatedBlock{Block: blk, Offset: offset, Nodes: targets}, nil
+	return dfs.LocatedBlock{Block: blk, Offset: offset, Checksum: ns.sums[block], Nodes: targets}, nil
 }
 
 func (ns *memNamespace) Complete(path string) error {
@@ -167,6 +175,7 @@ func (ns *memNamespace) Delete(path string) (map[string][]dfs.BlockID, error) {
 		}
 		delete(ns.blocks, b.ID)
 		delete(ns.pins, b.ID)
+		delete(ns.sums, b.ID)
 	}
 	return toDelete, nil
 }
@@ -195,7 +204,7 @@ func (ns *memNamespace) Resolve(path string) ([]resolvedBlock, error) {
 	var offset int64
 	addrs := ns.table.addrsView()
 	for _, b := range f.blocks {
-		rb := resolvedBlock{block: b, offset: offset}
+		rb := resolvedBlock{block: b, offset: offset, checksum: ns.sums[b.ID]}
 		if meta := ns.blocks[b.ID]; meta != nil {
 			rb.nodes = addrSlice(addrs, &meta.nodes)
 			rb.pinned = idAddrs(addrs, ns.pins.view(b.ID))
@@ -289,6 +298,15 @@ func rememberAlloc(f *fileEntry, reqID uint64, batch bool, out []dfs.LocatedBloc
 	if reqID != 0 {
 		f.lastAllocID, f.lastAllocBatch, f.lastAlloc = reqID, batch, out
 	}
+}
+
+// sumAt indexes an optional checksum slice: nil (or short) means
+// unchecksummed.
+func sumAt(sums []uint32, i int) uint32 {
+	if i < len(sums) {
+		return sums[i]
+	}
+	return 0
 }
 
 // findBlock locates a block in a file's block list, returning its copy

@@ -62,6 +62,9 @@ type blockShard struct {
 	mu     sync.RWMutex
 	blocks map[dfs.BlockID]*blockMeta
 	pins   pinMap
+	// sums is the shard's sparse write-time checksum map (see
+	// memNamespace.sums).
+	sums map[dfs.BlockID]uint32
 }
 
 func newShardedNamespace(shards int, seed int64, place placeFunc) *shardedNamespace {
@@ -82,6 +85,7 @@ func newShardedNamespace(shards int, seed int64, place placeFunc) *shardedNamesp
 		ns.blockShards = append(ns.blockShards, &blockShard{
 			blocks: make(map[dfs.BlockID]*blockMeta),
 			pins:   make(pinMap),
+			sums:   make(map[dfs.BlockID]uint32),
 		})
 	}
 	return ns
@@ -110,7 +114,7 @@ func (ns *shardedNamespace) Create(path string, blockSize int64, replication int
 	return nil
 }
 
-func (ns *shardedNamespace) Allocate(path string, sizes []int64, exclude []string, reqID uint64, batch bool) ([]dfs.LocatedBlock, error) {
+func (ns *shardedNamespace) Allocate(path string, sizes []int64, sums []uint32, exclude []string, reqID uint64, batch bool) ([]dfs.LocatedBlock, error) {
 	fs := ns.fileShardOf(path)
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
@@ -122,8 +126,8 @@ func (ns *shardedNamespace) Allocate(path string, sizes []int64, exclude []strin
 		return cached, nil
 	}
 	out := make([]dfs.LocatedBlock, 0, len(sizes))
-	for _, size := range sizes {
-		lb, err := ns.allocateBlock(fs, f, size, exclude)
+	for i, size := range sizes {
+		lb, err := ns.allocateBlock(fs, f, size, sumAt(sums, i), exclude)
 		if err != nil {
 			return nil, err
 		}
@@ -137,7 +141,7 @@ func (ns *shardedNamespace) Allocate(path string, sizes []int64, exclude []strin
 // targets, drawing placement from the file shard's rng stream and
 // registering the block meta with its owning block shard. Called with
 // fs.mu held.
-func (ns *shardedNamespace) allocateBlock(fs *fileShard, f *fileEntry, size int64, exclude []string) (dfs.LocatedBlock, error) {
+func (ns *shardedNamespace) allocateBlock(fs *fileShard, f *fileEntry, size int64, sum uint32, exclude []string) (dfs.LocatedBlock, error) {
 	targets := fs.chooseTargets(ns.place, f.info.Replication, exclude)
 	if len(targets) == 0 {
 		return dfs.LocatedBlock{}, fmt.Errorf("namenode: no live datanodes")
@@ -147,11 +151,14 @@ func (ns *shardedNamespace) allocateBlock(fs *fileShard, f *fileEntry, size int6
 	bs := ns.blockShardOf(b.ID)
 	bs.mu.Lock()
 	bs.blocks[b.ID] = meta
+	if sum != 0 {
+		bs.sums[b.ID] = sum
+	}
 	bs.mu.Unlock()
 	offset := f.info.Size
 	f.blocks = append(f.blocks, b)
 	f.info.Size += size
-	return dfs.LocatedBlock{Block: b, Offset: offset, Nodes: targets}, nil
+	return dfs.LocatedBlock{Block: b, Offset: offset, Checksum: sum, Nodes: targets}, nil
 }
 
 func (fs *fileShard) chooseTargets(place placeFunc, rep int, exclude []string) []string {
@@ -175,6 +182,7 @@ func (ns *shardedNamespace) Retarget(path string, block dfs.BlockID, exclude []s
 	bs := ns.blockShardOf(block)
 	bs.mu.Lock()
 	meta := bs.blocks[block]
+	sum := bs.sums[block]
 	bs.mu.Unlock()
 	if meta == nil {
 		return dfs.LocatedBlock{}, fmt.Errorf("namenode: block %d has no metadata", block)
@@ -189,7 +197,7 @@ func (ns *shardedNamespace) Retarget(path string, block dfs.BlockID, exclude []s
 	bs.mu.Lock()
 	meta.nodes.reset(ids)
 	bs.mu.Unlock()
-	return dfs.LocatedBlock{Block: blk, Offset: offset, Nodes: targets}, nil
+	return dfs.LocatedBlock{Block: blk, Offset: offset, Checksum: sum, Nodes: targets}, nil
 }
 
 func (ns *shardedNamespace) Complete(path string) error {
@@ -250,6 +258,7 @@ func (ns *shardedNamespace) Delete(path string) (map[string][]dfs.BlockID, error
 			}
 			delete(bs.blocks, id)
 			delete(bs.pins, id)
+			delete(bs.sums, id)
 		}
 		bs.mu.Unlock()
 	}
@@ -299,6 +308,7 @@ func (ns *shardedNamespace) Resolve(path string) ([]resolvedBlock, error) {
 		bs := ns.blockShards[s]
 		bs.mu.RLock()
 		for _, i := range idxs {
+			out[i].checksum = bs.sums[out[i].block.ID]
 			if meta := bs.blocks[out[i].block.ID]; meta != nil {
 				out[i].nodes = addrSlice(addrs, &meta.nodes)
 				out[i].pinned = idAddrs(addrs, bs.pins.view(out[i].block.ID))

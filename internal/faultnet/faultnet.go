@@ -70,6 +70,7 @@ type linkRule struct {
 	drop    float64 // probability a message silently disappears
 	delay   time.Duration
 	blocked bool // every message silently disappears
+	reorder int  // >1: messages shuffle within a window this wide
 }
 
 // New wraps base in a fault-injecting fabric. seed fixes every
@@ -117,6 +118,31 @@ func (f *Fabric) SetDelay(from, to string, d time.Duration) {
 	f.logf("setdelay %s->%s d=%v", from, to, d)
 }
 
+// SetReorder makes messages sent from→to jump the queue within a
+// window of the given width (0 or 1 disables): each message draws a
+// seeded slot in [0, window) and is released after slot milliseconds.
+// Messages sent at least one slot (1ms) apart are displaced by at most
+// window-1 positions, and messages sent more than window ms apart
+// never reorder; a burst sent in one instant shuffles freely within
+// its slot draws.
+// Determinism follows the drop-rule contract — slots draw from the
+// connection's seeded send rng, so keep reordered links single-sender
+// — plus a per-message nanosecond skew that keeps release deadlines
+// unique, making the delivery order a pure function of the seed.
+// Reordering applies to the dialing side's outgoing messages only
+// (requests on client→server links); replies ride back untouched.
+func (f *Fabric) SetReorder(from, to string, window int) {
+	if window < 0 {
+		window = 0
+	}
+	f.mu.Lock()
+	r := f.rules[linkKey{from, to}]
+	r.reorder = window
+	f.rules[linkKey{from, to}] = r
+	f.mu.Unlock()
+	f.logf("setreorder %s->%s window=%d", from, to, window)
+}
+
 // Block blackholes every message from→to. Asymmetric: the reverse
 // direction keeps flowing unless blocked too.
 func (f *Fabric) Block(from, to string) {
@@ -153,6 +179,23 @@ func (f *Fabric) Partition(a, b []string) {
 	}
 	f.mu.Unlock()
 	f.logf("partition %v | %v", a, b)
+}
+
+// PartitionOneWay blocks every link from side a to side b — the
+// asymmetric half of Partition: messages a→b vanish while b→a keeps
+// flowing. Undo with Unblock per link or Heal.
+func (f *Fabric) PartitionOneWay(a, b []string) {
+	f.mu.Lock()
+	for _, x := range a {
+		for _, y := range b {
+			k := linkKey{x, y}
+			r := f.rules[k]
+			r.blocked = true
+			f.rules[k] = r
+		}
+	}
+	f.mu.Unlock()
+	f.logf("partition-oneway %v -> %v", a, b)
 }
 
 // Heal clears every link rule (blocks, drops, delays). Crashed nodes
@@ -393,6 +436,7 @@ type faultConn struct {
 
 	sendMu  sync.Mutex
 	sendRNG *rand.Rand
+	sendSeq uint64 // messages sent; skews reorder deadlines apart
 	recvMu  sync.Mutex
 	recvRNG *rand.Rand
 
@@ -418,6 +462,26 @@ func (c *faultConn) Send(m transport.Message) error {
 			c.f.logf("dropmsg %s->%s method=%q id=%d (drop)", c.from, c.to, m.Method, m.ID)
 			return nil
 		}
+	}
+	if r.reorder > 1 {
+		c.sendMu.Lock()
+		seq := c.sendSeq
+		c.sendSeq++
+		slot := c.sendRNG.Intn(r.reorder)
+		c.sendMu.Unlock()
+		// Distinct deadlines (the nanosecond skew never crosses a
+		// millisecond slot boundary) make the virtual clock's wake order
+		// — and thus the delivery order — a pure function of the seed.
+		hold := r.delay + time.Duration(slot)*time.Millisecond +
+			time.Duration(seq%1000)*time.Nanosecond
+		c.f.logf("reorder %s->%s method=%q id=%d slot=%d", c.from, c.to, m.Method, m.ID, slot)
+		c.f.clock.Go(func() {
+			c.f.clock.Sleep(hold)
+			// A release racing the connection's death is a lost message,
+			// exactly like a send into a crash.
+			_ = c.inner.Send(m)
+		})
+		return nil
 	}
 	if r.delay > 0 {
 		c.f.clock.Sleep(r.delay)

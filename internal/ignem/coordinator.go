@@ -2,10 +2,15 @@ package ignem
 
 import (
 	"fmt"
+	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/dfs"
 	"repro/internal/shardmap"
+	"repro/internal/simclock"
+	"repro/internal/wal"
 )
 
 // Coordinator fronts the partitioned Ignem master: one planner (Master)
@@ -35,6 +40,15 @@ type Coordinator struct {
 	reqMu       sync.Mutex
 	migrateReqs int64
 	evictReqs   int64
+
+	// journal, when attached, is shared by every planner; the
+	// coordinator owns the cross-shard concerns: recovery, the retry
+	// pump, and truncation when nothing is in flight.
+	journal     *Journal
+	pumpStopped atomic.Bool
+	// walReplayed/resumedJobs are recovery counters (under reqMu).
+	walReplayed int64
+	resumedJobs int64
 }
 
 // NewCoordinator builds the partitioned master: shards planners over the
@@ -63,6 +77,233 @@ func NewCoordinator(resolver Resolver, link SlaveLink, seed int64, shards int) *
 
 // Shards returns the planner count.
 func (co *Coordinator) Shards() int { return len(co.masters) }
+
+// AttachJournal gives every planner a shared migration WAL and starts
+// the retry pump: a clock-driven loop that re-sends transport-failed
+// batches every interval until they deliver or go stale, and truncates
+// the journal whenever nothing is in flight. Call before serving
+// requests; use RecoverFromJournal to resume state a previous
+// incarnation journaled onto the same backend. StopJournal stops the
+// pump.
+func (co *Coordinator) AttachJournal(clock simclock.Clock, log *wal.Log, retryInterval time.Duration) {
+	if retryInterval <= 0 {
+		retryInterval = time.Second
+	}
+	j := NewJournal(log)
+	co.journal = j
+	for _, m := range co.masters {
+		m.mu.Lock()
+		m.journal = j
+		m.mu.Unlock()
+	}
+	if clock != nil {
+		clock.Go(func() {
+			for {
+				clock.Sleep(retryInterval)
+				if co.pumpStopped.Load() {
+					return
+				}
+				co.FlushRetries()
+			}
+		})
+	}
+}
+
+// StopJournal stops the retry pump (the journal itself stays attached;
+// closing the log is the owner's concern).
+func (co *Coordinator) StopJournal() { co.pumpStopped.Store(true) }
+
+// FlushRetries re-sends every planner's parked batches once and
+// truncates the journal if nothing remains in flight. The retry pump
+// calls it on its interval; tests call it directly to make retry
+// timing explicit.
+func (co *Coordinator) FlushRetries() {
+	for _, m := range co.masters {
+		m.flushRetries()
+	}
+	co.maybeTruncate()
+}
+
+// maybeTruncate drops the journal when no planner holds a live job or a
+// parked batch: everything journaled has fully settled, so a recovery
+// from an empty log is exact.
+func (co *Coordinator) maybeTruncate() {
+	if co.journal == nil {
+		return
+	}
+	for _, m := range co.masters {
+		m.mu.Lock()
+		busy := len(m.jobs) > 0 || len(m.retries) > 0
+		m.mu.Unlock()
+		if busy {
+			return
+		}
+	}
+	_ = co.journal.Truncate()
+}
+
+// NotePinned feeds heartbeat-confirmed pin deltas to the journal: the
+// slave at addr now holds these blocks pinned and checksum-verified.
+// A no-op without a journal.
+func (co *Coordinator) NotePinned(addr string, blocks []dfs.BlockID) {
+	if co.journal == nil || len(blocks) == 0 {
+		return
+	}
+	if len(co.masters) == 1 {
+		co.masters[0].notePinned(addr, blocks)
+		return
+	}
+	parts := make([][]dfs.BlockID, len(co.masters))
+	for _, id := range blocks {
+		s := co.ring.BlockShard(uint64(id))
+		parts[s] = append(parts[s], id)
+	}
+	for i, m := range co.masters {
+		if len(parts[i]) > 0 {
+			m.notePinned(addr, parts[i])
+		}
+	}
+}
+
+// RecoverFromJournal rebuilds the planners' state from the journal,
+// modelling a master restart that resumes in-flight migrations instead
+// of purging them. The journaled epoch is restored WITHOUT bumping —
+// slaves keep their pins, and every re-send below is idempotent against
+// them:
+//
+//   - live jobs (no evict intent) re-register their block→replica
+//     assignments; entries never journaled as delivered re-park their
+//     migrate batches for the retry pump
+//   - jobs with a journaled evict intent stay dropped, and evict
+//     batches not journaled as delivered are re-parked
+//
+// After rebuilding, parked batches are flushed once so recovery
+// converges without waiting for the pump.
+func (co *Coordinator) RecoverFromJournal() error {
+	if co.journal == nil {
+		return fmt.Errorf("ignem: recover without a journal attached")
+	}
+	rec, err := co.journal.Replay()
+	if err != nil {
+		return fmt.Errorf("ignem: journal replay: %w", err)
+	}
+	for _, m := range co.masters {
+		m.mu.Lock()
+	}
+	if rec.epoch > 0 {
+		co.epoch.set(rec.epoch)
+	}
+	epoch := co.epoch.get()
+	for _, m := range co.masters {
+		m.jobs = make(map[dfs.JobID]map[dfs.BlockID]string)
+		m.retries = nil
+	}
+	resumed := int64(0)
+	for _, job := range sortedJobs(rec.jobs) {
+		rj := rec.jobs[job]
+		if rj.evictIntent {
+			co.repileEvicts(epoch, job, rj)
+			continue
+		}
+		resumed++
+		// Shard 0 anchors the job as a live migrate request would.
+		co.anchorJob(0, job)
+		pending := make(map[retryKey][]dfs.MigrateCmd)
+		for _, id := range sortedBlockIDs(rj.blocks) {
+			e := rj.blocks[id]
+			s := co.ring.BlockShard(uint64(id))
+			co.anchorJob(s, job)[id] = e.addr
+			if e.copied || e.pinned {
+				continue
+			}
+			k := retryKey{s, e.addr}
+			pending[k] = append(pending[k], dfs.MigrateCmd{
+				Block:        dfs.Block{ID: id, Size: e.size},
+				Job:          job,
+				JobInputSize: rj.jobInputSize,
+				SubmitTime:   rj.submitTime,
+				Implicit:     rj.implicit,
+				Checksum:     e.checksum,
+			})
+		}
+		for _, k := range sortedRetryKeys(pending) {
+			m := co.masters[k.shard]
+			m.retries = append(m.retries, retryBatch{epoch: epoch, addr: k.addr, job: job, migrate: pending[k]})
+		}
+	}
+	for i := len(co.masters) - 1; i >= 0; i-- {
+		co.masters[i].mu.Unlock()
+	}
+	co.reqMu.Lock()
+	co.walReplayed += int64(rec.records)
+	co.resumedJobs += resumed
+	co.reqMu.Unlock()
+	co.FlushRetries()
+	return nil
+}
+
+// anchorJob returns (creating if needed) job's assignment map on shard
+// s. Callers hold every master's lock (recovery path).
+func (co *Coordinator) anchorJob(s int, job dfs.JobID) map[dfs.BlockID]string {
+	m := co.masters[s]
+	assigned := m.jobs[job]
+	if assigned == nil {
+		assigned = make(map[dfs.BlockID]string)
+		m.jobs[job] = assigned
+	}
+	return assigned
+}
+
+// repileEvicts re-parks a terminating job's undelivered evict batches.
+// Callers hold every master's lock.
+func (co *Coordinator) repileEvicts(epoch uint64, job dfs.JobID, rj *recoveredJob) {
+	pending := make(map[retryKey][]dfs.EvictCmd)
+	for _, id := range sortedBlockIDs(rj.blocks) {
+		e := rj.blocks[id]
+		if !e.copied && !e.pinned {
+			continue // never reached a slave; nothing to release
+		}
+		if rj.evictSent[e.addr][id] {
+			continue // delivery journaled
+		}
+		k := retryKey{shard: co.ring.BlockShard(uint64(id)), addr: e.addr}
+		pending[k] = append(pending[k], dfs.EvictCmd{Block: id, Job: job})
+	}
+	for _, k := range sortedRetryKeys(pending) {
+		m := co.masters[k.shard]
+		m.retries = append(m.retries, retryBatch{epoch: epoch, addr: k.addr, job: job, evict: pending[k]})
+	}
+}
+
+// retryKey addresses one parked batch's destination: the owning planner
+// shard and the slave address.
+type retryKey struct {
+	shard int
+	addr  string
+}
+
+func sortedRetryKeys[V any](m map[retryKey]V) []retryKey {
+	out := make([]retryKey, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].shard != out[j].shard {
+			return out[i].shard < out[j].shard
+		}
+		return out[i].addr < out[j].addr
+	})
+	return out
+}
+
+func sortedBlockIDs[V any](m map[dfs.BlockID]V) []dfs.BlockID {
+	out := make([]dfs.BlockID, 0, len(m))
+	for id := range m {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
 
 // Migrate resolves the job's files once, partitions the blocks by the
 // consistent-hash map, and fans the fragments out to the owning
@@ -105,7 +346,12 @@ func (co *Coordinator) Migrate(req dfs.MigrateReq) (dfs.MigrateResp, error) {
 		if len(parts[i]) == 0 && i != 0 {
 			continue
 		}
-		b, by := m.migrateLocated(req.Job, parts[i], totalSize, req.SubmitTime, req.Implicit)
+		b, by, err := m.migrateLocated(req.Job, parts[i], totalSize, req.SubmitTime, req.Implicit)
+		if err != nil {
+			// A journal failure mid-fanout fails the request; fragments
+			// already planned stay journaled and recovery resumes them.
+			return dfs.MigrateResp{}, err
+		}
 		blocks += b
 		bytes += by
 	}
@@ -120,8 +366,13 @@ func (co *Coordinator) Evict(req dfs.EvictReq) (dfs.EvictResp, error) {
 	co.reqMu.Unlock()
 	blocks := 0
 	for _, m := range co.masters {
-		blocks += m.evictJob(req.Job)
+		b, err := m.evictJob(req.Job)
+		if err != nil {
+			return dfs.EvictResp{}, err
+		}
+		blocks += b
 	}
+	co.maybeTruncate()
 	return dfs.EvictResp{Blocks: blocks}, nil
 }
 
@@ -164,6 +415,7 @@ func (co *Coordinator) Restart() {
 	co.epoch.bump()
 	for _, m := range co.masters {
 		m.jobs = make(map[dfs.JobID]map[dfs.BlockID]string)
+		m.retries = nil
 	}
 	for i := len(co.masters) - 1; i >= 0; i-- {
 		co.masters[i].mu.Unlock()
@@ -186,6 +438,9 @@ func (co *Coordinator) Stats() MasterStats {
 		st.BlocksAssigned += ms.BlocksAssigned
 		st.BytesAssigned += ms.BytesAssigned
 		st.SendErrors += ms.SendErrors
+		st.SendFailures += ms.SendFailures
+		st.RetriedBatches += ms.RetriedBatches
+		st.PendingRetries += ms.PendingRetries
 		for _, job := range m.jobIDs() {
 			jobs[job] = struct{}{}
 		}
@@ -193,7 +448,15 @@ func (co *Coordinator) Stats() MasterStats {
 	co.reqMu.Lock()
 	st.MigrateReqs += co.migrateReqs
 	st.EvictReqs += co.evictReqs
+	st.WALReplayed = co.walReplayed
+	st.ResumedJobs = co.resumedJobs
 	co.reqMu.Unlock()
+	// The journal is shared across planners, so its record count is read
+	// once here rather than summed from the per-planner snapshots.
+	st.WALRecords = 0
+	if co.journal != nil {
+		st.WALRecords = co.journal.Appended()
+	}
 	st.Epoch = co.epoch.get()
 	st.ActiveJobs = len(jobs)
 	return st

@@ -36,6 +36,25 @@ type MasterStats struct {
 	BlocksAssigned int64
 	BytesAssigned  int64
 	SendErrors     int64
+	// SendFailures counts command batches that failed transport and were
+	// parked on the journal-backed retry queue instead of dropped (only
+	// a journaled master retries; SendErrors still counts every failure
+	// for compatibility with older scenarios).
+	SendFailures int64
+	// RetriedBatches counts parked batches later delivered by the retry
+	// pump.
+	RetriedBatches int64
+	// PendingRetries is the retry queue's length at snapshot time.
+	PendingRetries int
+	// WALRecords counts journal records appended since the journal was
+	// attached or last replayed.
+	WALRecords int64
+	// WALReplayed counts journal records decoded by the most recent
+	// recovery.
+	WALReplayed int64
+	// ResumedJobs counts live (un-evicted) jobs rebuilt from the journal
+	// across all recoveries.
+	ResumedJobs int64
 }
 
 // epochCounter is a master epoch shared by every planner of a
@@ -63,6 +82,16 @@ func (e *epochCounter) bump() uint64 {
 	return e.v
 }
 
+// set restores a journaled epoch during WAL recovery. Recovery
+// deliberately does NOT bump: the restarted master resumes the same
+// epoch, so slaves keep their pins and re-sent batches are idempotent
+// no-ops instead of purges.
+func (e *epochCounter) set(v uint64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.v = v
+}
+
 // Master is a migration planner that runs inside the namenode. It
 // decides *what* to migrate; the slaves decide *how* and *when*. A
 // cluster runs one Master per metadata shard (one at shard count 1),
@@ -81,6 +110,35 @@ type Master struct {
 	// evictions go to the replica that was migrated.
 	jobs  map[dfs.JobID]map[dfs.BlockID]string
 	stats MasterStats
+	// journal, when attached, makes planning durable-before-send and
+	// parks transport-failed batches on retries instead of dropping
+	// them. Nil for an unjournaled master (the historical behavior).
+	journal *Journal
+	// retries holds batches that failed transport, re-sent by the retry
+	// pump until they deliver or their epoch goes stale.
+	retries []retryBatch
+}
+
+// retryBatch is one parked command batch. Exactly one of migrate/evict
+// is non-nil. Batches are job-pure (a migrate batch always carries one
+// job's commands), so a delivery can be journaled against its job.
+type retryBatch struct {
+	epoch   uint64
+	addr    string
+	job     dfs.JobID
+	migrate []dfs.MigrateCmd
+	evict   []dfs.EvictCmd
+}
+
+func (rb retryBatch) blockIDs() []dfs.BlockID {
+	var ids []dfs.BlockID
+	for _, c := range rb.migrate {
+		ids = append(ids, c.Block.ID)
+	}
+	for _, c := range rb.evict {
+		ids = append(ids, c.Block)
+	}
+	return ids
 }
 
 // NewMaster creates a standalone master with the given block resolver
@@ -125,7 +183,10 @@ func (m *Master) Migrate(req dfs.MigrateReq) (dfs.MigrateResp, error) {
 	m.mu.Lock()
 	m.stats.MigrateReqs++
 	m.mu.Unlock()
-	blocks, bytes := m.migrateLocated(req.Job, located, totalSize, req.SubmitTime, req.Implicit)
+	blocks, bytes, err := m.migrateLocated(req.Job, located, totalSize, req.SubmitTime, req.Implicit)
+	if err != nil {
+		return dfs.MigrateResp{}, err
+	}
 	return dfs.MigrateResp{Blocks: blocks, Bytes: bytes}, nil
 }
 
@@ -137,15 +198,18 @@ func (m *Master) Migrate(req dfs.MigrateReq) (dfs.MigrateResp, error) {
 // jump the global order. The request counter is the caller's concern
 // (the Coordinator counts a cross-shard request once, not once per
 // planner touched).
-func (m *Master) migrateLocated(job dfs.JobID, located []dfs.LocatedBlock, totalSize int64, submitTime time.Time, implicit bool) (int, int64) {
+//
+// With a journal attached the plan is made durable BEFORE anything is
+// assigned or sent: a failed append returns an error with no state
+// change at all (master-crash model — if the log can't be written, the
+// master is dead and the client's Migrate fails with it).
+func (m *Master) migrateLocated(job dfs.JobID, located []dfs.LocatedBlock, totalSize int64, submitTime time.Time, implicit bool) (int, int64, error) {
 	m.mu.Lock()
 	epoch := m.epoch.get()
 	assigned := m.jobs[job]
-	if assigned == nil {
-		assigned = make(map[dfs.BlockID]string)
-		m.jobs[job] = assigned
-	}
 	batches := make(map[string][]dfs.MigrateCmd)
+	var entries []planEntry
+	pending := make(map[dfs.BlockID]struct{})
 	var blocks int
 	var bytes int64
 	for _, lb := range located {
@@ -155,34 +219,96 @@ func (m *Master) migrateLocated(job dfs.JobID, located []dfs.LocatedBlock, total
 		if _, dup := assigned[lb.Block.ID]; dup {
 			continue // already requested for this job
 		}
+		if _, dup := pending[lb.Block.ID]; dup {
+			continue // duplicate within this request
+		}
+		pending[lb.Block.ID] = struct{}{}
 		addr := lb.Nodes[m.rng.Intn(len(lb.Nodes))]
-		assigned[lb.Block.ID] = addr
+		entries = append(entries, planEntry{ID: lb.Block.ID, Size: lb.Block.Size, Checksum: lb.Checksum, Addr: addr})
 		batches[addr] = append(batches[addr], dfs.MigrateCmd{
 			Block:        lb.Block,
 			Job:          job,
 			JobInputSize: totalSize,
 			SubmitTime:   submitTime,
 			Implicit:     implicit,
+			Checksum:     lb.Checksum,
 		})
 		blocks++
 		bytes += lb.Block.Size
+	}
+	if m.journal != nil && len(entries) > 0 {
+		if err := m.journal.AppendPlan(epoch, job, implicit, totalSize, submitTime, entries); err != nil {
+			m.mu.Unlock()
+			return 0, 0, fmt.Errorf("ignem: journal plan for job %s: %w", job, err)
+		}
+	}
+	if assigned == nil {
+		// Created even for an empty fragment: a migrate request always
+		// registers the job (ActiveJobs, idempotent re-migrate).
+		assigned = make(map[dfs.BlockID]string)
+		m.jobs[job] = assigned
+	}
+	for _, e := range entries {
+		assigned[e.ID] = e.Addr
 	}
 	m.stats.BlocksAssigned += int64(blocks)
 	m.stats.BytesAssigned += bytes
 	m.mu.Unlock()
 
-	m.sendMigrateBatches(epoch, batches)
-	return blocks, bytes
+	m.sendMigrateBatches(epoch, job, batches)
+	return blocks, bytes, nil
 }
 
-func (m *Master) sendMigrateBatches(epoch uint64, batches map[string][]dfs.MigrateCmd) {
+// sendMigrateBatches delivers a job's planned batches. A transport
+// failure parks the batch for retry (when journaled — a bare master
+// keeps the historical drop-and-count behavior); a journal failure
+// recording a delivery stops the loop, since a master that can't write
+// its log is dead (undelivered batches stay planned-not-copied in the
+// journal and are re-sent on recovery).
+func (m *Master) sendMigrateBatches(epoch uint64, job dfs.JobID, batches map[string][]dfs.MigrateCmd) {
 	for _, addr := range sortedKeys(batches) {
-		if err := m.link.SendMigrate(addr, dfs.MigrateBatch{Epoch: epoch, Cmds: batches[addr]}); err != nil {
-			m.mu.Lock()
-			m.stats.SendErrors++
-			m.mu.Unlock()
+		cmds := batches[addr]
+		if err := m.link.SendMigrate(addr, dfs.MigrateBatch{Epoch: epoch, Cmds: cmds}); err != nil {
+			m.parkBatch(retryBatch{epoch: epoch, addr: addr, job: job, migrate: cmds})
+			continue
+		}
+		if !m.journalDelivery(retryBatch{addr: addr, job: job, migrate: cmds}) {
+			return
 		}
 	}
+}
+
+// parkBatch counts a transport failure and, when a journal is attached,
+// queues the batch for the retry pump.
+func (m *Master) parkBatch(rb retryBatch) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.stats.SendErrors++
+	if m.journal == nil {
+		return
+	}
+	m.stats.SendFailures++
+	m.retries = append(m.retries, rb)
+}
+
+// journalDelivery records a delivered batch (recCopied or
+// recEvictBatch). It reports false when the journal append failed —
+// the caller must stop sending, because nothing past this point can be
+// made durable.
+func (m *Master) journalDelivery(rb retryBatch) bool {
+	m.mu.Lock()
+	j := m.journal
+	m.mu.Unlock()
+	if j == nil {
+		return true
+	}
+	var err error
+	if rb.migrate != nil {
+		err = j.AppendCopied(rb.job, rb.addr, rb.blockIDs())
+	} else {
+		err = j.AppendEvictBatch(rb.job, rb.addr, rb.blockIDs())
+	}
+	return err == nil
 }
 
 // Evict handles a job-completion eviction: every block recorded for the
@@ -192,17 +318,49 @@ func (m *Master) Evict(req dfs.EvictReq) (dfs.EvictResp, error) {
 	m.mu.Lock()
 	m.stats.EvictReqs++
 	m.mu.Unlock()
-	return dfs.EvictResp{Blocks: m.evictJob(req.Job)}, nil
+	blocks, err := m.evictJob(req.Job)
+	if err != nil {
+		return dfs.EvictResp{}, err
+	}
+	return dfs.EvictResp{Blocks: blocks}, nil
 }
 
 // evictJob releases every block this planner recorded for the job and
 // drops the job's state, returning how many evict notifications went
-// out. A planner that never saw the job is a no-op.
-func (m *Master) evictJob(job dfs.JobID) int {
+// out. A planner that never saw the job is a no-op. With a journal
+// attached the eviction intent is durable before anything is sent or
+// dropped; a failed intent append leaves the job fully intact (the
+// crash model again — the Evict call fails with the dead master).
+// Parked migrate retries for the job are cancelled, so the retry pump
+// can never re-pin a block the job already released.
+func (m *Master) evictJob(job dfs.JobID) (int, error) {
 	m.mu.Lock()
 	epoch := m.epoch.get()
 	assigned := m.jobs[job]
+	hasRetries := false
+	for _, rb := range m.retries {
+		if rb.job == job {
+			hasRetries = true
+			break
+		}
+	}
+	if m.journal != nil && (len(assigned) > 0 || hasRetries) {
+		if err := m.journal.AppendEvictIntent(job); err != nil {
+			m.mu.Unlock()
+			return 0, fmt.Errorf("ignem: journal evict intent for job %s: %w", job, err)
+		}
+	}
 	delete(m.jobs, job)
+	if hasRetries {
+		kept := m.retries[:0]
+		for _, rb := range m.retries {
+			if rb.job == job && rb.migrate != nil {
+				continue
+			}
+			kept = append(kept, rb)
+		}
+		m.retries = kept
+	}
 	batches := make(map[string][]dfs.EvictCmd)
 	blocks := 0
 	for id, addr := range assigned {
@@ -215,12 +373,110 @@ func (m *Master) evictJob(job dfs.JobID) int {
 		cmds := batches[addr]
 		sort.Slice(cmds, func(i, j int) bool { return cmds[i].Block < cmds[j].Block })
 		if err := m.link.SendEvict(addr, dfs.EvictBatch{Epoch: epoch, Cmds: cmds}); err != nil {
-			m.mu.Lock()
-			m.stats.SendErrors++
-			m.mu.Unlock()
+			m.parkBatch(retryBatch{epoch: epoch, addr: addr, job: job, evict: cmds})
+			continue
+		}
+		if !m.journalDelivery(retryBatch{addr: addr, job: job, evict: cmds}) {
+			break
 		}
 	}
-	return blocks
+	return blocks, nil
+}
+
+// flushRetries re-sends every parked batch whose epoch is still
+// current; failures park again, stale epochs drop (a restart purged the
+// slaves, so the batch's state is gone anyway). Deliveries are
+// journaled like first-time sends.
+func (m *Master) flushRetries() {
+	m.mu.Lock()
+	pending := m.retries
+	m.retries = nil
+	epoch := m.epoch.get()
+	m.mu.Unlock()
+	if len(pending) == 0 {
+		return
+	}
+	var requeue []retryBatch
+	for _, rb := range pending {
+		if rb.epoch != epoch {
+			continue
+		}
+		if rb.migrate != nil && !m.jobLive(rb.job) {
+			continue // evicted while parked; never re-pin
+		}
+		var err error
+		if rb.migrate != nil {
+			err = m.link.SendMigrate(rb.addr, dfs.MigrateBatch{Epoch: rb.epoch, Cmds: rb.migrate})
+		} else {
+			err = m.link.SendEvict(rb.addr, dfs.EvictBatch{Epoch: rb.epoch, Cmds: rb.evict})
+		}
+		if err != nil {
+			requeue = append(requeue, rb)
+			continue
+		}
+		m.mu.Lock()
+		m.stats.RetriedBatches++
+		m.mu.Unlock()
+		m.journalDelivery(rb)
+	}
+	if len(requeue) > 0 {
+		m.mu.Lock()
+		m.retries = append(requeue, m.retries...)
+		m.mu.Unlock()
+	}
+}
+
+func (m *Master) jobLive(job dfs.JobID) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	_, ok := m.jobs[job]
+	return ok
+}
+
+// notePinned records heartbeat-confirmed pins against the journal: addr
+// now holds the listed blocks pinned and checksum-verified, which is
+// the state machine's swapped/checked stage. Blocks the planner never
+// assigned (or assigned elsewhere) are ignored.
+func (m *Master) notePinned(addr string, blocks []dfs.BlockID) {
+	m.mu.Lock()
+	j := m.journal
+	if j == nil {
+		m.mu.Unlock()
+		return
+	}
+	perJob := make(map[dfs.JobID][]dfs.BlockID)
+	for job, assigned := range m.jobs {
+		for _, id := range blocks {
+			if assigned[id] == addr {
+				perJob[job] = append(perJob[job], id)
+			}
+		}
+	}
+	m.mu.Unlock()
+	for _, job := range sortedJobs(perJob) {
+		ids := perJob[job]
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		// Append failures are ignored: pins re-confirm on the next
+		// heartbeat, and a lost recPinned only costs recovery one
+		// redundant (idempotent) re-send.
+		_ = j.AppendPinned(job, addr, ids)
+	}
+}
+
+// pendingRetries reports the retry queue length.
+func (m *Master) pendingRetries() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.retries)
+}
+
+func sortedJobs[V any](m map[dfs.JobID]V) []dfs.JobID {
+	out := make([]dfs.JobID, 0, len(m))
+	for job := range m {
+		out = append(out, job)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 // NotifyRead handles a client's batched cache-hit notification: the
@@ -275,6 +531,7 @@ func (m *Master) Restart() {
 	defer m.mu.Unlock()
 	m.epoch.bump()
 	m.jobs = make(map[dfs.JobID]map[dfs.BlockID]string)
+	m.retries = nil
 }
 
 // clearJobs drops all job state without touching the epoch; the
@@ -283,6 +540,7 @@ func (m *Master) clearJobs() {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.jobs = make(map[dfs.JobID]map[dfs.BlockID]string)
+	m.retries = nil
 }
 
 // Epoch returns the current master epoch.
@@ -306,6 +564,10 @@ func (m *Master) Stats() MasterStats {
 	st := m.stats
 	st.Epoch = m.epoch.get()
 	st.ActiveJobs = len(m.jobs)
+	st.PendingRetries = len(m.retries)
+	if m.journal != nil {
+		st.WALRecords = m.journal.Appended()
+	}
 	return st
 }
 

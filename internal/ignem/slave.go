@@ -21,9 +21,11 @@ import (
 )
 
 // MediaReader performs the timed device read that brings a block from
-// disk into memory. The datanode backs this with its media device.
+// disk into memory. The datanode backs this with its media device, and
+// verifies the stored replica against checksum (0 = unchecksummed)
+// during the copy, so a rotten replica is never pinned.
 type MediaReader interface {
-	ReadForMigration(b dfs.Block) error
+	ReadForMigration(b dfs.Block, checksum uint32) error
 }
 
 // Liveness answers whether a job is still running; the slave queries it
@@ -101,6 +103,10 @@ type SlaveStats struct {
 	MemoryMisses int64
 	// ThrottlePauses counts AdaptiveThrottle back-offs.
 	ThrottlePauses int64
+	// ReadFailures counts migration reads the media rejected — device
+	// errors and checksum mismatches. The block stays unpinned; readers
+	// fall back to disk (or another replica).
+	ReadFailures int64
 }
 
 type readKey struct {
@@ -495,7 +501,7 @@ func (s *Slave) worker() {
 		epoch := s.epoch
 		s.mu.Unlock()
 		readStart := s.clock.Now()
-		err := s.media.ReadForMigration(e.cmd.Block)
+		err := s.media.ReadForMigration(e.cmd.Block, e.cmd.Checksum)
 		readDur := s.clock.Now().Sub(readStart)
 		if err == nil && s.cfg.AdaptiveThrottle && contended(e.cmd.Block.Size, readDur, s.cfg.ContendedThresholdMBps) {
 			// Feedback pacing: the device is busy with foreground work;
@@ -511,7 +517,11 @@ func (s *Slave) worker() {
 		if s.closed {
 			return
 		}
-		if err != nil || epoch != s.epoch {
+		if err != nil {
+			s.stats.ReadFailures++
+			continue
+		}
+		if epoch != s.epoch {
 			continue
 		}
 		_, read := s.alreadyRead[key]

@@ -28,7 +28,7 @@ type fakeMedia struct {
 	maxInFlite int
 }
 
-func (m *fakeMedia) ReadForMigration(b dfs.Block) error {
+func (m *fakeMedia) ReadForMigration(b dfs.Block, _ uint32) error {
 	m.mu.Lock()
 	m.inFlight++
 	if m.inFlight > m.maxInFlite {
