@@ -2,9 +2,11 @@
 
 GO ?= go
 
-.PHONY: all ci test race vet build fmt-check tidy-check determinism chaos chaos-wal \
+.PHONY: all ci test race vet build fmt-check tidy-check determinism golden \
+	chaos chaos-wal \
 	bench-smoke bench bench-read bench-write bench-meta bench-meta-smoke \
 	bench-scale bench-scale-smoke bench-alloc profile fuzz-smoke \
+	bench-tier bench-tier-smoke \
 	experiments examples tidy
 
 all: vet test
@@ -43,17 +45,27 @@ tidy-check:
 # byte-for-byte identical output (wall-time footer lines filtered).
 # The sharded metadata plane extends the guard: shard count 1 must
 # reproduce the unsharded figures bit for bit (same seeded rng stream),
-# and shard count 4 must be deterministic across runs.
+# and shard count 4 must be deterministic across runs. The committed
+# golden (internal/experiments/testdata/swim_table3.golden) pins the
+# figures across PRs: at the default config — paper migration policy,
+# no tier budgets, no SSD tier — the output must stay bit-identical to
+# the pre-ladder pin-in-RAM master. Regenerate it deliberately with
+# `make golden` when a change is *supposed* to move the figures.
 determinism:
 	$(GO) test ./internal/experiments -run TestSwimSeededRunsAreBitIdentical -count=1
 	$(GO) run ./cmd/ignem-bench swim table3 | grep -v 'wall time' > /tmp/ignem-determinism-a.txt
 	$(GO) run ./cmd/ignem-bench swim table3 | grep -v 'wall time' > /tmp/ignem-determinism-b.txt
 	diff /tmp/ignem-determinism-a.txt /tmp/ignem-determinism-b.txt
+	diff /tmp/ignem-determinism-a.txt internal/experiments/testdata/swim_table3.golden
 	IGNEM_META_SHARDS=1 $(GO) run ./cmd/ignem-bench swim table3 | grep -v 'wall time' > /tmp/ignem-determinism-s1.txt
 	diff /tmp/ignem-determinism-a.txt /tmp/ignem-determinism-s1.txt
 	IGNEM_META_SHARDS=4 $(GO) run ./cmd/ignem-bench swim table3 | grep -v 'wall time' > /tmp/ignem-determinism-s4a.txt
 	IGNEM_META_SHARDS=4 $(GO) run ./cmd/ignem-bench swim table3 | grep -v 'wall time' > /tmp/ignem-determinism-s4b.txt
 	diff /tmp/ignem-determinism-s4a.txt /tmp/ignem-determinism-s4b.txt
+
+# Re-bless the committed figure golden after an intentional change.
+golden:
+	$(GO) run ./cmd/ignem-bench swim table3 | grep -v 'wall time' > internal/experiments/testdata/swim_table3.golden
 
 # The failure-recovery suite: the deterministic fault fabric's unit
 # tests and the end-to-end chaos scenarios (datanode crash mid-write,
@@ -162,6 +174,25 @@ bench-scale-smoke:
 	grep -q '"name": "BenchmarkScaleIncremental/inmem"' /tmp/ignem-smoke-scale.json
 	grep -q '"name": "BenchmarkScaleStorm/tcp/gated"' /tmp/ignem-smoke-scale.json
 	grep -q '"bytes_ratio"' /tmp/ignem-smoke-scale.json
+
+# The migration-ladder comparison: the same tight-RAM SWIM workload
+# under pin-in-RAM-only, the HDD→SSD→RAM ladder, and the popularity
+# policy. Machine-readable records (task-time CDFs, tier occupancy
+# timelines, master tier counters) land in BENCH_tier.json. The
+# acceptance bar — ladder p99 task time ≥1.2x better than pin-RAM when
+# the RAM budget is 25% of the working set — is enforced by
+# internal/tierbench's tests; the smoke target additionally checks the
+# record shape.
+bench-tier:
+	$(GO) run ./cmd/ignem-bench -tierbench BENCH_tier.json
+
+bench-tier-smoke:
+	$(GO) run ./cmd/ignem-bench -tierbench /tmp/ignem-smoke-tier.json -tierbench-smoke
+	$(GO) test ./internal/tierbench -run TestLadderBeatsPinRAMAtTightRAMBudget -count=1
+	grep -q '"name": "pin-ram"' /tmp/ignem-smoke-tier.json
+	grep -q '"name": "ladder"' /tmp/ignem-smoke-tier.json
+	grep -q '"p99_speedup_vs_pin_ram"' /tmp/ignem-smoke-tier.json
+	grep -q '"occupancy"' /tmp/ignem-smoke-tier.json
 
 # Regenerate every paper table and figure as rendered text (plus CSVs in
 # ./data for plotting).

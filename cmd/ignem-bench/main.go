@@ -8,6 +8,7 @@
 //	ignem-bench -writebench BENCH_write.json
 //	ignem-bench -metabench BENCH_meta.json [-metabench-smoke]
 //	ignem-bench -scalebench BENCH_scale.json [-scalebench-smoke]
+//	ignem-bench -tierbench BENCH_tier.json [-tierbench-smoke]
 //
 // With no experiment arguments, every experiment runs in order.
 // -readbench instead runs the read-path throughput benchmarks (striped
@@ -19,6 +20,9 @@
 // CI configuration); -scalebench runs the control-plane load harness
 // (1000-datanode/1M-block report intake: full vs incremental reports
 // and the reconnect storm, with -scalebench-smoke selecting the reduced
+// CI configuration); -tierbench runs the migration-ladder comparison
+// (pin-in-RAM-only vs the HDD→SSD→RAM ladder vs the popularity policy
+// under a tight RAM budget, with -tierbench-smoke selecting the reduced
 // CI configuration).
 //
 // Profiling: -cpuprofile, -memprofile, and -mutexprofile write pprof
@@ -39,6 +43,7 @@ import (
 	"repro/internal/metabench"
 	"repro/internal/readbench"
 	"repro/internal/scalebench"
+	"repro/internal/tierbench"
 	"repro/internal/writebench"
 )
 
@@ -101,6 +106,8 @@ func run() int {
 	metaSmoke := flag.Bool("metabench-smoke", false, "with -metabench, run the reduced CI smoke configuration")
 	scaleJSON := flag.String("scalebench", "", "run the control-plane scale harness and write JSON records to this file")
 	scaleSmoke := flag.Bool("scalebench-smoke", false, "with -scalebench, run the reduced CI smoke configuration")
+	tierJSON := flag.String("tierbench", "", "run the migration-ladder benchmarks and write JSON records to this file")
+	tierSmoke := flag.Bool("tierbench-smoke", false, "with -tierbench, run the reduced CI smoke configuration")
 	cpuProf := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProf := flag.String("memprofile", "", "write an end-of-run heap profile to this file")
 	mutexProf := flag.String("mutexprofile", "", "write an end-of-run mutex-contention profile to this file")
@@ -165,6 +172,33 @@ func run() int {
 			return 1
 		}
 		fmt.Printf("[metadata benchmarks completed in %v wall time; records in %s]\n", time.Since(start).Round(time.Millisecond), *metaJSON)
+		return 0
+	}
+
+	if *tierJSON != "" {
+		start := time.Now()
+		cfg := tierbench.Default()
+		if *tierSmoke {
+			cfg = tierbench.Smoke()
+		}
+		results, err := tierbench.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ignem-bench: tierbench: %v\n", err)
+			return 1
+		}
+		for _, r := range results {
+			line := fmt.Sprintf("%-12s task p50 %7.3fs  p99 %7.3fs  mem %4.0f%%  ssd %4.0f%%",
+				r.Name, r.TaskP50Sec, r.TaskP99Sec, r.MemoryHitFrac*100, r.SSDHitFrac*100)
+			if r.P99SpeedupVsPinRAM > 0 {
+				line += fmt.Sprintf("  p99 speedup %.2fx", r.P99SpeedupVsPinRAM)
+			}
+			fmt.Println(line)
+		}
+		if err := tierbench.WriteJSON(*tierJSON, results); err != nil {
+			fmt.Fprintf(os.Stderr, "ignem-bench: tierbench: %v\n", err)
+			return 1
+		}
+		fmt.Printf("[tier benchmarks completed in %v wall time; records in %s]\n", time.Since(start).Round(time.Millisecond), *tierJSON)
 		return 0
 	}
 

@@ -18,6 +18,7 @@ import (
 	"repro/internal/faultnet"
 	"repro/internal/ignem"
 	"repro/internal/simclock"
+	"repro/internal/storage"
 	"repro/internal/transport"
 	"repro/internal/wal"
 )
@@ -51,6 +52,13 @@ type Config struct {
 	// ScrubInterval enables the datanodes' background checksum scrubber
 	// (see cluster.Config.ScrubInterval).
 	ScrubInterval time.Duration
+	// SSD gives every datanode a flash rung (see cluster.Config.SSD);
+	// MigrationPolicy and TierBudgets configure the master's migration
+	// ladder. Zero values keep the historical two-tier pin-in-RAM
+	// cluster.
+	SSD             storage.Spec
+	MigrationPolicy string
+	TierBudgets     ignem.TierBudgets
 }
 
 // Harness is a running cluster whose fabric is under test control.
@@ -76,6 +84,10 @@ func Start(v *simclock.Virtual, cfg Config) (*Harness, error) {
 		MetaShards:    cfg.MetaShards,
 		WALBackend:    cfg.WALBackend,
 		ScrubInterval: cfg.ScrubInterval,
+
+		SSD:             cfg.SSD,
+		MigrationPolicy: cfg.MigrationPolicy,
+		TierBudgets:     cfg.TierBudgets,
 		WrapNet: func(node string, base transport.Network) transport.Network {
 			if h.Fabric == nil {
 				h.Fabric = faultnet.New(v, base, cfg.Seed)

@@ -8,7 +8,9 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/dfs"
 	"repro/internal/dfs/client"
+	"repro/internal/ignem"
 	"repro/internal/simclock"
+	"repro/internal/storage"
 	"repro/internal/wal"
 )
 
@@ -309,4 +311,156 @@ func TestWALRetryPumpDeliversThroughOneWayPartition(t *testing.T) {
 				return h.Cluster.TotalPinnedBytes() == 0
 			}, "eviction drains pins")
 		})
+}
+
+// ladderScenario runs the migration ladder's full lifecycle — write,
+// migrate (plan to SSD, pin, climb SSD→RAM), read, evict — on a
+// journaled cluster whose WAL backend crashes after crashAfter records
+// (crashAfter < 0 never crashes). Reviving the backend and driving
+// RecoverMaster at whatever boundary the log died must converge to the
+// same outcome as a clean run: every block device-copied onto the
+// fast path EXACTLY once and climbed EXACTLY once, all residency on
+// the RAM rung, and the master's budget ledger conserved — SSD charges
+// fully released by the climb confirmations, RAM charges matching the
+// pinned bytes, and both rungs empty after eviction. Sweeping
+// crashAfter across every boundary covers, among all the others, the
+// mid-ladder interleaving the journal exists for: master killed after
+// the SSD promotion became durable but before the RAM promotion did.
+func ladderScenario(t *testing.T, crashAfter int64) int64 {
+	t.Helper()
+	const blockSize = 1 << 20
+	const nblocks = 6
+	be := wal.NewMem()
+	var appended int64
+	cfg := Config{
+		Nodes: 4, Seed: 11, Mode: cluster.ModeIgnem, WALBackend: be,
+		SSD:             storage.SSDSpec(),
+		MigrationPolicy: "ladder",
+		TierBudgets:     ignem.TierBudgets{RAM: 64 << 20, SSD: 64 << 20},
+	}
+	runChaos(t, cfg, func(v *simclock.Virtual, h *Harness) {
+		c, err := h.Client(client.WithSeed(5))
+		if err != nil {
+			t.Fatalf("client: %v", err)
+		}
+		defer c.Close()
+		nn := h.Cluster.NameNode
+		data := filedata(4, nblocks*blockSize)
+		if err := c.WriteFile("/in", data, blockSize, 2); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		if crashAfter >= 0 {
+			be.CrashAfter(crashAfter)
+		}
+		recoverIfCrashed := func() bool {
+			if !be.Crashed() {
+				return false
+			}
+			be.Revive()
+			if err := nn.RecoverMaster(); err != nil {
+				t.Fatalf("recover at record %d: %v", crashAfter, err)
+			}
+			return true
+		}
+
+		_, err = c.Migrate("job1", []string{"/in"}, false)
+		if recoverIfCrashed() {
+			if err != nil {
+				if _, err := c.Migrate("job1", []string{"/in"}, false); err != nil {
+					t.Fatalf("re-migrate after recovery: %v", err)
+				}
+			}
+		} else if err != nil {
+			t.Fatalf("migrate: %v", err)
+		}
+
+		// The ladder may die (and be recovered) at any point after the
+		// plan became durable, including between the SSD pin
+		// confirmation and the RAM climb. Converged means: every block
+		// on the top rung, the flash rung drained.
+		waitUntil(t, v, 2*time.Minute, func() bool {
+			if recoverIfCrashed() {
+				return false
+			}
+			st := h.Cluster.SlaveStats()
+			return st.PinnedBlocks == nblocks && st.SSDPinnedBlocks == 0
+		}, "all blocks climbed to RAM after recovery")
+		// Let duplicate queue entries from recovery re-sends drain, and
+		// the pin-delta heartbeats reach the master's ledger.
+		v.Sleep(10 * time.Second)
+
+		st := h.Cluster.SlaveStats()
+		if st.MigratedBlocks != nblocks {
+			t.Fatalf("crash at record %d: %d fast-path copies for %d blocks — promotion not exactly-once",
+				crashAfter, st.MigratedBlocks, nblocks)
+		}
+		if st.ClimbedBlocks != nblocks {
+			t.Fatalf("crash at record %d: %d climbs for %d blocks — climb not exactly-once",
+				crashAfter, st.ClimbedBlocks, nblocks)
+		}
+		if st.SSDPinnedBytes != 0 {
+			t.Fatalf("crash at record %d: %d bytes stranded on the flash rung", crashAfter, st.SSDPinnedBytes)
+		}
+		if got := h.Cluster.TotalPinnedBytes(); got != int64(nblocks*blockSize) {
+			t.Fatalf("crash at record %d: pinned %d bytes, want %d", crashAfter, got, nblocks*blockSize)
+		}
+		// Budget conservation at the master: the climb confirmations
+		// released every SSD charge, and RAM charges match residency.
+		tiers := nn.Master().Stats().Tiers
+		if tiers.SSDUsedBytes != 0 {
+			t.Fatalf("crash at record %d: ledger still charges %d SSD bytes after all climbs",
+				crashAfter, tiers.SSDUsedBytes)
+		}
+		if tiers.RAMUsedBytes != int64(nblocks*blockSize) {
+			t.Fatalf("crash at record %d: ledger charges %d RAM bytes, want %d",
+				crashAfter, tiers.RAMUsedBytes, nblocks*blockSize)
+		}
+
+		got, err := c.ReadFile("/in", "job1")
+		if err != nil {
+			t.Fatalf("read: %v", err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("crash at record %d: file corrupted after recovery", crashAfter)
+		}
+
+		_, err = c.Evict("job1", []string{"/in"})
+		if recoverIfCrashed() {
+			if err != nil {
+				if _, err := c.Evict("job1", []string{"/in"}); err != nil {
+					t.Fatalf("re-evict after recovery: %v", err)
+				}
+			}
+		} else if err != nil {
+			t.Fatalf("evict: %v", err)
+		}
+		waitUntil(t, v, time.Minute, func() bool {
+			st := h.Cluster.SlaveStats()
+			return h.Cluster.TotalPinnedBytes() == 0 && st.SSDPinnedBytes == 0 &&
+				st.QueuedCmds == 0 && st.DeferredCmds == 0
+		}, "eviction drains both fast tiers")
+		v.Sleep(10 * time.Second)
+		tiers = nn.Master().Stats().Tiers
+		if tiers.RAMUsedBytes != 0 || tiers.SSDUsedBytes != 0 {
+			t.Fatalf("crash at record %d: ledger leaks charges after eviction (ram %d, ssd %d)",
+				crashAfter, tiers.RAMUsedBytes, tiers.SSDUsedBytes)
+		}
+		appended = be.Appends()
+	})
+	return appended
+}
+
+// TestWALLadderCrashAtEveryRecordExactlyOnce is the mid-ladder chaos
+// sweep: kill the master's WAL at EVERY record boundary a clean
+// ladder run writes — which includes the window between a durable SSD
+// promotion and its RAM climb — and assert the recovered master
+// converges to exactly-once placement with the budget ledger conserved.
+func TestWALLadderCrashAtEveryRecordExactlyOnce(t *testing.T) {
+	records := ladderScenario(t, -1)
+	if records < 10 {
+		t.Fatalf("clean ladder run journaled only %d records; the sweep expects the full two-rung state machine", records)
+	}
+	for k := int64(0); k < records; k++ {
+		ladderScenario(t, k)
+	}
 }

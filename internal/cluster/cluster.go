@@ -89,6 +89,24 @@ type Config struct {
 	ReportIntake int
 	// Slave configures the Ignem slaves.
 	Slave ignem.SlaveConfig
+	// SSD, when its Name is non-empty, gives every datanode a local SSD
+	// tier device (see datanode.Config.SSD) so the migration ladder has
+	// a middle rung. Zero — the default — runs the historical two-tier
+	// (HDD + RAM) cluster. Use storage.SSDSpec() for the fixed-latency
+	// model or storage.SSDVarSpec(seed) for the seeded read-latency
+	// long tail; each datanode's device derives its variability stream
+	// from this spec's seed offset by the node index, so nodes draw
+	// independent but reproducible tails.
+	SSD storage.Spec
+	// MigrationPolicy selects the Ignem master's tier-placement policy
+	// ("", "paper", "ladder", "popularity" — see ignem.PolicyByName).
+	// Empty keeps the paper's smallest-job-first-to-RAM plan,
+	// bit-identical to the historical master.
+	MigrationPolicy string
+	// TierBudgets caps cluster-wide fast-tier residency in bytes. Zero
+	// RAM = unlimited (historical behavior); zero SSD = SSD tier
+	// absent. See ignem.TierBudgets.
+	TierBudgets ignem.TierBudgets
 	// Seed drives all randomness (placement, replica choice).
 	Seed int64
 	// Racks spreads the datanodes round-robin over this many racks and
@@ -227,6 +245,9 @@ func Start(clock simclock.Clock, cfg Config) (*Cluster, error) {
 		ShardAddrs:   ShardAddrs(cfg.MetaShards),
 		ReportIntake: cfg.ReportIntake,
 		WALBackend:   cfg.WALBackend,
+
+		MigrationPolicy: cfg.MigrationPolicy,
+		TierBudgets:     cfg.TierBudgets,
 	})
 	if err := nn.Start(); err != nil {
 		return nil, err
@@ -250,7 +271,7 @@ func Start(clock simclock.Clock, cfg Config) (*Cluster, error) {
 		Scheduler: sched,
 		cfg:       cfg,
 	}
-	for _, addr := range addrs {
+	for i, addr := range addrs {
 		dncfg := datanode.Config{
 			Addr:               addr,
 			NameNodeAddr:       NameNodeAddr,
@@ -262,6 +283,17 @@ func Start(clock simclock.Clock, cfg Config) (*Cluster, error) {
 			Liveness:           sched,
 			ServeAllFromRAM:    cfg.Mode == ModeInputsInRAM,
 			ScrubInterval:      cfg.ScrubInterval,
+		}
+		if cfg.SSD.Name != "" {
+			dncfg.SSD = cfg.SSD
+			if cfg.SSD.ReadVar != nil {
+				// Offset the variability seed per node so slow-read
+				// draws are independent across the cluster yet
+				// reproducible from the cluster seed.
+				rv := *cfg.SSD.ReadVar
+				rv.Seed += int64(i)
+				dncfg.SSD.ReadVar = &rv
+			}
 		}
 		if cfg.Mode == ModeHotCache {
 			dncfg.HotCacheBytes = cfg.HotCacheBytes
@@ -325,6 +357,15 @@ func (c *Cluster) PinnedBytesPerNode() []int64 {
 	return out
 }
 
+// SSDBytesPerNode returns each slave's flash-rung occupancy.
+func (c *Cluster) SSDBytesPerNode() []int64 {
+	out := make([]int64, len(c.DataNodes))
+	for i, dn := range c.DataNodes {
+		out[i] = dn.Slave().SSDBytes()
+	}
+	return out
+}
+
 // SlaveStats aggregates slave counters across the cluster.
 func (c *Cluster) SlaveStats() ignem.SlaveStats {
 	var agg ignem.SlaveStats
@@ -342,6 +383,11 @@ func (c *Cluster) SlaveStats() ignem.SlaveStats {
 		agg.PurgedJobs += st.PurgedJobs
 		agg.MemoryHits += st.MemoryHits
 		agg.MemoryMisses += st.MemoryMisses
+		agg.SSDPinnedBytes += st.SSDPinnedBytes
+		agg.SSDPinnedBlocks += st.SSDPinnedBlocks
+		agg.SSDHits += st.SSDHits
+		agg.ClimbedBlocks += st.ClimbedBlocks
+		agg.Demotions += st.Demotions
 	}
 	return agg
 }

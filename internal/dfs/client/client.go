@@ -395,9 +395,12 @@ func (c *Client) readBlockFrom(addr string, lb dfs.LocatedBlock, job dfs.JobID) 
 
 // chooseReplica applies migration-aware locality preferences: the
 // Ignem-assigned replica when its copy is already pinned (or when it is
-// this very node), then any pinned copy, then a local replica, then any.
-// A not-yet-pinned assigned copy on another node is NOT preferred over a
-// local disk replica: a local disk read is cheaper than a remote one.
+// this very node), then any pinned copy, then an SSD-resident copy,
+// then a local replica, then any. A not-yet-pinned assigned copy on
+// another node is NOT preferred over a local disk replica: a local disk
+// read is cheaper than a remote one. The SSD slot draws from the rng
+// only when OnSSD is non-empty, so clusters without an SSD tier see
+// exactly the legacy draw sequence.
 func (c *Client) chooseReplica(lb dfs.LocatedBlock) string {
 	if lb.Assigned != "" {
 		if lb.Assigned == c.localAddr || contains(lb.Migrated, lb.Assigned) {
@@ -413,6 +416,16 @@ func (c *Client) chooseReplica(lb dfs.LocatedBlock) string {
 	}
 	if len(lb.Migrated) > 0 {
 		return c.pick(lb.Migrated)
+	}
+	if c.localAddr != "" {
+		for _, a := range lb.OnSSD {
+			if a == c.localAddr {
+				return a
+			}
+		}
+	}
+	if len(lb.OnSSD) > 0 {
+		return c.pick(lb.OnSSD)
 	}
 	if c.localAddr != "" {
 		for _, a := range lb.Nodes {

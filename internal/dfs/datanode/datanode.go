@@ -27,6 +27,13 @@ type Config struct {
 	NameNodeAddr string
 	// Media is the spec of the device backing cold blocks (HDD or SSD).
 	Media storage.Spec
+	// SSD, when its Name is non-empty, attaches a flash device as the
+	// migration ladder's middle tier: the slave lands HDD→SSD
+	// promotions on it and serves SSD-resident reads from it (with the
+	// spec's modeled read variability, if any). The zero value disables
+	// the tier — the datanode then behaves exactly as the two-tier
+	// original.
+	SSD storage.Spec
 	// HeartbeatInterval defaults to 1s. Heartbeats also carry pin-state
 	// deltas; when PinReportInterval is shorter, reports run at that
 	// faster cadence so the namenode's migrated-replica view stays
@@ -102,6 +109,7 @@ type DataNode struct {
 	listener transport.Listener
 	media    *storage.Device
 	ram      *storage.Device
+	ssd      *storage.Device // nil when the flash tier is disabled
 	slave    *ignem.Slave
 
 	hot *hotCache
@@ -121,6 +129,8 @@ type DataNode struct {
 	// count, drives the send cadence, so collapsing never changes when
 	// heartbeats go out.
 	pinPending map[dfs.BlockID]bool
+	// ssdPending mirrors pinPending for the SSD tier.
+	ssdPending map[dfs.BlockID]bool
 	pinDirty   bool
 	// blkPending is the incremental block report accumulator: the net
 	// presence change per replica since the last report (true = stored,
@@ -164,14 +174,25 @@ func New(clock simclock.Clock, net transport.Network, cfg Config) (*DataNode, er
 		media.Close()
 		return nil, fmt.Errorf("datanode: %w", err)
 	}
+	var ssd *storage.Device
+	if cfg.SSD.Name != "" {
+		ssd, err = storage.NewDevice(clock, cfg.SSD)
+		if err != nil {
+			media.Close()
+			ram.Close()
+			return nil, fmt.Errorf("datanode: %w", err)
+		}
+	}
 	dn := &DataNode{
 		clock:      clock,
 		net:        net,
 		cfg:        cfg,
 		media:      media,
 		ram:        ram,
+		ssd:        ssd,
 		store:      storage.NewReplicaStore(),
 		pinPending: make(map[dfs.BlockID]bool),
+		ssdPending: make(map[dfs.BlockID]bool),
 		blkPending: make(map[dfs.BlockID]bool),
 		jitter:     rand.New(rand.NewSource(mixSeed(cfg.Addr, cfg.Seed))),
 		peers:      make(map[string]*transport.Client),
@@ -197,6 +218,7 @@ func (dn *DataNode) Start() error {
 	s.Handle("dn.pullBlock", wrap(dn.handlePullBlock))
 	s.Handle("ignem.migrateBatch", wrap(dn.handleMigrateBatch))
 	s.Handle("ignem.evictBatch", wrap(dn.handleEvictBatch))
+	s.Handle("ignem.demoteBatch", wrap(dn.handleDemoteBatch))
 	s.Handle("ignem.readNotify", wrap(dn.handleReadNotify))
 	s.ServeBackground(l)
 	dn.server = s
@@ -239,6 +261,10 @@ func (dn *DataNode) Slave() *ignem.Slave { return dn.slave }
 // MediaDevice exposes the cold-storage device (for utilization metrics).
 func (dn *DataNode) MediaDevice() *storage.Device { return dn.media }
 
+// SSDDevice exposes the flash-tier device; nil when the tier is
+// disabled.
+func (dn *DataNode) SSDDevice() *storage.Device { return dn.ssd }
+
 // Addr returns the datanode's address.
 func (dn *DataNode) Addr() string { return dn.cfg.Addr }
 
@@ -273,6 +299,9 @@ func (dn *DataNode) Close() {
 	}
 	dn.media.Close()
 	dn.ram.Close()
+	if dn.ssd != nil {
+		dn.ssd.Close()
+	}
 }
 
 // Reconnect re-attaches a datanode whose network died out from under it
@@ -366,6 +395,30 @@ func (dn *DataNode) ReadForMigration(b dfs.Block, checksum uint32) error {
 	return nil
 }
 
+// CopyForMigration is the ignem.TierCopier hook: a timed copy between
+// storage tiers. HDD→SSD charges the cold-device read (with the same
+// checksum verification as a RAM migration) plus the flash write;
+// SSD→RAM reads the flash copy instead of the contended disk — the
+// whole point of climbing through the middle tier. Any other pair, or
+// a datanode without a flash device, falls back to the historical
+// ReadForMigration cost.
+func (dn *DataNode) CopyForMigration(b dfs.Block, checksum uint32, from, to dfs.Tier) error {
+	if dn.ssd == nil {
+		return dn.ReadForMigration(b, checksum)
+	}
+	switch {
+	case from == dfs.TierHDD && to == dfs.TierSSD:
+		if err := dn.ReadForMigration(b, checksum); err != nil {
+			return err
+		}
+		return dn.ssd.Write(b.Size)
+	case from == dfs.TierSSD && to == dfs.TierRAM:
+		return dn.ssd.Read(b.Size)
+	default:
+		return dn.ReadForMigration(b, checksum)
+	}
+}
+
 // dropCorrupt removes a replica whose payload failed verification and
 // reports it to the namenode (best effort, off the caller's path) so
 // the replication sweep can restore the missing copy from a healthy
@@ -391,11 +444,17 @@ func (dn *DataNode) dropCorrupt(id dfs.BlockID) {
 
 // onPinChange queues pin-state transitions for the next heartbeat.
 // Latest state wins: a block pinned then unpinned between reports ships
-// as a single unpin instead of both transitions.
-func (dn *DataNode) onPinChange(id dfs.BlockID, pinned bool) {
+// as a single unpin instead of both transitions. RAM and SSD deltas
+// accumulate separately; both drive the report cadence, since the
+// master's tier budgets stay reserved until the unpin delta lands.
+func (dn *DataNode) onPinChange(id dfs.BlockID, tier dfs.Tier, pinned bool) {
 	dn.mu.Lock()
 	defer dn.mu.Unlock()
-	dn.pinPending[id] = pinned
+	if tier == dfs.TierSSD {
+		dn.ssdPending[id] = pinned
+	} else {
+		dn.pinPending[id] = pinned
+	}
 	dn.pinDirty = true
 }
 
@@ -508,9 +567,12 @@ func (dn *DataNode) handleReadBlock(req dfs.ReadBlockReq) (dfs.ReadBlockResp, er
 		return dfs.ReadBlockResp{}, fmt.Errorf("datanode: read block %d on %s: %w", req.Block, dn.cfg.Addr, dfs.ErrChecksum)
 	}
 	// The read path carries the job ID (the paper's HDFS extension): the
-	// slave decides memory vs media and performs implicit eviction.
-	fromMemory := dn.slave.OnBlockRead(req.Block, req.Job)
-	if !fromMemory && dn.hot != nil && dn.hot.touch(req.Block) {
+	// slave decides which tier serves the read and performs implicit
+	// eviction.
+	tier, resident := dn.slave.OnBlockReadTier(req.Block, req.Job)
+	fromMemory := resident && tier == dfs.TierRAM
+	fromSSD := resident && tier == dfs.TierSSD && dn.ssd != nil
+	if !fromMemory && !fromSSD && dn.hot != nil && dn.hot.touch(req.Block) {
 		// Hot-data cache hit (the PACMan-style baseline): the block was
 		// read before and is still resident.
 		fromMemory = true
@@ -518,11 +580,15 @@ func (dn *DataNode) handleReadBlock(req dfs.ReadBlockReq) (dfs.ReadBlockResp, er
 	dev := dn.media
 	if fromMemory || dn.cfg.ServeAllFromRAM {
 		dev = dn.ram
+	} else if fromSSD {
+		// Flash-resident copy: served at flash speed, including the
+		// spec's modeled long-tail read variability.
+		dev = dn.ssd
 	}
 	if err := dev.Read(sb.Size); err != nil {
 		return dfs.ReadBlockResp{}, fmt.Errorf("datanode: read block %d: %w", req.Block, err)
 	}
-	if !fromMemory && dn.hot != nil {
+	if !fromMemory && !fromSSD && dn.hot != nil {
 		// Retain what was just read; hot caches only ever help the NEXT
 		// access, which is exactly why they cannot speed up cold,
 		// singly-read inputs.
@@ -626,6 +692,11 @@ func (dn *DataNode) handleEvictBatch(req dfs.EvictBatch) (dfs.EvictBatchResp, er
 	return dfs.EvictBatchResp{}, nil
 }
 
+func (dn *DataNode) handleDemoteBatch(req dfs.DemoteBatch) (dfs.DemoteBatchResp, error) {
+	dn.slave.ApplyDemoteBatch(req)
+	return dfs.DemoteBatchResp{}, nil
+}
+
 func (dn *DataNode) handleReadNotify(req dfs.ReadNotifyBatch) (dfs.ReadNotifyBatchResp, error) {
 	dn.slave.ApplyReadNotifyBatch(req)
 	return dfs.ReadNotifyBatchResp{}, nil
@@ -694,6 +765,7 @@ func (dn *DataNode) heartbeatLoop() {
 // they can be merged back if the transport loses it.
 type reportUndo struct {
 	pins map[dfs.BlockID]bool
+	ssd  map[dfs.BlockID]bool
 	blks map[dfs.BlockID]bool
 }
 
@@ -704,6 +776,7 @@ func (dn *DataNode) buildHeartbeatLocked() (dfs.HeartbeatReq, reportUndo) {
 	req := dfs.HeartbeatReq{
 		Addr:        dn.cfg.Addr,
 		PinnedBytes: dn.slave.PinnedBytes(),
+		SSDBytes:    dn.slave.SSDBytes(),
 		Seq:         dn.nextSeqLocked(),
 		Epoch:       dn.epoch,
 	}
@@ -712,6 +785,13 @@ func (dn *DataNode) buildHeartbeatLocked() (dfs.HeartbeatReq, reportUndo) {
 			req.Pinned = append(req.Pinned, id)
 		} else {
 			req.Unpinned = append(req.Unpinned, id)
+		}
+	}
+	for id, pinned := range dn.ssdPending {
+		if pinned {
+			req.SSDPinned = append(req.SSDPinned, id)
+		} else {
+			req.SSDUnpinned = append(req.SSDUnpinned, id)
 		}
 	}
 	for id, present := range dn.blkPending {
@@ -723,10 +803,13 @@ func (dn *DataNode) buildHeartbeatLocked() (dfs.HeartbeatReq, reportUndo) {
 	}
 	sortIDs(req.Pinned)
 	sortIDs(req.Unpinned)
+	sortIDs(req.SSDPinned)
+	sortIDs(req.SSDUnpinned)
 	sortIDs(req.Added)
 	sortIDs(req.Removed)
-	undo := reportUndo{pins: dn.pinPending, blks: dn.blkPending}
+	undo := reportUndo{pins: dn.pinPending, ssd: dn.ssdPending, blks: dn.blkPending}
 	dn.pinPending = make(map[dfs.BlockID]bool)
+	dn.ssdPending = make(map[dfs.BlockID]bool)
 	dn.blkPending = make(map[dfs.BlockID]bool)
 	dn.pinDirty = false
 	return req, undo
@@ -769,7 +852,12 @@ func (dn *DataNode) requeueLocked(undo reportUndo) {
 			dn.pinPending[id] = v
 		}
 	}
-	if len(dn.pinPending) > 0 {
+	for id, v := range undo.ssd {
+		if _, ok := dn.ssdPending[id]; !ok {
+			dn.ssdPending[id] = v
+		}
+	}
+	if len(dn.pinPending) > 0 || len(dn.ssdPending) > 0 {
 		dn.pinDirty = true
 	}
 	for id, v := range undo.blks {

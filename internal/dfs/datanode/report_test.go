@@ -25,9 +25,9 @@ func TestPinDeltaCollapse(t *testing.T) {
 		defer nn.Close()
 		defer dn.Close()
 
-		dn.onPinChange(7, true)
-		dn.onPinChange(7, false)
-		dn.onPinChange(9, true)
+		dn.onPinChange(7, dfs.TierRAM, true)
+		dn.onPinChange(7, dfs.TierRAM, false)
+		dn.onPinChange(9, dfs.TierRAM, true)
 
 		dn.mu.Lock()
 		dirty := dn.pinDirty
@@ -43,8 +43,8 @@ func TestPinDeltaCollapse(t *testing.T) {
 			t.Errorf("Unpinned = %v, want [7] (pin+unpin collapsed to net unpin)", req.Unpinned)
 		}
 		// Re-pinning collapses the other way: net pin, no unpin entry.
-		dn.onPinChange(7, false)
-		dn.onPinChange(7, true)
+		dn.onPinChange(7, dfs.TierRAM, false)
+		dn.onPinChange(7, dfs.TierRAM, true)
 		req = drainHeartbeat(dn)
 		if len(req.Pinned) != 1 || req.Pinned[0] != 7 || len(req.Unpinned) != 0 {
 			t.Errorf("Pinned/Unpinned = %v/%v, want [7]/[]", req.Pinned, req.Unpinned)
@@ -168,7 +168,7 @@ func TestTransportFailureRequeuesDeltas(t *testing.T) {
 		defer nn.Close()
 		defer dn.Close()
 
-		dn.onPinChange(4, true)
+		dn.onPinChange(4, dfs.TierRAM, true)
 		if _, err := dn.handleWriteBlock(dfs.WriteBlockReq{Block: dfs.Block{ID: 11, Size: 64}}); err != nil {
 			t.Fatal(err)
 		}
@@ -176,7 +176,7 @@ func TestTransportFailureRequeuesDeltas(t *testing.T) {
 		_, undo := dn.buildHeartbeatLocked()
 		dn.mu.Unlock()
 		// Before the failure lands, newer events arrive: 4 is unpinned.
-		dn.onPinChange(4, false)
+		dn.onPinChange(4, dfs.TierRAM, false)
 		dn.handleHeartbeatResult(errLost{}, undo, false)
 
 		req := drainHeartbeat(dn)

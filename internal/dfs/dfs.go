@@ -15,6 +15,7 @@ package dfs
 
 import (
 	"errors"
+	"fmt"
 	"hash/crc32"
 	"strings"
 	"time"
@@ -48,6 +49,48 @@ func Checksum(data []byte) uint32 {
 // read path exactly as the paper extends HDFS reads.
 type JobID string
 
+// Tier ranks storage classes in the migration ladder, coldest first.
+// Higher tiers are faster; Ignem policies promote blocks upward
+// (HDD→SSD→RAM) and demote them downward. It is defined here — not in
+// package storage — because migrate commands and heartbeat pin deltas
+// carry tier identity on the wire; storage aliases it for device specs.
+type Tier int
+
+const (
+	// TierHDD is the cold base tier where every block starts. It is
+	// never a migration target, which lets legacy tier-less messages
+	// read the zero value as "RAM" (see MigrateCmd.Tier).
+	TierHDD Tier = iota
+	// TierSSD is the intermediate flash tier.
+	TierSSD
+	// TierRAM is the top tier (the paper's pin-in-memory target).
+	TierRAM
+)
+
+// String names the tier as the figures do.
+func (t Tier) String() string {
+	switch t {
+	case TierHDD:
+		return "hdd"
+	case TierSSD:
+		return "ssd"
+	case TierRAM:
+		return "ram"
+	default:
+		return fmt.Sprintf("tier(%d)", int(t))
+	}
+}
+
+// EffectiveTarget maps a migrate command's wire tier to the tier a
+// slave pins at: the zero value (TierHDD, never a valid target) means a
+// legacy pin-in-RAM command.
+func (t Tier) EffectiveTarget() Tier {
+	if t == TierHDD {
+		return TierRAM
+	}
+	return t
+}
+
 // Block is block metadata.
 type Block struct {
 	ID   BlockID
@@ -63,6 +106,11 @@ type LocatedBlock struct {
 	// Migrated are the addresses where the block is currently pinned in
 	// memory by Ignem (a subset of Nodes).
 	Migrated []string
+	// OnSSD are the addresses holding an SSD-tier copy of the block (a
+	// subset of Nodes, disjoint from Migrated in practice only when the
+	// ladder has not yet climbed). Readers prefer Migrated, then OnSSD,
+	// then the cold replicas.
+	OnSSD []string
 	// Assigned is the replica the Ignem master chose to migrate for the
 	// requesting job (set only on job-scoped location queries). Tasks
 	// direct their reads there: that is where the in-memory copy is or
@@ -297,6 +345,13 @@ type HeartbeatReq struct {
 	Epoch       uint64
 	Added       []BlockID
 	Removed     []BlockID
+	// SSDPinned and SSDUnpinned carry the blocks whose SSD-tier
+	// residency changed since the last heartbeat, exactly as
+	// Pinned/Unpinned do for the RAM tier.
+	SSDPinned   []BlockID
+	SSDUnpinned []BlockID
+	// SSDBytes is the slave's current SSD-tier occupancy.
+	SSDBytes int64
 }
 
 // HeartbeatResp acknowledges a heartbeat. NeedFullReport asks the
@@ -500,6 +555,10 @@ type MigrateCmd struct {
 	// during the migrate copy, so a corrupt replica is reported instead
 	// of pinned.
 	Checksum uint32
+	// Tier is the target tier of the migration. The zero value (TierHDD
+	// — never a valid target) means TierRAM, so tier-less legacy
+	// commands and journal records replay as the paper's pin-in-RAM.
+	Tier Tier
 }
 
 // MigrateBatch carries a batch of migrate commands (the paper batches
@@ -526,6 +585,27 @@ type EvictBatch struct {
 
 // EvictBatchResp acknowledges an evict batch.
 type EvictBatchResp struct{}
+
+// DemoteCmd orders a slave to drop its tier-resident copy of a block
+// regardless of outstanding job references — downward migration. The
+// block's cold HDD replica is untouched, so a demotion never loses
+// data; it only frees the fast tier. Policies use it to drain
+// truly-cold residents (the NOVA-style downward rotation).
+type DemoteCmd struct {
+	Block BlockID
+	// Tier is the tier to vacate (TierSSD for the ladder's downward
+	// arm; TierRAM demotions are expressed as evictions today).
+	Tier Tier
+}
+
+// DemoteBatch carries a batch of demote commands.
+type DemoteBatch struct {
+	Epoch uint64
+	Cmds  []DemoteCmd
+}
+
+// DemoteBatchResp acknowledges a demote batch.
+type DemoteBatchResp struct{}
 
 // ReadNotifyCmd tells a slave that Job read Block somewhere the
 // datanode could not observe (a client cache hit), so the slave applies
@@ -568,6 +648,7 @@ func RegisterWire() {
 		BlockReportReq{}, BlockReportResp{},
 		MigrateBatch{}, MigrateBatchResp{},
 		EvictBatch{}, EvictBatchResp{},
+		DemoteBatch{}, DemoteBatchResp{},
 		BlockReadReq{}, BlockReadResp{},
 		ReadNotifyBatch{}, ReadNotifyBatchResp{},
 		EpochReq{}, EpochResp{},

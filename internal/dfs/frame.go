@@ -321,7 +321,10 @@ func (r *HeartbeatReq) AppendFrame(buf []byte) []byte {
 	buf = appendIDList(buf, r.Pinned)
 	buf = appendIDList(buf, r.Unpinned)
 	buf = appendIDList(buf, r.Added)
-	return appendIDList(buf, r.Removed)
+	buf = appendIDList(buf, r.Removed)
+	buf = binary.AppendUvarint(buf, uint64(r.SSDBytes))
+	buf = appendIDList(buf, r.SSDPinned)
+	return appendIDList(buf, r.SSDUnpinned)
 }
 
 // DecodeFrame implements transport.Framer.
@@ -358,6 +361,18 @@ func (r *HeartbeatReq) DecodeFrame(payload []byte) error {
 	if err != nil {
 		return err
 	}
+	ssdBytes, rest, err := frameUvarint(rest)
+	if err != nil {
+		return err
+	}
+	ssdPinned, rest, err := decodeIDList(rest)
+	if err != nil {
+		return err
+	}
+	ssdUnpinned, rest, err := decodeIDList(rest)
+	if err != nil {
+		return err
+	}
 	if len(rest) != 0 {
 		return errShortFrame
 	}
@@ -369,6 +384,8 @@ func (r *HeartbeatReq) DecodeFrame(payload []byte) error {
 	r.Epoch = epoch
 	r.Pinned, r.Unpinned = pinned, unpinned
 	r.Added, r.Removed = added, removed
+	r.SSDBytes = int64(ssdBytes)
+	r.SSDPinned, r.SSDUnpinned = ssdPinned, ssdUnpinned
 	return nil
 }
 

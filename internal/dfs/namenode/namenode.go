@@ -72,6 +72,15 @@ type Config struct {
 	// WALRetryInterval paces the journal's retry pump (re-sending
 	// transport-failed batches). Default 1s.
 	WALRetryInterval time.Duration
+	// MigrationPolicy selects the Ignem master's tier-placement policy:
+	// "paper" (or empty — the default smallest-job-first-to-RAM),
+	// "ladder", or "popularity". See ignem.PolicyByName. With the empty
+	// default and zero TierBudgets the migration plane is bit-identical
+	// to the pre-ladder master.
+	MigrationPolicy string
+	// TierBudgets caps cluster-wide fast-tier residency. A zero SSD
+	// budget means the cluster has no flash rung.
+	TierBudgets ignem.TierBudgets
 	// ReportIntake bounds how many full-inventory reconciles (register
 	// and block-report handling) may run concurrently; reports beyond
 	// the bound are rejected with dfs.ErrBusy and the datanode retries
@@ -114,6 +123,9 @@ type dnInfo struct {
 	// epoch identifies the full-inventory snapshot the datanode's deltas
 	// extend; bumped by every register/full report.
 	epoch uint64
+	// ssdBytes is the flash occupancy this datanode last reported; kept
+	// so the cluster-wide occupancy gauge can be maintained by delta.
+	ssdBytes int64
 }
 
 // NameNode is the file-system master process. Start it with Start, stop
@@ -132,6 +144,10 @@ type NameNode struct {
 	// walLog is the migration WAL handed to the Ignem master, nil when
 	// journaling is off; the namenode owns its lifecycle.
 	walLog *wal.Log
+
+	// tierErr records a bad tier configuration (unknown policy name)
+	// from New; Start surfaces it.
+	tierErr error
 
 	// stateMu guards closed.
 	stateMu sync.Mutex
@@ -171,6 +187,7 @@ type nnMetrics struct {
 	sweeps         metrics.Counter // expiry sweeps run
 	sweepLastNs    metrics.Gauge   // duration of the latest expiry sweep
 	corruptReports metrics.Counter // corrupt-replica reports from datanodes
+	ssdOccupancy   metrics.Gauge   // cluster flash occupancy per slave heartbeats
 }
 
 // Stats is a point-in-time snapshot of the NameNode's control-plane
@@ -189,6 +206,13 @@ type Stats struct {
 	// datanode read paths and scrubbers; each drops the bad replica from
 	// the location map so the replication sweep restores a healthy copy.
 	CorruptReports int64
+	// SSDOccupancyBytes is the cluster-wide flash occupancy as last
+	// reported by slave heartbeats (0 when the tier is disabled).
+	SSDOccupancyBytes int64
+	// Tiers is the Ignem master's tier-ladder accounting: per-tier
+	// reserved bytes, promotions by destination, climbs, demotions, and
+	// budget rejections. Zero-valued for a default (pin-in-RAM) master.
+	Tiers ignem.TierCounters
 }
 
 // Stats snapshots the control-plane counters.
@@ -204,6 +228,8 @@ func (nn *NameNode) Stats() Stats {
 		ExpirySweeps:       nn.metrics.sweeps.Load(),
 		LastSweepNanos:     nn.metrics.sweepLastNs.Load(),
 		CorruptReports:     nn.metrics.corruptReports.Load(),
+		SSDOccupancyBytes:  nn.metrics.ssdOccupancy.Load(),
+		Tiers:              nn.master.Stats().Tiers,
 	}
 }
 
@@ -239,6 +265,11 @@ func New(clock simclock.Clock, net transport.Network, cfg Config) *NameNode {
 		nn.ns = newMemNamespace(cfg.Seed, nn.placeTargets)
 	}
 	nn.master = ignem.NewCoordinator(nn, nn, cfg.Seed+1, nn.ns.Shards())
+	if cfg.MigrationPolicy != "" || cfg.TierBudgets != (ignem.TierBudgets{}) {
+		// New can't return an error without breaking every caller; an
+		// unknown policy name surfaces when Start reports it.
+		nn.tierErr = nn.master.ConfigureTiers(cfg.MigrationPolicy, cfg.TierBudgets)
+	}
 	return nn
 }
 
@@ -266,14 +297,32 @@ func (nn *NameNode) attachWAL() error {
 // WAL, resuming in-flight migrations after a master crash. Unlike
 // RestartMaster it does NOT bump the epoch or broadcast purges: slaves
 // keep their pins, and undelivered command batches are re-sent
-// idempotently from the journal.
+// idempotently from the journal. The replay is reconciled against the
+// namespace's pin side tables, which survive the master crash and
+// reflect pin/unpin deltas whose journal appends died with the old
+// master.
 func (nn *NameNode) RecoverMaster() error {
-	return nn.master.RecoverFromJournal()
+	return nn.master.RecoverFromJournalReconciled(func(id dfs.BlockID, addr string) (ram, ssd bool) {
+		ramHolders, ssdHolders := nn.ns.FastTierHolders(id)
+		return containsAddr(ramHolders, addr), containsAddr(ssdHolders, addr)
+	})
+}
+
+func containsAddr(list []string, addr string) bool {
+	for _, a := range list {
+		if a == addr {
+			return true
+		}
+	}
+	return false
 }
 
 // Start binds the RPC server and begins serving. It also starts the
 // datanode-expiry sweeper.
 func (nn *NameNode) Start() error {
+	if nn.tierErr != nil {
+		return fmt.Errorf("namenode: %w", nn.tierErr)
+	}
 	l, err := nn.net.Listen(nn.cfg.Addr)
 	if err != nil {
 		return fmt.Errorf("namenode: %w", err)
@@ -754,6 +803,10 @@ func (nn *NameNode) handleHeartbeat(req dfs.HeartbeatReq) (dfs.HeartbeatResp, er
 	dn.alive = true
 	dn.lastSeen = nn.clock.Now()
 	var needFull, staleEpoch bool
+	if req.SSDBytes != dn.ssdBytes {
+		nn.metrics.ssdOccupancy.Add(req.SSDBytes - dn.ssdBytes)
+		dn.ssdBytes = req.SSDBytes
+	}
 	if req.Seq > 0 {
 		if dn.nextSeq != 0 && req.Seq != dn.nextSeq {
 			// A delta went missing (lost heartbeat, reordered retry):
@@ -774,7 +827,8 @@ func (nn *NameNode) handleHeartbeat(req dfs.HeartbeatReq) (dfs.HeartbeatResp, er
 	nn.dnmu.Unlock()
 	nn.metrics.heartbeats.Inc()
 	nn.metrics.reportBytes.Add(reportWireBytes(
-		len(req.Pinned) + len(req.Unpinned) + len(req.Added) + len(req.Removed)))
+		len(req.Pinned) + len(req.Unpinned) + len(req.SSDPinned) + len(req.SSDUnpinned) +
+			len(req.Added) + len(req.Removed)))
 	if needFull {
 		nn.metrics.resyncRequests.Inc()
 	}
@@ -788,7 +842,18 @@ func (nn *NameNode) handleHeartbeat(req dfs.HeartbeatReq) (dfs.HeartbeatResp, er
 		// Confirmed pins advance the migration WAL's state machine to
 		// swapped/checked (no-op without a journal): the slave verified
 		// and pinned these blocks, so recovery won't re-send them.
-		nn.master.NotePinned(req.Addr, req.Pinned)
+		nn.master.NotePinned(req.Addr, dfs.TierRAM, req.Pinned)
+		// Confirmed unpins release the master's RAM-budget charge (no-op
+		// without tier budgets).
+		nn.master.NoteUnpinned(req.Addr, dfs.TierRAM, req.Unpinned)
+	}
+	if len(req.SSDPinned)+len(req.SSDUnpinned) > 0 {
+		nn.ns.SSDDeltas(req.Addr, req.SSDPinned, req.SSDUnpinned)
+		// A confirmed flash pin is what triggers the ladder's second
+		// rung (the policy's climb decision); a confirmed flash unpin
+		// releases the SSD-budget charge.
+		nn.master.NotePinned(req.Addr, dfs.TierSSD, req.SSDPinned)
+		nn.master.NoteUnpinned(req.Addr, dfs.TierSSD, req.SSDUnpinned)
 	}
 	if len(req.Added)+len(req.Removed) > 0 {
 		nn.ns.ApplyReplicaDeltas(req.Addr, req.Added, req.Removed)
@@ -833,6 +898,11 @@ func (nn *NameNode) expiryLoop() {
 				if dn.alive && now.Sub(dn.lastSeen) > nn.cfg.HeartbeatExpiry {
 					dn.alive = false
 					died = append(died, dn.addr)
+					// The dead node's flash residency is gone with it.
+					if dn.ssdBytes != 0 {
+						nn.metrics.ssdOccupancy.Add(-dn.ssdBytes)
+						dn.ssdBytes = 0
+					}
 				}
 			}
 			if len(died) > 0 {
@@ -947,6 +1017,12 @@ func (nn *NameNode) Resolve(path string) ([]dfs.LocatedBlock, error) {
 			}
 		}
 		sort.Strings(lb.Migrated)
+		for _, addr := range rb.onSSD {
+			if dn := nn.datanodes[addr]; dn != nil && dn.alive {
+				lb.OnSSD = append(lb.OnSSD, addr)
+			}
+		}
+		sort.Strings(lb.OnSSD)
 		out = append(out, lb)
 	}
 	return out, nil
@@ -972,6 +1048,17 @@ func (nn *NameNode) SendEvict(addr string, batch dfs.EvictBatch) error {
 		return err
 	}
 	_, err = transport.Call[dfs.EvictBatchResp](c, "ignem.evictBatch", batch)
+	return err
+}
+
+// SendDemote pushes a demote batch to the slave at addr — the ladder's
+// downward arm (ignem.DemoteSender).
+func (nn *NameNode) SendDemote(addr string, batch dfs.DemoteBatch) error {
+	c, err := nn.slaveClient(addr)
+	if err != nil {
+		return err
+	}
+	_, err = transport.Call[dfs.DemoteBatchResp](c, "ignem.demoteBatch", batch)
 	return err
 }
 

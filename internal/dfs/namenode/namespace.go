@@ -57,7 +57,17 @@ type Namespace interface {
 	ApplyReplicaDeltas(addr string, added, removed []dfs.BlockID)
 	// PinDeltas applies a heartbeat's pinned/unpinned block deltas.
 	PinDeltas(addr string, pinned, unpinned []dfs.BlockID)
-	// DropPinned drops all pinned state for the given (dead) datanodes.
+	// SSDDeltas applies a heartbeat's SSD-tier residency deltas, exactly
+	// as PinDeltas does for the RAM tier.
+	SSDDeltas(addr string, pinned, unpinned []dfs.BlockID)
+	// FastTierHolders reports which datanodes currently hold the block
+	// pinned in RAM and which on SSD, per the heartbeat-maintained side
+	// tables. Master recovery reconciles the replayed journal against
+	// this authoritative view: pin and unpin deltas the dead master
+	// consumed without journaling are still reflected here.
+	FastTierHolders(block dfs.BlockID) (ram, ssd []string)
+	// DropPinned drops all pinned state (both fast tiers) for the given
+	// (dead) datanodes.
 	DropPinned(addrs []string)
 	// RepairScan finds under-replicated blocks given the current
 	// liveness map, chooses a pull source and target for each, and marks
@@ -92,6 +102,7 @@ type resolvedBlock struct {
 	checksum uint32 // write-time CRC32C; 0 = unchecksummed
 	nodes    []string
 	pinned   []string
+	onSSD    []string
 }
 
 type fileEntry struct {

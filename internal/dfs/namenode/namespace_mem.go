@@ -26,6 +26,9 @@ type memNamespace struct {
 	files  map[string]*fileEntry
 	blocks map[dfs.BlockID]*blockMeta
 	pins   pinMap
+	// ssd mirrors pins for the flash tier: which datanodes hold which
+	// blocks SSD-resident. Same sparse side-table reasoning.
+	ssd pinMap
 	// sums is the sparse write-time checksum map. A side map, not a
 	// blockMeta field: most experiment blocks are synthetic and
 	// unchecksummed, and blockMeta's flat size class is budget-gated.
@@ -46,6 +49,7 @@ func newMemNamespace(seed int64, place placeFunc) *memNamespace {
 		files:  make(map[string]*fileEntry),
 		blocks: make(map[dfs.BlockID]*blockMeta),
 		pins:   make(pinMap),
+		ssd:    make(pinMap),
 		sums:   make(map[dfs.BlockID]uint32),
 		rng:    rand.New(rand.NewSource(seed)),
 	}
@@ -175,6 +179,7 @@ func (ns *memNamespace) Delete(path string) (map[string][]dfs.BlockID, error) {
 		}
 		delete(ns.blocks, b.ID)
 		delete(ns.pins, b.ID)
+		delete(ns.ssd, b.ID)
 		delete(ns.sums, b.ID)
 	}
 	return toDelete, nil
@@ -208,6 +213,7 @@ func (ns *memNamespace) Resolve(path string) ([]resolvedBlock, error) {
 		if meta := ns.blocks[b.ID]; meta != nil {
 			rb.nodes = addrSlice(addrs, &meta.nodes)
 			rb.pinned = idAddrs(addrs, ns.pins.view(b.ID))
+			rb.onSSD = idAddrs(addrs, ns.ssd.view(b.ID))
 		}
 		offset += b.Size
 		out = append(out, rb)
@@ -219,14 +225,14 @@ func (ns *memNamespace) Reconcile(addr string, held []dfs.BlockID) {
 	id := ns.table.intern(addr)
 	ns.mu.Lock()
 	defer ns.mu.Unlock()
-	reconcileBlocks(ns.blocks, ns.pins, id, held)
+	reconcileBlocks(ns.blocks, ns.pins, ns.ssd, id, held)
 }
 
 func (ns *memNamespace) ApplyReplicaDeltas(addr string, added, removed []dfs.BlockID) {
 	id := ns.table.intern(addr)
 	ns.mu.Lock()
 	defer ns.mu.Unlock()
-	applyReplicaDeltas(ns.blocks, ns.pins, id, added, removed)
+	applyReplicaDeltas(ns.blocks, ns.pins, ns.ssd, id, added, removed)
 }
 
 func (ns *memNamespace) PinDeltas(addr string, pinned, unpinned []dfs.BlockID) {
@@ -243,6 +249,27 @@ func (ns *memNamespace) PinDeltas(addr string, pinned, unpinned []dfs.BlockID) {
 	}
 }
 
+func (ns *memNamespace) SSDDeltas(addr string, pinned, unpinned []dfs.BlockID) {
+	id := ns.table.intern(addr)
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	for _, b := range pinned {
+		if _, ok := ns.blocks[b]; ok {
+			ns.ssd.add(b, id)
+		}
+	}
+	for _, b := range unpinned {
+		ns.ssd.remove(b, id)
+	}
+}
+
+func (ns *memNamespace) FastTierHolders(block dfs.BlockID) (ram, ssd []string) {
+	ns.mu.RLock()
+	defer ns.mu.RUnlock()
+	addrs := ns.table.addrsView()
+	return idAddrs(addrs, ns.pins.view(block)), idAddrs(addrs, ns.ssd.view(block))
+}
+
 func (ns *memNamespace) DropPinned(addrs []string) {
 	ids := lookupAll(ns.table, addrs)
 	if len(ids) == 0 {
@@ -251,6 +278,7 @@ func (ns *memNamespace) DropPinned(addrs []string) {
 	ns.mu.Lock()
 	defer ns.mu.Unlock()
 	ns.pins.dropNodes(ids)
+	ns.ssd.dropNodes(ids)
 }
 
 func (ns *memNamespace) RepairScan(live map[string]bool) []repairJob {
@@ -374,7 +402,7 @@ func idAddrs(addrs []string, ids []nodeID) []string {
 // replica inventory: entries it no longer holds are dropped; entries it
 // holds (for blocks the namespace still knows) are added back. Called
 // with the table's lock held.
-func reconcileBlocks(blocks map[dfs.BlockID]*blockMeta, pins pinMap, node nodeID, held []dfs.BlockID) {
+func reconcileBlocks(blocks map[dfs.BlockID]*blockMeta, pins, ssd pinMap, node nodeID, held []dfs.BlockID) {
 	holds := make(map[dfs.BlockID]struct{}, len(held))
 	for _, id := range held {
 		holds[id] = struct{}{}
@@ -385,6 +413,7 @@ func reconcileBlocks(blocks map[dfs.BlockID]*blockMeta, pins pinMap, node nodeID
 		} else {
 			meta.nodes.remove(node)
 			pins.remove(id, node)
+			ssd.remove(id, node)
 		}
 	}
 }
@@ -393,7 +422,7 @@ func reconcileBlocks(blocks map[dfs.BlockID]*blockMeta, pins pinMap, node nodeID
 // O(delta), never a full-table scan. A removed replica also drops the
 // node's pin — storage gone means the pinned copy is gone too. Called
 // with the table's lock held.
-func applyReplicaDeltas(blocks map[dfs.BlockID]*blockMeta, pins pinMap, node nodeID, added, removed []dfs.BlockID) {
+func applyReplicaDeltas(blocks map[dfs.BlockID]*blockMeta, pins, ssd pinMap, node nodeID, added, removed []dfs.BlockID) {
 	for _, b := range added {
 		if meta := blocks[b]; meta != nil {
 			meta.nodes.add(node)
@@ -403,6 +432,7 @@ func applyReplicaDeltas(blocks map[dfs.BlockID]*blockMeta, pins pinMap, node nod
 		if meta := blocks[b]; meta != nil {
 			meta.nodes.remove(node)
 			pins.remove(b, node)
+			ssd.remove(b, node)
 		}
 	}
 }

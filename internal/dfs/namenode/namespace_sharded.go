@@ -62,6 +62,8 @@ type blockShard struct {
 	mu     sync.RWMutex
 	blocks map[dfs.BlockID]*blockMeta
 	pins   pinMap
+	// ssd mirrors pins for the flash tier (see memNamespace.ssd).
+	ssd pinMap
 	// sums is the shard's sparse write-time checksum map (see
 	// memNamespace.sums).
 	sums map[dfs.BlockID]uint32
@@ -85,6 +87,7 @@ func newShardedNamespace(shards int, seed int64, place placeFunc) *shardedNamesp
 		ns.blockShards = append(ns.blockShards, &blockShard{
 			blocks: make(map[dfs.BlockID]*blockMeta),
 			pins:   make(pinMap),
+			ssd:    make(pinMap),
 			sums:   make(map[dfs.BlockID]uint32),
 		})
 	}
@@ -258,6 +261,7 @@ func (ns *shardedNamespace) Delete(path string) (map[string][]dfs.BlockID, error
 			}
 			delete(bs.blocks, id)
 			delete(bs.pins, id)
+			delete(bs.ssd, id)
 			delete(bs.sums, id)
 		}
 		bs.mu.Unlock()
@@ -312,6 +316,7 @@ func (ns *shardedNamespace) Resolve(path string) ([]resolvedBlock, error) {
 			if meta := bs.blocks[out[i].block.ID]; meta != nil {
 				out[i].nodes = addrSlice(addrs, &meta.nodes)
 				out[i].pinned = idAddrs(addrs, bs.pins.view(out[i].block.ID))
+				out[i].onSSD = idAddrs(addrs, bs.ssd.view(out[i].block.ID))
 			}
 		}
 		bs.mu.RUnlock()
@@ -323,7 +328,7 @@ func (ns *shardedNamespace) Reconcile(addr string, held []dfs.BlockID) {
 	id := ns.table.intern(addr)
 	for _, bs := range ns.blockShards {
 		bs.mu.Lock()
-		reconcileBlocks(bs.blocks, bs.pins, id, held)
+		reconcileBlocks(bs.blocks, bs.pins, bs.ssd, id, held)
 		bs.mu.Unlock()
 	}
 }
@@ -346,12 +351,30 @@ func (ns *shardedNamespace) ApplyReplicaDeltas(addr string, added, removed []dfs
 		}
 		bs := ns.blockShards[s]
 		bs.mu.Lock()
-		applyReplicaDeltas(bs.blocks, bs.pins, id, d.added, d.removed)
+		applyReplicaDeltas(bs.blocks, bs.pins, bs.ssd, id, d.added, d.removed)
 		bs.mu.Unlock()
 	}
 }
 
 func (ns *shardedNamespace) PinDeltas(addr string, pinned, unpinned []dfs.BlockID) {
+	ns.tierDeltas(addr, pinned, unpinned, func(bs *blockShard) pinMap { return bs.pins })
+}
+
+func (ns *shardedNamespace) SSDDeltas(addr string, pinned, unpinned []dfs.BlockID) {
+	ns.tierDeltas(addr, pinned, unpinned, func(bs *blockShard) pinMap { return bs.ssd })
+}
+
+func (ns *shardedNamespace) FastTierHolders(block dfs.BlockID) (ram, ssd []string) {
+	bs := ns.blockShards[ns.ring.BlockShard(uint64(block))]
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
+	addrs := ns.table.addrsView()
+	return idAddrs(addrs, bs.pins.view(block)), idAddrs(addrs, bs.ssd.view(block))
+}
+
+// tierDeltas applies one tier's residency deltas, routing each block to
+// its owning shard; sel picks which of the shard's tier maps to touch.
+func (ns *shardedNamespace) tierDeltas(addr string, pinned, unpinned []dfs.BlockID, sel func(*blockShard) pinMap) {
 	nid := ns.table.intern(addr)
 	type delta struct{ pinned, unpinned []dfs.BlockID }
 	parts := make([]delta, len(ns.blockShards))
@@ -369,13 +392,14 @@ func (ns *shardedNamespace) PinDeltas(addr string, pinned, unpinned []dfs.BlockI
 		}
 		bs := ns.blockShards[s]
 		bs.mu.Lock()
+		m := sel(bs)
 		for _, id := range d.pinned {
 			if _, ok := bs.blocks[id]; ok {
-				bs.pins.add(id, nid)
+				m.add(id, nid)
 			}
 		}
 		for _, id := range d.unpinned {
-			bs.pins.remove(id, nid)
+			m.remove(id, nid)
 		}
 		bs.mu.Unlock()
 	}
@@ -389,6 +413,7 @@ func (ns *shardedNamespace) DropPinned(addrs []string) {
 	for _, bs := range ns.blockShards {
 		bs.mu.Lock()
 		bs.pins.dropNodes(ids)
+		bs.ssd.dropNodes(ids)
 		bs.mu.Unlock()
 	}
 }

@@ -33,6 +33,9 @@ func TestHeartbeatReqFrameRoundTrip(t *testing.T) {
 			Unpinned:    []BlockID{9, 10},
 			Added:       []BlockID{100, 101, 105, 1 << 40},
 			Removed:     []BlockID{7},
+			SSDPinned:   []BlockID{11, 12},
+			SSDUnpinned: []BlockID{13},
+			SSDBytes:    64 << 20,
 		},
 		// Unsorted lists must still round-trip (delta wraps).
 		{Addr: "x", Added: []BlockID{50, 10, 90, 10}},
@@ -46,7 +49,9 @@ func TestHeartbeatReqFrameRoundTrip(t *testing.T) {
 		if out.Addr != in.Addr || out.PinnedBytes != in.PinnedBytes ||
 			out.Seq != in.Seq || out.Epoch != in.Epoch ||
 			!idsEqual(out.Pinned, in.Pinned) || !idsEqual(out.Unpinned, in.Unpinned) ||
-			!idsEqual(out.Added, in.Added) || !idsEqual(out.Removed, in.Removed) {
+			!idsEqual(out.Added, in.Added) || !idsEqual(out.Removed, in.Removed) ||
+			out.SSDBytes != in.SSDBytes ||
+			!idsEqual(out.SSDPinned, in.SSDPinned) || !idsEqual(out.SSDUnpinned, in.SSDUnpinned) {
 			t.Fatalf("case %d: round trip changed request:\n in  %+v\n out %+v", i, in, out)
 		}
 	}
@@ -106,6 +111,7 @@ func FuzzHeartbeatReqFrame(f *testing.F) {
 		Addr: "dn1:9000", PinnedBytes: 1 << 20, Seq: 7, Epoch: 2,
 		Pinned: []BlockID{1}, Unpinned: []BlockID{2},
 		Added: []BlockID{3, 4}, Removed: []BlockID{5},
+		SSDPinned: []BlockID{6}, SSDUnpinned: []BlockID{7}, SSDBytes: 1 << 10,
 	}
 	enc := full.AppendFrame(nil)
 	f.Add(enc)
@@ -123,7 +129,9 @@ func FuzzHeartbeatReqFrame(f *testing.F) {
 		if r2.Addr != r.Addr || r2.PinnedBytes != r.PinnedBytes ||
 			r2.Seq != r.Seq || r2.Epoch != r.Epoch ||
 			!idsEqual(r2.Pinned, r.Pinned) || !idsEqual(r2.Unpinned, r.Unpinned) ||
-			!idsEqual(r2.Added, r.Added) || !idsEqual(r2.Removed, r.Removed) {
+			!idsEqual(r2.Added, r.Added) || !idsEqual(r2.Removed, r.Removed) ||
+			r2.SSDBytes != r.SSDBytes ||
+			!idsEqual(r2.SSDPinned, r.SSDPinned) || !idsEqual(r2.SSDUnpinned, r.SSDUnpinned) {
 			t.Fatalf("round trip changed request")
 		}
 	})

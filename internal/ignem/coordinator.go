@@ -34,6 +34,13 @@ type Coordinator struct {
 	ring     *shardmap.Ring
 	epoch    *epochCounter
 
+	// Tier plane (nil until ConfigureTiers): the policy, budget ledger,
+	// and popularity tracker shared by every planner, owned here for the
+	// same reason the epoch is — budgets are cluster-wide, not per-shard.
+	policy Policy
+	ledger *tierLedger
+	pop    *popTracker
+
 	// reqMu guards the request counters. Requests are counted here, not
 	// in the planners: a cross-shard migrate is one request no matter how
 	// many planners it touches.
@@ -77,6 +84,34 @@ func NewCoordinator(resolver Resolver, link SlaveLink, seed int64, shards int) *
 
 // Shards returns the planner count.
 func (co *Coordinator) Shards() int { return len(co.masters) }
+
+// ConfigureTiers installs the migration ladder: a named policy plus
+// per-tier byte budgets, shared across every planner shard. Call before
+// serving requests (and before RecoverFromJournal, so a recovered
+// ledger has its limits). A coordinator never configured keeps the
+// paper's pin-in-RAM behavior bit-identically.
+func (co *Coordinator) ConfigureTiers(policyName string, budgets TierBudgets) error {
+	p, ok := PolicyByName(policyName)
+	if !ok {
+		return fmt.Errorf("ignem: unknown migration policy %q", policyName)
+	}
+	co.policy = p
+	co.ledger = newTierLedger(budgets)
+	co.pop = newPopTracker()
+	for _, m := range co.masters {
+		m.setTierPlane(p, co.ledger, co.pop)
+	}
+	return nil
+}
+
+// PolicyName reports the configured policy ("" when no tier plane is
+// configured).
+func (co *Coordinator) PolicyName() string {
+	if co.policy == nil {
+		return ""
+	}
+	return co.policy.Name()
+}
 
 // AttachJournal gives every planner a shared migration WAL and starts
 // the retry pump: a clock-driven loop that re-sends transport-failed
@@ -142,15 +177,17 @@ func (co *Coordinator) maybeTruncate() {
 	_ = co.journal.Truncate()
 }
 
-// NotePinned feeds heartbeat-confirmed pin deltas to the journal: the
-// slave at addr now holds these blocks pinned and checksum-verified.
-// A no-op without a journal.
-func (co *Coordinator) NotePinned(addr string, blocks []dfs.BlockID) {
-	if co.journal == nil || len(blocks) == 0 {
+// NotePinned feeds heartbeat-confirmed pin deltas at tier to the
+// planners: the slave at addr now holds these blocks pinned and
+// checksum-verified. The journal records the swap, and — for SSD pins
+// under a ladder policy — the owning planner issues the second rung.
+// A no-op without a journal or a tier plane.
+func (co *Coordinator) NotePinned(addr string, tier dfs.Tier, blocks []dfs.BlockID) {
+	if (co.journal == nil && co.policy == nil) || len(blocks) == 0 {
 		return
 	}
 	if len(co.masters) == 1 {
-		co.masters[0].notePinned(addr, blocks)
+		co.masters[0].notePinned(addr, tier, blocks)
 		return
 	}
 	parts := make([][]dfs.BlockID, len(co.masters))
@@ -160,7 +197,29 @@ func (co *Coordinator) NotePinned(addr string, blocks []dfs.BlockID) {
 	}
 	for i, m := range co.masters {
 		if len(parts[i]) > 0 {
-			m.notePinned(addr, parts[i])
+			m.notePinned(addr, tier, parts[i])
+		}
+	}
+}
+
+// NoteUnpinned feeds heartbeat unpin deltas at tier to the planners,
+// releasing the blocks' budget charges. A no-op without a tier plane.
+func (co *Coordinator) NoteUnpinned(addr string, tier dfs.Tier, blocks []dfs.BlockID) {
+	if co.ledger == nil || len(blocks) == 0 {
+		return
+	}
+	if len(co.masters) == 1 {
+		co.masters[0].noteUnpinned(addr, tier, blocks)
+		return
+	}
+	parts := make([][]dfs.BlockID, len(co.masters))
+	for _, id := range blocks {
+		s := co.ring.BlockShard(uint64(id))
+		parts[s] = append(parts[s], id)
+	}
+	for i, m := range co.masters {
+		if len(parts[i]) > 0 {
+			m.noteUnpinned(addr, tier, parts[i])
 		}
 	}
 }
@@ -180,12 +239,36 @@ func (co *Coordinator) NotePinned(addr string, blocks []dfs.BlockID) {
 // After rebuilding, parked batches are flushed once so recovery
 // converges without waiting for the pump.
 func (co *Coordinator) RecoverFromJournal() error {
+	return co.RecoverFromJournalReconciled(nil)
+}
+
+// ResidencyView reports a block replica's authoritative fast-tier
+// residency — the namenode's heartbeat-maintained pin side tables. The
+// dying master may have consumed pin/unpin deltas whose journal appends
+// failed (the slaves won't re-send them), so replay alone under-counts
+// confirmed pins and over-counts released charges; recovery reconciles
+// against this view to close both gaps.
+type ResidencyView func(id dfs.BlockID, addr string) (ram, ssd bool)
+
+// RecoverFromJournalReconciled is RecoverFromJournal with a residency
+// view to reconcile the replayed state against (nil skips
+// reconciliation):
+//
+//   - an entry planned at a fast tier whose pin confirmation was lost
+//     but whose residency the view confirms is marked pinned, so the
+//     ladder's next rung still climbs instead of stalling forever
+//   - an SSD budget charge whose block has left flash and reached RAM
+//     (the climb completed; the unpin record was lost) is released
+func (co *Coordinator) RecoverFromJournalReconciled(view ResidencyView) error {
 	if co.journal == nil {
 		return fmt.Errorf("ignem: recover without a journal attached")
 	}
 	rec, err := co.journal.Replay()
 	if err != nil {
 		return fmt.Errorf("ignem: journal replay: %w", err)
+	}
+	if view != nil {
+		co.reconcileReplay(rec, view)
 	}
 	for _, m := range co.masters {
 		m.mu.Lock()
@@ -195,10 +278,19 @@ func (co *Coordinator) RecoverFromJournal() error {
 	}
 	epoch := co.epoch.get()
 	for _, m := range co.masters {
-		m.jobs = make(map[dfs.JobID]map[dfs.BlockID]string)
+		m.jobs = make(map[dfs.JobID]*jobState)
 		m.retries = nil
 	}
+	// The budget ledger is rebuilt wholesale from the replayed charge/
+	// release stream, so a recovered master admits exactly what the dead
+	// one had admitted.
+	co.ledger.load(rec.residency)
 	resumed := int64(0)
+	// ssdPinned collects blocks whose SSD pin was confirmed but whose
+	// second rung was never planned: recovery re-runs the climb decision
+	// for them once the planners are unlocked (heartbeats won't re-send
+	// those deltas — the slaves already reported them).
+	ssdPinned := make(map[retryKey][]dfs.BlockID)
 	for _, job := range sortedJobs(rec.jobs) {
 		rj := rec.jobs[job]
 		if rj.evictIntent {
@@ -207,12 +299,16 @@ func (co *Coordinator) RecoverFromJournal() error {
 		}
 		resumed++
 		// Shard 0 anchors the job as a live migrate request would.
-		co.anchorJob(0, job)
+		co.anchorJob(0, job, rj)
 		pending := make(map[retryKey][]dfs.MigrateCmd)
 		for _, id := range sortedBlockIDs(rj.blocks) {
 			e := rj.blocks[id]
 			s := co.ring.BlockShard(uint64(id))
-			co.anchorJob(s, job)[id] = e.addr
+			co.anchorJob(s, job, rj).blocks[id] = &assignment{addr: e.addr, size: e.size, checksum: e.checksum, tier: e.tier}
+			if e.pinned && e.tier == dfs.TierSSD {
+				k := retryKey{s, e.addr}
+				ssdPinned[k] = append(ssdPinned[k], id)
+			}
 			if e.copied || e.pinned {
 				continue
 			}
@@ -224,6 +320,7 @@ func (co *Coordinator) RecoverFromJournal() error {
 				SubmitTime:   rj.submitTime,
 				Implicit:     rj.implicit,
 				Checksum:     e.checksum,
+				Tier:         e.tier,
 			})
 		}
 		for _, k := range sortedRetryKeys(pending) {
@@ -238,20 +335,72 @@ func (co *Coordinator) RecoverFromJournal() error {
 	co.walReplayed += int64(rec.records)
 	co.resumedJobs += resumed
 	co.reqMu.Unlock()
+	if co.policy != nil {
+		// Re-run the climb decision for confirmed SSD pins. notePinned
+		// dedupes the journal side (pinnedSeen was rebuilt by the
+		// replay), so this only issues rungs the dead master never
+		// planned — the crash-between-rungs case.
+		for _, k := range sortedRetryKeys(ssdPinned) {
+			co.masters[k.shard].notePinned(k.addr, dfs.TierSSD, ssdPinned[k])
+		}
+	}
 	co.FlushRetries()
 	return nil
 }
 
-// anchorJob returns (creating if needed) job's assignment map on shard
-// s. Callers hold every master's lock (recovery path).
-func (co *Coordinator) anchorJob(s int, job dfs.JobID) map[dfs.BlockID]string {
-	m := co.masters[s]
-	assigned := m.jobs[job]
-	if assigned == nil {
-		assigned = make(map[dfs.BlockID]string)
-		m.jobs[job] = assigned
+// reconcileReplay patches the replayed journal state with residency
+// facts the view holds but the log lost — pin and unpin deltas the
+// dying master consumed after its last durable append. The slaves never
+// re-send those deltas, so without this pass a recovered ladder can
+// stall one rung short (a confirmed SSD pin it never learns about) or
+// leak a flash charge forever (a climb whose SSD release died with the
+// log).
+func (co *Coordinator) reconcileReplay(rec *recovered, view ResidencyView) {
+	for job, rj := range rec.jobs {
+		if rj.evictIntent {
+			continue
+		}
+		for id, e := range rj.blocks {
+			if e.pinned || e.tier == dfs.TierHDD {
+				continue
+			}
+			ram, ssd := view(id, e.addr)
+			if (e.tier == dfs.TierRAM && ram) || (e.tier == dfs.TierSSD && ssd) {
+				e.copied = true
+				e.pinned = true
+				co.journal.MarkPinned(job, id, e.tier)
+			}
+		}
 	}
-	return assigned
+	for k, r := range rec.residency {
+		if !r.charged[dfs.TierSSD] {
+			continue
+		}
+		ram, ssd := view(k.id, k.addr)
+		if !ssd && ram {
+			// The SSD→RAM flip completed before the crash; the lost
+			// unpin record would have released this charge.
+			r.charged[dfs.TierSSD] = false
+		}
+	}
+}
+
+// anchorJob returns (creating if needed) job's state on shard s,
+// stamping the journaled metadata. Callers hold every master's lock
+// (recovery path).
+func (co *Coordinator) anchorJob(s int, job dfs.JobID, rj *recoveredJob) *jobState {
+	m := co.masters[s]
+	js := m.jobs[job]
+	if js == nil {
+		js = &jobState{
+			implicit:   rj.implicit,
+			inputSize:  rj.jobInputSize,
+			submitTime: rj.submitTime,
+			blocks:     make(map[dfs.BlockID]*assignment),
+		}
+		m.jobs[job] = js
+	}
+	return js
 }
 
 // repileEvicts re-parks a terminating job's undelivered evict batches.
@@ -414,9 +563,11 @@ func (co *Coordinator) Restart() {
 	}
 	co.epoch.bump()
 	for _, m := range co.masters {
-		m.jobs = make(map[dfs.JobID]map[dfs.BlockID]string)
+		m.jobs = make(map[dfs.JobID]*jobState)
 		m.retries = nil
 	}
+	// The epoch bump purges every slave's pins, so no residency survives.
+	co.ledger.reset()
 	for i := len(co.masters) - 1; i >= 0; i-- {
 		co.masters[i].mu.Unlock()
 	}
@@ -459,5 +610,7 @@ func (co *Coordinator) Stats() MasterStats {
 	}
 	st.Epoch = co.epoch.get()
 	st.ActiveJobs = len(jobs)
+	// The ledger is shared across planners; snapshot it once.
+	st.Tiers = co.ledger.snapshot()
 	return st
 }

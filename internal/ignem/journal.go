@@ -52,8 +52,9 @@ type Journal struct {
 }
 
 type pinKey struct {
-	job dfs.JobID
-	id  dfs.BlockID
+	job  dfs.JobID
+	id   dfs.BlockID
+	tier dfs.Tier
 }
 
 // Record kind tags. Values are part of the on-disk format.
@@ -63,15 +64,24 @@ const (
 	recPinned      = 3
 	recEvictIntent = 4
 	recEvictBatch  = 5
+	// recDemote releases a fast-tier residency: the planner demoted the
+	// block to free budget. recUnpinned mirrors a slave's heartbeat
+	// unpin delta, releasing the block's budget charge at that tier.
+	// Both are ledger-only records — they carry no job state.
+	recDemote   = 6
+	recUnpinned = 7
 )
 
 // planEntry is one block's slot in a recPlan record: everything needed
-// to reconstruct its MigrateCmd on recovery.
+// to reconstruct its MigrateCmd on recovery. A re-plan of an existing
+// (job, block) at a different Tier is the ladder's second rung: replay
+// adopts the new tier and resets the entry's copied/pinned progress.
 type planEntry struct {
 	ID       dfs.BlockID
 	Size     int64
 	Checksum uint32
 	Addr     string
+	Tier     dfs.Tier
 }
 
 // NewJournal wraps a record log in the master's typed journal.
@@ -117,30 +127,33 @@ func (j *Journal) AppendPlan(epoch uint64, job dfs.JobID, implicit bool, jobInpu
 		b = binary.AppendUvarint(b, uint64(e.Size))
 		b = binary.AppendUvarint(b, uint64(e.Checksum))
 		b = appendString(b, e.Addr)
+		b = binary.AppendUvarint(b, uint64(e.Tier))
 	}
 	j.buf = b
 	return j.append(b)
 }
 
-// AppendCopied journals that a migrate batch reached addr.
-func (j *Journal) AppendCopied(job dfs.JobID, addr string, ids []dfs.BlockID) error {
-	return j.appendDelivery(recCopied, job, addr, ids)
+// AppendCopied journals that a migrate batch targeting tier reached
+// addr.
+func (j *Journal) AppendCopied(job dfs.JobID, addr string, tier dfs.Tier, ids []dfs.BlockID) error {
+	return j.appendDelivery(recCopied, job, addr, tier, ids)
 }
 
 // AppendEvictBatch journals that an evict batch reached addr.
 func (j *Journal) AppendEvictBatch(job dfs.JobID, addr string, ids []dfs.BlockID) error {
-	return j.appendDelivery(recEvictBatch, job, addr, ids)
+	return j.appendDelivery(recEvictBatch, job, addr, dfs.TierHDD, ids)
 }
 
-// AppendPinned journals heartbeat-confirmed pins (the swapped/checked
-// stage), deduplicating (job, block) pairs already journaled. Errors
-// are the caller's to ignore: pins are re-observable from heartbeats,
-// so a lost recPinned only costs a redundant re-send after recovery.
-func (j *Journal) AppendPinned(job dfs.JobID, addr string, ids []dfs.BlockID) error {
+// AppendPinned journals heartbeat-confirmed pins at tier (the
+// swapped/checked stage), deduplicating (job, block, tier) triples
+// already journaled. Errors are the caller's to ignore: pins are
+// re-observable from heartbeats, so a lost recPinned only costs a
+// redundant re-send after recovery.
+func (j *Journal) AppendPinned(job dfs.JobID, addr string, tier dfs.Tier, ids []dfs.BlockID) error {
 	j.mu.Lock()
 	fresh := ids[:0:0]
 	for _, id := range ids {
-		if _, dup := j.pinnedSeen[pinKey{job, id}]; !dup {
+		if _, dup := j.pinnedSeen[pinKey{job, id, tier}]; !dup {
 			fresh = append(fresh, id)
 		}
 	}
@@ -149,10 +162,39 @@ func (j *Journal) AppendPinned(job dfs.JobID, addr string, ids []dfs.BlockID) er
 		return nil
 	}
 	for _, id := range fresh {
-		j.pinnedSeen[pinKey{job, id}] = struct{}{}
+		j.pinnedSeen[pinKey{job, id, tier}] = struct{}{}
 	}
 	j.mu.Unlock()
-	return j.appendDelivery(recPinned, job, addr, fresh)
+	return j.appendDelivery(recPinned, job, addr, tier, fresh)
+}
+
+// AppendDemote journals a budget-pressure demotion: the listed blocks'
+// residency at tier on addr is released. Durable before the demote
+// command is sent, so a recovered ledger never re-charges freed budget.
+func (j *Journal) AppendDemote(addr string, tier dfs.Tier, ids []dfs.BlockID) error {
+	return j.appendTierEvent(recDemote, addr, tier, ids)
+}
+
+// AppendUnpinned journals a slave's heartbeat unpin delta at tier, the
+// budget-release half of the ledger's accounting. Only tiered masters
+// write these; errors are ignorable for the same reason as AppendPinned.
+func (j *Journal) AppendUnpinned(addr string, tier dfs.Tier, ids []dfs.BlockID) error {
+	return j.appendTierEvent(recUnpinned, addr, tier, ids)
+}
+
+func (j *Journal) appendTierEvent(kind byte, addr string, tier dfs.Tier, ids []dfs.BlockID) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	b := j.buf[:0]
+	b = append(b, kind)
+	b = appendString(b, addr)
+	b = binary.AppendUvarint(b, uint64(tier))
+	b = binary.AppendUvarint(b, uint64(len(ids)))
+	for _, id := range ids {
+		b = binary.AppendUvarint(b, uint64(id))
+	}
+	j.buf = b
+	return j.append(b)
 }
 
 // AppendEvictIntent journals that an Evict was accepted for job. Like
@@ -167,13 +209,14 @@ func (j *Journal) AppendEvictIntent(job dfs.JobID) error {
 	return j.append(b)
 }
 
-func (j *Journal) appendDelivery(kind byte, job dfs.JobID, addr string, ids []dfs.BlockID) error {
+func (j *Journal) appendDelivery(kind byte, job dfs.JobID, addr string, tier dfs.Tier, ids []dfs.BlockID) error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	b := j.buf[:0]
 	b = append(b, kind)
 	b = appendString(b, string(job))
 	b = appendString(b, addr)
+	b = binary.AppendUvarint(b, uint64(tier))
 	b = binary.AppendUvarint(b, uint64(len(ids)))
 	for _, id := range ids {
 		b = binary.AppendUvarint(b, uint64(id))
@@ -191,6 +234,15 @@ func (j *Journal) append(payload []byte) error {
 	return nil
 }
 
+// MarkPinned records a pin confirmation learned outside the log
+// (recovery reconciliation against the namenode's residency view), so
+// a later heartbeat re-confirm doesn't append a duplicate recPinned.
+func (j *Journal) MarkPinned(job dfs.JobID, id dfs.BlockID, tier dfs.Tier) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.pinnedSeen[pinKey{job, id, tier}] = struct{}{}
+}
+
 // Truncate discards the journal once nothing is in flight (no live
 // jobs, no pending retries). Failures are harmless — replaying a
 // fully-settled log reconstructs only settled state.
@@ -206,13 +258,28 @@ func (j *Journal) Truncate() error {
 
 // ---- replay ----
 
-// recoveredEntry is one block's reconstructed migration state.
+// recoveredEntry is one block's reconstructed migration state. tier is
+// the entry's CURRENT target: a second-rung re-plan overwrites it and
+// resets copied/pinned, so recovery resumes the rung in flight, not the
+// one already climbed.
 type recoveredEntry struct {
 	size     int64
 	checksum uint32
 	addr     string
-	copied   bool // migrate batch delivery journaled
-	pinned   bool // slave heartbeat confirmed the pin (swap + check)
+	tier     dfs.Tier
+	copied   bool // migrate batch delivery journaled (current tier)
+	pinned   bool // slave heartbeat confirmed the pin (current tier)
+}
+
+// recResidency is the replayed tier-ledger state for one (block, addr)
+// residency: which tier budgets it still charges and which jobs still
+// reference it. Mirrors ledgerEntry, rebuilt purely from the record
+// stream so a recovered master's budgets match what it reserved.
+type recResidency struct {
+	size    int64
+	charged [3]bool
+	refs    map[dfs.JobID]struct{}
+	seq     uint64
 }
 
 // recoveredJob is one job's reconstructed state machine.
@@ -228,9 +295,22 @@ type recoveredJob struct {
 
 // recovered is the journal's replayed view of the world.
 type recovered struct {
-	epoch   uint64 // highest plan epoch seen; 0 when the log is empty
-	records int
-	jobs    map[dfs.JobID]*recoveredJob
+	epoch     uint64 // highest plan epoch seen; 0 when the log is empty
+	records   int
+	jobs      map[dfs.JobID]*recoveredJob
+	residency map[residentKey]*recResidency
+	seq       uint64
+}
+
+func (rec *recovered) resident(id dfs.BlockID, addr string, size int64) *recResidency {
+	k := residentKey{id, addr}
+	r := rec.residency[k]
+	if r == nil {
+		rec.seq++
+		r = &recResidency{size: size, refs: make(map[dfs.JobID]struct{}), seq: rec.seq}
+		rec.residency[k] = r
+	}
+	return r
 }
 
 // Replay parses the journal back into per-job state machines and
@@ -241,7 +321,10 @@ type recovered struct {
 func (j *Journal) Replay() (*recovered, error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	rec := &recovered{jobs: make(map[dfs.JobID]*recoveredJob)}
+	rec := &recovered{
+		jobs:      make(map[dfs.JobID]*recoveredJob),
+		residency: make(map[residentKey]*recResidency),
+	}
 	pinned := make(map[pinKey]struct{})
 	n, err := j.log.Replay(func(payload []byte) error {
 		return decodeRecord(payload, rec, pinned)
@@ -289,8 +372,24 @@ func decodeRecord(payload []byte, rec *recovered, pinned map[pinKey]struct{}) er
 			size := int64(c.uvarint())
 			sum := uint32(c.uvarint())
 			addr := c.str()
-			if rj.blocks[id] == nil {
-				rj.blocks[id] = &recoveredEntry{size: size, checksum: sum, addr: addr}
+			tier := dfs.Tier(c.uvarint())
+			if c.err != nil {
+				break
+			}
+			e := rj.blocks[id]
+			if e == nil {
+				rj.blocks[id] = &recoveredEntry{size: size, checksum: sum, addr: addr, tier: tier}
+			} else if e.tier != tier {
+				// Second rung: the climb re-planned the block at a new
+				// tier, restarting its copied/pinned progress there.
+				e.tier = tier
+				e.copied = false
+				e.pinned = false
+			}
+			if tier != dfs.TierHDD {
+				r := rec.resident(id, addr, size)
+				r.refs[job] = struct{}{}
+				r.charged[tier] = true
 			}
 		}
 		if epoch > rec.epoch {
@@ -299,6 +398,7 @@ func decodeRecord(payload []byte, rec *recovered, pinned map[pinKey]struct{}) er
 	case recCopied, recPinned, recEvictBatch:
 		job := dfs.JobID(c.str())
 		addr := c.str()
+		tier := dfs.Tier(c.uvarint())
 		n := int(c.uvarint())
 		rj := rec.job(job)
 		for i := 0; i < n && c.err == nil; i++ {
@@ -311,10 +411,18 @@ func decodeRecord(payload []byte, rec *recovered, pinned map[pinKey]struct{}) er
 					// (pre-truncate job): nothing to resume.
 					continue
 				}
+				if kind == recPinned {
+					pinned[pinKey{job, id, tier}] = struct{}{}
+				}
+				if e.tier != tier {
+					// A delivery for a rung the entry already climbed
+					// past (or a late pin confirm after a re-plan): the
+					// current rung's progress is unaffected.
+					continue
+				}
 				e.copied = true
 				if kind == recPinned {
 					e.pinned = true
-					pinned[pinKey{job, id}] = struct{}{}
 				}
 			case recEvictBatch:
 				sent := rj.evictSent[addr]
@@ -326,7 +434,26 @@ func decodeRecord(payload []byte, rec *recovered, pinned map[pinKey]struct{}) er
 			}
 		}
 	case recEvictIntent:
-		rec.job(dfs.JobID(c.str())).evictIntent = true
+		job := dfs.JobID(c.str())
+		rj := rec.job(job)
+		rj.evictIntent = true
+		// Mirror the runtime ledger: eviction drops the job's residency
+		// references (charges release later, on the slaves' unpin deltas).
+		for id, e := range rj.blocks {
+			if r := rec.residency[residentKey{id, e.addr}]; r != nil {
+				delete(r.refs, job)
+			}
+		}
+	case recDemote, recUnpinned:
+		addr := c.str()
+		tier := dfs.Tier(c.uvarint())
+		n := int(c.uvarint())
+		for i := 0; i < n && c.err == nil; i++ {
+			id := dfs.BlockID(c.uvarint())
+			if r := rec.residency[residentKey{id, addr}]; r != nil && tier != dfs.TierHDD {
+				r.charged[tier] = false
+			}
+		}
 	default:
 		return fmt.Errorf("ignem: journal record kind %d unknown", kind)
 	}

@@ -41,20 +41,20 @@ func TestJournalRoundTrip(t *testing.T) {
 	j := NewJournal(log)
 	submit := time.Unix(0, 123456789)
 	entries := []planEntry{
-		{ID: 1, Size: 64 << 20, Checksum: 0xDEADBEEF, Addr: "dn0"},
-		{ID: 2, Size: 32 << 20, Checksum: 0, Addr: "dn1"},
+		{ID: 1, Size: 64 << 20, Checksum: 0xDEADBEEF, Addr: "dn0", Tier: dfs.TierRAM},
+		{ID: 2, Size: 32 << 20, Checksum: 0, Addr: "dn1", Tier: dfs.TierRAM},
 	}
 	if err := j.AppendPlan(7, "job-a", true, 96<<20, submit, entries); err != nil {
 		t.Fatal(err)
 	}
-	if err := j.AppendCopied("job-a", "dn0", []dfs.BlockID{1}); err != nil {
+	if err := j.AppendCopied("job-a", "dn0", dfs.TierRAM, []dfs.BlockID{1}); err != nil {
 		t.Fatal(err)
 	}
-	if err := j.AppendPinned("job-a", "dn0", []dfs.BlockID{1}); err != nil {
+	if err := j.AppendPinned("job-a", "dn0", dfs.TierRAM, []dfs.BlockID{1}); err != nil {
 		t.Fatal(err)
 	}
 	// Duplicate pins are deduped, not re-appended.
-	if err := j.AppendPinned("job-a", "dn0", []dfs.BlockID{1}); err != nil {
+	if err := j.AppendPinned("job-a", "dn0", dfs.TierRAM, []dfs.BlockID{1}); err != nil {
 		t.Fatal(err)
 	}
 	if err := j.AppendEvictIntent("job-b"); err != nil {
@@ -101,7 +101,7 @@ func TestJournalRoundTrip(t *testing.T) {
 func TestJournalZeroSubmitTimeRoundTrips(t *testing.T) {
 	log := wal.New(wal.NewMem())
 	j := NewJournal(log)
-	if err := j.AppendPlan(1, "job", false, 0, time.Time{}, []planEntry{{ID: 1, Addr: "dn0"}}); err != nil {
+	if err := j.AppendPlan(1, "job", false, 0, time.Time{}, []planEntry{{ID: 1, Addr: "dn0", Tier: dfs.TierRAM}}); err != nil {
 		t.Fatal(err)
 	}
 	rec, err := j.Replay()

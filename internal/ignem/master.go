@@ -24,6 +24,17 @@ type SlaveLink interface {
 	SendReadNotify(addr string, batch dfs.ReadNotifyBatch) error
 }
 
+// DemoteSender is an optional SlaveLink extension for the tier ladder:
+// delivery of demote batches (release a fast-tier residency without
+// evicting the job). Links that don't implement it simply never carry
+// demotions — only tier-configured masters issue them. Demotes are
+// advisory at-most-once sends: the budget was already released durably,
+// and a lost demote only leaves the slave's copy resident until the
+// owning jobs evict.
+type DemoteSender interface {
+	SendDemote(addr string, batch dfs.DemoteBatch) error
+}
+
 // MasterStats is a snapshot of master activity.
 type MasterStats struct {
 	Epoch       uint64
@@ -55,6 +66,10 @@ type MasterStats struct {
 	// ResumedJobs counts live (un-evicted) jobs rebuilt from the journal
 	// across all recoveries.
 	ResumedJobs int64
+	// Tiers is the tier ladder's budget accounting (occupancy,
+	// promotions, demotions, rejects). All-zero without a configured
+	// tier plane.
+	Tiers TierCounters
 }
 
 // epochCounter is a master epoch shared by every planner of a
@@ -105,10 +120,19 @@ type Master struct {
 	// Coordinator); a standalone master owns its counter alone.
 	epoch *epochCounter
 
+	// Tier plane, shared across sibling shards (nil on a default
+	// master — every consulting code path then short-circuits to the
+	// paper's pin-in-RAM behavior). policy picks tiers, ledger enforces
+	// the budgets, pop scores the read-notification stream.
+	policy Policy
+	ledger *tierLedger
+	pop    *popTracker
+
 	mu sync.Mutex
-	// jobs records, per job, the slave address chosen for each block so
-	// evictions go to the replica that was migrated.
-	jobs  map[dfs.JobID]map[dfs.BlockID]string
+	// jobs records, per job, the placement chosen for each block (and
+	// enough metadata to re-issue ladder rungs) so evictions go to the
+	// replica that was migrated and climbs can rebuild their commands.
+	jobs  map[dfs.JobID]*jobState
 	stats MasterStats
 	// journal, when attached, makes planning durable-before-send and
 	// parks transport-failed batches on retries instead of dropping
@@ -117,6 +141,25 @@ type Master struct {
 	// retries holds batches that failed transport, re-sent by the retry
 	// pump until they deliver or their epoch goes stale.
 	retries []retryBatch
+}
+
+// jobState is one job's planning record: the per-block placements plus
+// the metadata every MigrateCmd for the job must carry (so the ladder's
+// second rung can mint commands without re-resolving the job).
+type jobState struct {
+	implicit   bool
+	inputSize  int64
+	submitTime time.Time
+	blocks     map[dfs.BlockID]*assignment
+}
+
+// assignment is one block's placement: the replica address chosen for
+// the migration and the tier currently targeted (the rung in flight).
+type assignment struct {
+	addr     string
+	size     int64
+	checksum uint32
+	tier     dfs.Tier
 }
 
 // retryBatch is one parked command batch. Exactly one of migrate/evict
@@ -155,8 +198,19 @@ func newShardMaster(resolver Resolver, link SlaveLink, seed int64, epoch *epochC
 		link:     link,
 		rng:      rand.New(rand.NewSource(seed)),
 		epoch:    epoch,
-		jobs:     make(map[dfs.JobID]map[dfs.BlockID]string),
+		jobs:     make(map[dfs.JobID]*jobState),
 	}
+}
+
+// setTierPlane installs the shared policy, budget ledger, and
+// popularity tracker (the Coordinator configures all shards from one
+// set). Must be called before the master serves requests.
+func (m *Master) setTierPlane(p Policy, l *tierLedger, pop *popTracker) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.policy = p
+	m.ledger = l
+	m.pop = pop
 }
 
 // Migrate handles a client migrate request: resolve files to blocks,
@@ -206,25 +260,37 @@ func (m *Master) Migrate(req dfs.MigrateReq) (dfs.MigrateResp, error) {
 func (m *Master) migrateLocated(job dfs.JobID, located []dfs.LocatedBlock, totalSize int64, submitTime time.Time, implicit bool) (int, int64, error) {
 	m.mu.Lock()
 	epoch := m.epoch.get()
-	assigned := m.jobs[job]
+	js := m.jobs[job]
 	batches := make(map[string][]dfs.MigrateCmd)
+	demotes := make(map[string][]dfs.DemoteCmd)
 	var entries []planEntry
+	var charges []charge
 	pending := make(map[dfs.BlockID]struct{})
+	ssdOn := m.ledger.ssdEnabled()
 	var blocks int
 	var bytes int64
 	for _, lb := range located {
 		if len(lb.Nodes) == 0 {
 			continue // no live replica; nothing to migrate
 		}
-		if _, dup := assigned[lb.Block.ID]; dup {
-			continue // already requested for this job
+		if js != nil {
+			if _, dup := js.blocks[lb.Block.ID]; dup {
+				continue // already requested for this job
+			}
 		}
 		if _, dup := pending[lb.Block.ID]; dup {
 			continue // duplicate within this request
 		}
 		pending[lb.Block.ID] = struct{}{}
 		addr := lb.Nodes[m.rng.Intn(len(lb.Nodes))]
-		entries = append(entries, planEntry{ID: lb.Block.ID, Size: lb.Block.Size, Checksum: lb.Checksum, Addr: addr})
+		tier := dfs.TierRAM
+		if m.policy != nil {
+			tier = m.planTierLocked(job, lb.Block, totalSize, addr, ssdOn, demotes, &charges)
+			if tier == dfs.TierHDD {
+				continue // budget-rejected on every rung; the block stays on disk
+			}
+		}
+		entries = append(entries, planEntry{ID: lb.Block.ID, Size: lb.Block.Size, Checksum: lb.Checksum, Addr: addr, Tier: tier})
 		batches[addr] = append(batches[addr], dfs.MigrateCmd{
 			Block:        lb.Block,
 			Job:          job,
@@ -232,31 +298,139 @@ func (m *Master) migrateLocated(job dfs.JobID, located []dfs.LocatedBlock, total
 			SubmitTime:   submitTime,
 			Implicit:     implicit,
 			Checksum:     lb.Checksum,
+			Tier:         tier,
 		})
 		blocks++
 		bytes += lb.Block.Size
 	}
 	if m.journal != nil && len(entries) > 0 {
-		if err := m.journal.AppendPlan(epoch, job, implicit, totalSize, submitTime, entries); err != nil {
+		// Demote releases go down first: on replay the freed budget must
+		// exist before the plan that consumed it re-charges.
+		journalErr := m.journalDemotesLocked(demotes)
+		if journalErr == nil {
+			journalErr = m.journal.AppendPlan(epoch, job, implicit, totalSize, submitTime, entries)
+		}
+		if journalErr != nil {
+			for _, c := range charges {
+				m.ledger.release(c.id, c.addr, c.tier, false)
+			}
 			m.mu.Unlock()
-			return 0, 0, fmt.Errorf("ignem: journal plan for job %s: %w", job, err)
+			return 0, 0, fmt.Errorf("ignem: journal plan for job %s: %w", job, journalErr)
 		}
 	}
-	if assigned == nil {
+	if js == nil {
 		// Created even for an empty fragment: a migrate request always
 		// registers the job (ActiveJobs, idempotent re-migrate).
-		assigned = make(map[dfs.BlockID]string)
-		m.jobs[job] = assigned
+		js = &jobState{blocks: make(map[dfs.BlockID]*assignment)}
+		m.jobs[job] = js
 	}
+	js.implicit = implicit
+	js.inputSize = totalSize
+	js.submitTime = submitTime
 	for _, e := range entries {
-		assigned[e.ID] = e.Addr
+		js.blocks[e.ID] = &assignment{addr: e.Addr, size: e.Size, checksum: e.Checksum, tier: e.Tier}
 	}
 	m.stats.BlocksAssigned += int64(blocks)
 	m.stats.BytesAssigned += bytes
 	m.mu.Unlock()
 
+	m.sendDemotes(epoch, demotes)
 	m.sendMigrateBatches(epoch, job, batches)
 	return blocks, bytes, nil
+}
+
+// charge records one fresh ledger reservation taken while planning, so
+// a journal failure can roll back exactly what this request charged.
+type charge struct {
+	id   dfs.BlockID
+	addr string
+	tier dfs.Tier
+}
+
+// planTierLocked runs the policy for one block: pick a tier, reserve
+// budget for it (demoting victims the policy offers when the budget is
+// short), and fall one rung at a time when a reservation cannot be
+// made. TierHDD means no rung admitted the block.
+func (m *Master) planTierLocked(job dfs.JobID, b dfs.Block, totalSize int64, addr string, ssdOn bool, demotes map[string][]dfs.DemoteCmd, charges *[]charge) dfs.Tier {
+	ctx := PlanContext{Job: job, Block: b, JobInputSize: totalSize, Popularity: m.pop.get(b.ID), SSDEnabled: ssdOn}
+	tier := m.policy.PlanTier(ctx)
+	if tier == dfs.TierSSD && !ssdOn {
+		tier = dfs.TierRAM
+	}
+	for tier > dfs.TierHDD {
+		if m.tryReserveLocked(job, b, addr, tier, demotes, charges) {
+			return tier
+		}
+		m.ledger.noteReject(tier)
+		if tier == dfs.TierRAM && ssdOn {
+			tier = dfs.TierSSD
+			continue
+		}
+		tier = dfs.TierHDD
+	}
+	return dfs.TierHDD
+}
+
+// tryReserveLocked attempts a budget reservation at tier, demoting
+// policy-chosen victims to make room when the tier is over budget.
+func (m *Master) tryReserveLocked(job dfs.JobID, b dfs.Block, addr string, tier dfs.Tier, demotes map[string][]dfs.DemoteCmd, charges *[]charge) bool {
+	if need := m.ledger.shortfall(tier, b.Size); need > 0 {
+		victims := m.policy.Victims(tier, need, m.ledger.residents(tier, m.pop))
+		if len(victims) == 0 {
+			return false
+		}
+		for _, v := range victims {
+			m.ledger.release(v.ID, v.Addr, tier, true)
+			demotes[v.Addr] = append(demotes[v.Addr], dfs.DemoteCmd{Block: v.ID, Tier: tier})
+		}
+	}
+	ok, fresh := m.ledger.reserve(b.ID, addr, b.Size, job, tier, false)
+	if fresh {
+		*charges = append(*charges, charge{id: b.ID, addr: addr, tier: tier})
+	}
+	return ok
+}
+
+// journalDemotesLocked makes this plan's demotions durable, grouped by
+// (addr, tier).
+func (m *Master) journalDemotesLocked(demotes map[string][]dfs.DemoteCmd) error {
+	for _, addr := range sortedKeys(demotes) {
+		perTier := make(map[dfs.Tier][]dfs.BlockID)
+		for _, c := range demotes[addr] {
+			perTier[c.Tier] = append(perTier[c.Tier], c.Block)
+		}
+		for _, tier := range []dfs.Tier{dfs.TierSSD, dfs.TierRAM} {
+			if ids := perTier[tier]; len(ids) > 0 {
+				sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+				if err := m.journal.AppendDemote(addr, tier, ids); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// sendDemotes delivers demote batches. Failures only count: the budget
+// release is already durable, and the slave's stale copy drains when
+// its jobs evict.
+func (m *Master) sendDemotes(epoch uint64, demotes map[string][]dfs.DemoteCmd) {
+	if len(demotes) == 0 {
+		return
+	}
+	ds, ok := m.link.(DemoteSender)
+	if !ok {
+		return
+	}
+	for _, addr := range sortedKeys(demotes) {
+		cmds := demotes[addr]
+		sort.Slice(cmds, func(i, j int) bool { return cmds[i].Block < cmds[j].Block })
+		if err := ds.SendDemote(addr, dfs.DemoteBatch{Epoch: epoch, Cmds: cmds}); err != nil {
+			m.mu.Lock()
+			m.stats.SendErrors++
+			m.mu.Unlock()
+		}
+	}
 }
 
 // sendMigrateBatches delivers a job's planned batches. A transport
@@ -294,7 +468,8 @@ func (m *Master) parkBatch(rb retryBatch) {
 // journalDelivery records a delivered batch (recCopied or
 // recEvictBatch). It reports false when the journal append failed —
 // the caller must stop sending, because nothing past this point can be
-// made durable.
+// made durable. Migrate deliveries are journaled per target tier, so
+// replay matches each delivery against the rung it belongs to.
 func (m *Master) journalDelivery(rb retryBatch) bool {
 	m.mu.Lock()
 	j := m.journal
@@ -302,13 +477,22 @@ func (m *Master) journalDelivery(rb retryBatch) bool {
 	if j == nil {
 		return true
 	}
-	var err error
-	if rb.migrate != nil {
-		err = j.AppendCopied(rb.job, rb.addr, rb.blockIDs())
-	} else {
-		err = j.AppendEvictBatch(rb.job, rb.addr, rb.blockIDs())
+	if rb.migrate == nil {
+		return j.AppendEvictBatch(rb.job, rb.addr, rb.blockIDs()) == nil
 	}
-	return err == nil
+	perTier := make(map[dfs.Tier][]dfs.BlockID)
+	for _, c := range rb.migrate {
+		t := c.Tier.EffectiveTarget()
+		perTier[t] = append(perTier[t], c.Block.ID)
+	}
+	for _, tier := range []dfs.Tier{dfs.TierSSD, dfs.TierRAM} {
+		if ids := perTier[tier]; len(ids) > 0 {
+			if err := j.AppendCopied(rb.job, rb.addr, tier, ids); err != nil {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // Evict handles a job-completion eviction: every block recorded for the
@@ -336,7 +520,11 @@ func (m *Master) Evict(req dfs.EvictReq) (dfs.EvictResp, error) {
 func (m *Master) evictJob(job dfs.JobID) (int, error) {
 	m.mu.Lock()
 	epoch := m.epoch.get()
-	assigned := m.jobs[job]
+	js := m.jobs[job]
+	assignedLen := 0
+	if js != nil {
+		assignedLen = len(js.blocks)
+	}
 	hasRetries := false
 	for _, rb := range m.retries {
 		if rb.job == job {
@@ -344,7 +532,7 @@ func (m *Master) evictJob(job dfs.JobID) (int, error) {
 			break
 		}
 	}
-	if m.journal != nil && (len(assigned) > 0 || hasRetries) {
+	if m.journal != nil && (assignedLen > 0 || hasRetries) {
 		if err := m.journal.AppendEvictIntent(job); err != nil {
 			m.mu.Unlock()
 			return 0, fmt.Errorf("ignem: journal evict intent for job %s: %w", job, err)
@@ -363,9 +551,15 @@ func (m *Master) evictJob(job dfs.JobID) (int, error) {
 	}
 	batches := make(map[string][]dfs.EvictCmd)
 	blocks := 0
-	for id, addr := range assigned {
-		batches[addr] = append(batches[addr], dfs.EvictCmd{Block: id, Job: job})
-		blocks++
+	if js != nil {
+		for id, a := range js.blocks {
+			batches[a.addr] = append(batches[a.addr], dfs.EvictCmd{Block: id, Job: job})
+			blocks++
+			// The ledger keeps the residency's charges (the slave still
+			// holds the bytes until its unpin delta) but the job's
+			// reference drops, making the block a colder demotion victim.
+			m.ledger.dropRef(id, a.addr, job)
+		}
 	}
 	m.mu.Unlock()
 
@@ -433,33 +627,143 @@ func (m *Master) jobLive(job dfs.JobID) bool {
 	return ok
 }
 
-// notePinned records heartbeat-confirmed pins against the journal: addr
-// now holds the listed blocks pinned and checksum-verified, which is
-// the state machine's swapped/checked stage. Blocks the planner never
-// assigned (or assigned elsewhere) are ignored.
-func (m *Master) notePinned(addr string, blocks []dfs.BlockID) {
+// notePinned records heartbeat-confirmed pins at tier against the
+// journal: addr now holds the listed blocks pinned and
+// checksum-verified, which is the state machine's swapped/checked
+// stage. Blocks the planner never assigned (or assigned elsewhere, or
+// at another tier) are ignored. For SSD pins it then consults the
+// policy for the ladder's second rung, promoting qualifying blocks
+// SSD→RAM.
+func (m *Master) notePinned(addr string, tier dfs.Tier, blocks []dfs.BlockID) {
 	m.mu.Lock()
 	j := m.journal
-	if j == nil {
+	pol := m.policy
+	if j == nil && pol == nil {
 		m.mu.Unlock()
 		return
 	}
 	perJob := make(map[dfs.JobID][]dfs.BlockID)
-	for job, assigned := range m.jobs {
+	for job, js := range m.jobs {
 		for _, id := range blocks {
-			if assigned[id] == addr {
+			if a := js.blocks[id]; a != nil && a.addr == addr && a.tier == tier {
 				perJob[job] = append(perJob[job], id)
 			}
 		}
 	}
 	m.mu.Unlock()
+	if j != nil {
+		for _, job := range sortedJobs(perJob) {
+			ids := perJob[job]
+			sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+			// Append failures are ignored: pins re-confirm on the next
+			// heartbeat, and a lost recPinned only costs recovery one
+			// redundant (idempotent) re-send.
+			_ = j.AppendPinned(job, addr, tier, ids)
+		}
+	}
+	if pol != nil && tier == dfs.TierSSD {
+		m.climb(addr, perJob)
+	}
+}
+
+// climb issues the ladder's second rung: for blocks just confirmed
+// pinned on addr's SSD, ask the policy whether they earn RAM, reserve
+// RAM budget (no victim demotion for climbs — a full RAM simply leaves
+// the block on flash), journal the re-plan, and send the RAM-rung
+// migrate commands. The slave reads the block from its SSD copy and
+// releases the flash residency once the RAM pin lands.
+func (m *Master) climb(addr string, perJob map[dfs.JobID][]dfs.BlockID) {
+	m.mu.Lock()
+	epoch := m.epoch.get()
+	type jobClimb struct {
+		entries []planEntry
+		cmds    []dfs.MigrateCmd
+	}
+	plans := make(map[dfs.JobID]*jobClimb)
 	for _, job := range sortedJobs(perJob) {
+		js := m.jobs[job]
+		if js == nil {
+			continue
+		}
 		ids := perJob[job]
 		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-		// Append failures are ignored: pins re-confirm on the next
-		// heartbeat, and a lost recPinned only costs recovery one
-		// redundant (idempotent) re-send.
-		_ = j.AppendPinned(job, addr, ids)
+		for _, id := range ids {
+			a := js.blocks[id]
+			if a == nil || a.addr != addr || a.tier != dfs.TierSSD {
+				continue
+			}
+			ctx := PlanContext{
+				Job:          job,
+				Block:        dfs.Block{ID: id, Size: a.size},
+				JobInputSize: js.inputSize,
+				Popularity:   m.pop.get(id),
+				SSDEnabled:   true,
+			}
+			if m.policy.ClimbTier(ctx, dfs.TierSSD) != dfs.TierRAM {
+				continue
+			}
+			if ok, _ := m.ledger.reserve(id, addr, a.size, job, dfs.TierRAM, true); !ok {
+				m.ledger.noteReject(dfs.TierRAM)
+				continue
+			}
+			a.tier = dfs.TierRAM
+			jc := plans[job]
+			if jc == nil {
+				jc = &jobClimb{}
+				plans[job] = jc
+			}
+			jc.entries = append(jc.entries, planEntry{ID: id, Size: a.size, Checksum: a.checksum, Addr: addr, Tier: dfs.TierRAM})
+			jc.cmds = append(jc.cmds, dfs.MigrateCmd{
+				Block:        dfs.Block{ID: id, Size: a.size},
+				Job:          job,
+				JobInputSize: js.inputSize,
+				SubmitTime:   js.submitTime,
+				Implicit:     js.implicit,
+				Checksum:     a.checksum,
+				Tier:         dfs.TierRAM,
+			})
+		}
+	}
+	type send struct {
+		job  dfs.JobID
+		cmds []dfs.MigrateCmd
+	}
+	var sends []send
+	for _, job := range sortedJobs(plans) {
+		jc := plans[job]
+		js := m.jobs[job]
+		if m.journal != nil {
+			if err := m.journal.AppendPlan(epoch, job, js.implicit, js.inputSize, js.submitTime, jc.entries); err != nil {
+				// Crash model: an unjournalable master is dead. The rung
+				// stays assigned in memory; recovery re-derives it from
+				// the journaled SSD pins.
+				continue
+			}
+		}
+		sends = append(sends, send{job: job, cmds: jc.cmds})
+	}
+	m.mu.Unlock()
+	for _, s := range sends {
+		m.sendMigrateBatches(epoch, s.job, map[string][]dfs.MigrateCmd{addr: s.cmds})
+	}
+}
+
+// noteUnpinned releases tier-budget charges for blocks a slave reported
+// unpinned at tier, journaling the release so a recovered ledger's
+// occupancy matches. A no-op without a configured tier plane, so the
+// default master's journal stream is unchanged.
+func (m *Master) noteUnpinned(addr string, tier dfs.Tier, blocks []dfs.BlockID) {
+	if m.ledger == nil || len(blocks) == 0 {
+		return
+	}
+	for _, id := range blocks {
+		m.ledger.release(id, addr, tier, false)
+	}
+	m.mu.Lock()
+	j := m.journal
+	m.mu.Unlock()
+	if j != nil {
+		_ = j.AppendUnpinned(addr, tier, blocks)
 	}
 }
 
@@ -488,16 +792,23 @@ func sortedJobs[V any](m map[dfs.JobID]V) []dfs.JobID {
 // evicted, never migrated, or assigned by a previous epoch) are dropped:
 // there is no reference to release.
 func (m *Master) NotifyRead(job dfs.JobID, blocks []dfs.BlockID) {
+	// Every notified read feeds the popularity score, whether or not the
+	// block is still assigned: re-reads are the signal the
+	// popularity-scored policy promotes on.
+	m.pop.bump(blocks)
 	m.mu.Lock()
 	epoch := m.epoch.get()
-	assigned := m.jobs[job]
+	js := m.jobs[job]
 	batches := make(map[string][]dfs.ReadNotifyCmd)
 	for _, id := range blocks {
-		addr, ok := assigned[id]
-		if !ok {
+		if js == nil {
+			break
+		}
+		a := js.blocks[id]
+		if a == nil {
 			continue
 		}
-		batches[addr] = append(batches[addr], dfs.ReadNotifyCmd{Block: id, Job: job})
+		batches[a.addr] = append(batches[a.addr], dfs.ReadNotifyCmd{Block: id, Job: job})
 		m.stats.ReadNotifies++
 	}
 	m.mu.Unlock()
@@ -518,7 +829,25 @@ func (m *Master) NotifyRead(job dfs.JobID, blocks []dfs.BlockID) {
 func (m *Master) AssignedReplica(job dfs.JobID, block dfs.BlockID) string {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return m.jobs[job][block]
+	if js := m.jobs[job]; js != nil {
+		if a := js.blocks[block]; a != nil {
+			return a.addr
+		}
+	}
+	return ""
+}
+
+// AssignedTier reports the tier currently targeted for a (job, block)
+// migration (the rung in flight), or TierHDD if none.
+func (m *Master) AssignedTier(job dfs.JobID, block dfs.BlockID) dfs.Tier {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if js := m.jobs[job]; js != nil {
+		if a := js.blocks[block]; a != nil {
+			return a.tier
+		}
+	}
+	return dfs.TierHDD
 }
 
 // Restart simulates a master failure and recovery: the new master starts
@@ -530,16 +859,19 @@ func (m *Master) Restart() {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.epoch.bump()
-	m.jobs = make(map[dfs.JobID]map[dfs.BlockID]string)
+	m.jobs = make(map[dfs.JobID]*jobState)
 	m.retries = nil
+	// The epoch bump purges every slave, so nothing stays resident.
+	m.ledger.reset()
 }
 
 // clearJobs drops all job state without touching the epoch; the
-// Coordinator's Restart bumps the shared counter itself.
+// Coordinator's Restart bumps the shared counter (and resets the shared
+// ledger) itself.
 func (m *Master) clearJobs() {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.jobs = make(map[dfs.JobID]map[dfs.BlockID]string)
+	m.jobs = make(map[dfs.JobID]*jobState)
 	m.retries = nil
 }
 
@@ -568,6 +900,7 @@ func (m *Master) Stats() MasterStats {
 	if m.journal != nil {
 		st.WALRecords = m.journal.Appended()
 	}
+	st.Tiers = m.ledger.snapshot()
 	return st
 }
 

@@ -28,16 +28,32 @@ type MediaReader interface {
 	ReadForMigration(b dfs.Block, checksum uint32) error
 }
 
+// TierCopier is an optional MediaReader extension for the migration
+// ladder: a timed copy between storage tiers (HDD→SSD lands a flash
+// copy, SSD→RAM climbs the second rung reading from flash instead of
+// the contended disk). Media that doesn't implement it falls back to
+// ReadForMigration, i.e. every copy is charged as a disk read.
+type TierCopier interface {
+	CopyForMigration(b dfs.Block, checksum uint32, from, to dfs.Tier) error
+}
+
 // Liveness answers whether a job is still running; the slave queries it
 // (the cluster scheduler, in practice) to clean up after dead jobs.
 type Liveness interface {
 	IsActive(job dfs.JobID) bool
 }
 
-// PinListener observes pin-state transitions so the datanode can report
-// them to the namenode on its next heartbeat. Implementations must be
-// fast and safe to call from any goroutine.
-type PinListener func(id dfs.BlockID, pinned bool)
+// PinListener observes pin-state transitions — at the tier the block is
+// (or was) resident on — so the datanode can report them to the
+// namenode on its next heartbeat. Implementations must be fast and safe
+// to call from any goroutine.
+type PinListener func(id dfs.BlockID, tier dfs.Tier, pinned bool)
+
+// tierPin pairs a block with the tier a pin transition happened at.
+type tierPin struct {
+	id   dfs.BlockID
+	tier dfs.Tier
+}
 
 // SlaveConfig tunes a slave.
 type SlaveConfig struct {
@@ -107,6 +123,15 @@ type SlaveStats struct {
 	// errors and checksum mismatches. The block stays unpinned; readers
 	// fall back to disk (or another replica).
 	ReadFailures int64
+	// SSDPinnedBytes / SSDPinnedBlocks are the flash rung's occupancy.
+	SSDPinnedBytes  int64
+	SSDPinnedBlocks int
+	// SSDHits counts block reads served from the flash rung.
+	SSDHits int64
+	// ClimbedBlocks counts SSD→RAM second-rung promotions completed.
+	ClimbedBlocks int64
+	// Demotions counts fast-tier residencies released by demote commands.
+	Demotions int64
 }
 
 type readKey struct {
@@ -116,6 +141,11 @@ type readKey struct {
 
 type pinnedBlock struct {
 	size int64
+	// tier is where the copy is resident: TierRAM (pinned memory, the
+	// paper's original target) or TierSSD (the ladder's first rung). A
+	// block climbs by flipping tier — it is resident on exactly one fast
+	// tier at a time.
+	tier dfs.Tier
 	// refs maps each referencing job to whether it opted into implicit
 	// eviction (the paper's per-job reference list).
 	refs map[dfs.JobID]bool
@@ -143,6 +173,9 @@ type Slave struct {
 	// discarded instead of pinning memory for a dead job.
 	evicted     map[dfs.JobID]time.Time
 	pinnedBytes int64
+	// ssdBytes tracks flash-rung occupancy; Capacity bounds RAM only
+	// (the master's cluster-wide SSD budget bounds the flash rung).
+	ssdBytes int64
 	// reserved is capacity claimed by the one in-flight migration read.
 	reserved  int64
 	lastSweep time.Time
@@ -169,7 +202,7 @@ func NewSlave(clock simclock.Clock, cfg SlaveConfig, media MediaReader, liveness
 		evicted:     make(map[dfs.JobID]time.Time),
 	}
 	if s.onPin == nil {
-		s.onPin = func(dfs.BlockID, bool) {}
+		s.onPin = func(dfs.BlockID, dfs.Tier, bool) {}
 	}
 	s.cond = simclock.NewCond(clock, &s.mu)
 	s.queue.fifo = cfg.FIFO
@@ -182,7 +215,7 @@ func NewSlave(clock simclock.Clock, cfg SlaveConfig, media MediaReader, liveness
 // lists (the paper's master-failure recovery: slaves reset to match the
 // new master's empty state).
 func (s *Slave) ApplyMigrateBatch(b dfs.MigrateBatch) {
-	var unpinned []dfs.BlockID
+	var unpinned []tierPin
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -200,7 +233,7 @@ func (s *Slave) ApplyMigrateBatch(b dfs.MigrateBatch) {
 // ApplyEvictBatch removes jobs from block reference lists; blocks whose
 // lists empty are unpinned immediately, keeping the memory footprint low.
 func (s *Slave) ApplyEvictBatch(b dfs.EvictBatch) {
-	var unpinned []dfs.BlockID
+	var unpinned []tierPin
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -221,13 +254,54 @@ func (s *Slave) ApplyEvictBatch(b dfs.EvictBatch) {
 	s.notifyUnpinned(unpinned)
 }
 
+// ApplyDemoteBatch force-unpins the listed blocks from the named tier —
+// the ladder's downward arm. Demotion ignores outstanding job references
+// (the cold HDD replica still serves them) and is advisory: the master
+// released the tier budget when it issued the command, so a block that
+// is no longer resident, or has since climbed to a different tier, is
+// simply skipped.
+func (s *Slave) ApplyDemoteBatch(b dfs.DemoteBatch) {
+	var unpinned []tierPin
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	unpinned = s.adoptEpochLocked(b.Epoch)
+	for _, cmd := range b.Cmds {
+		pb := s.pinned[cmd.Block]
+		if pb == nil || pb.tier != cmd.Tier.EffectiveTarget() {
+			continue
+		}
+		for job := range pb.refs {
+			if jb := s.jobBlocks[job]; jb != nil {
+				delete(jb, cmd.Block)
+				if len(jb) == 0 {
+					delete(s.jobBlocks, job)
+				}
+			}
+		}
+		delete(s.pinned, cmd.Block)
+		if pb.tier == dfs.TierSSD {
+			s.ssdBytes -= pb.size
+		} else {
+			s.pinnedBytes -= pb.size
+		}
+		s.stats.Demotions++
+		unpinned = append(unpinned, tierPin{id: cmd.Block, tier: pb.tier})
+	}
+	s.retryDeferredLocked()
+	s.mu.Unlock()
+	s.notifyUnpinned(unpinned)
+}
+
 // AdoptEpoch reconciles the slave with the master epoch it learned
 // out-of-band (a revived datanode probes the namenode for it during
 // re-registration). A changed epoch purges all reference lists and
 // unpins everything, exactly as the first batch from a new master
 // would; the current epoch is a no-op.
 func (s *Slave) AdoptEpoch(epoch uint64) {
-	var unpinned []dfs.BlockID
+	var unpinned []tierPin
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -246,7 +320,7 @@ func (s *Slave) AdoptEpoch(epoch uint64) {
 // is discarded — but touches no hit/miss counters: the slave served
 // nothing.
 func (s *Slave) ApplyReadNotifyBatch(b dfs.ReadNotifyBatch) {
-	var unpinned []dfs.BlockID
+	var unpinned []tierPin
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -278,20 +352,37 @@ func (s *Slave) ApplyReadNotifyBatch(b dfs.ReadNotifyBatch) {
 // was served from pinned memory, and performs implicit eviction when the
 // reading job opted into it.
 func (s *Slave) OnBlockRead(id dfs.BlockID, job dfs.JobID) (fromMemory bool) {
-	var unpinned []dfs.BlockID
+	tier, resident := s.OnBlockReadTier(id, job)
+	return resident && tier == dfs.TierRAM
+}
+
+// OnBlockReadTier is the tier-aware read hook: it reports which tier
+// the block is resident on (and whether it is resident at all), counts
+// the hit against that tier, and performs implicit eviction when the
+// reading job opted into it. The reference-list bookkeeping is
+// tier-agnostic — a job's read releases its reference whether the copy
+// sits in RAM or on flash.
+func (s *Slave) OnBlockReadTier(id dfs.BlockID, job dfs.JobID) (tier dfs.Tier, resident bool) {
+	var unpinned []tierPin
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		return false
+		return dfs.TierHDD, false
 	}
 	pb := s.pinned[id]
-	fromMemory = pb != nil
-	if fromMemory {
-		s.stats.MemoryHits++
+	if pb != nil {
+		resident = true
+		tier = pb.tier
+		if pb.tier == dfs.TierRAM {
+			s.stats.MemoryHits++
+		} else {
+			s.stats.SSDHits++
+		}
 		if implicit, ok := pb.refs[job]; ok && implicit {
 			unpinned = s.dropRefLocked(id, job)
 		}
 	} else {
+		tier = dfs.TierHDD
 		s.stats.MemoryMisses++
 		if job != "" {
 			// Migration for this (job, block) would now be wasted work:
@@ -302,7 +393,7 @@ func (s *Slave) OnBlockRead(id dfs.BlockID, job dfs.JobID) (fromMemory bool) {
 	s.retryDeferredLocked()
 	s.mu.Unlock()
 	s.notifyUnpinned(unpinned)
-	return fromMemory
+	return tier, resident
 }
 
 // IsPinned reports whether a block is currently in pinned memory.
@@ -319,13 +410,27 @@ func (s *Slave) PinnedBytes() int64 {
 	return s.pinnedBytes
 }
 
+// SSDBytes returns the current flash-tier occupancy.
+func (s *Slave) SSDBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ssdBytes
+}
+
 // Stats returns a snapshot of slave activity.
 func (s *Slave) Stats() SlaveStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st := s.stats
 	st.PinnedBytes = s.pinnedBytes
-	st.PinnedBlocks = len(s.pinned)
+	st.SSDPinnedBytes = s.ssdBytes
+	for _, pb := range s.pinned {
+		if pb.tier == dfs.TierSSD {
+			st.SSDPinnedBlocks++
+		} else {
+			st.PinnedBlocks++
+		}
+	}
 	st.QueuedCmds = s.queue.Len()
 	st.DeferredCmds = len(s.deferred)
 	return st
@@ -335,7 +440,7 @@ func (s *Slave) Stats() SlaveStats {
 // discarded (the OS reclaims it) and the slave resumes with empty state,
 // ready for new commands.
 func (s *Slave) Restart() {
-	var unpinned []dfs.BlockID
+	var unpinned []tierPin
 	s.mu.Lock()
 	unpinned = s.purgeAllLocked()
 	s.queue.clear()
@@ -372,7 +477,7 @@ func (s *Slave) pruneTombstonesLocked(now time.Time) {
 
 // adoptEpochLocked switches to a new master epoch, purging all reference
 // lists, and returns the blocks that became unpinned.
-func (s *Slave) adoptEpochLocked(epoch uint64) []dfs.BlockID {
+func (s *Slave) adoptEpochLocked(epoch uint64) []tierPin {
 	if epoch == s.epoch {
 		return nil
 	}
@@ -385,20 +490,22 @@ func (s *Slave) adoptEpochLocked(epoch uint64) []dfs.BlockID {
 	return unpinned
 }
 
-func (s *Slave) purgeAllLocked() []dfs.BlockID {
-	unpinned := make([]dfs.BlockID, 0, len(s.pinned))
-	for id := range s.pinned {
-		unpinned = append(unpinned, id)
+func (s *Slave) purgeAllLocked() []tierPin {
+	unpinned := make([]tierPin, 0, len(s.pinned))
+	for id, pb := range s.pinned {
+		unpinned = append(unpinned, tierPin{id: id, tier: pb.tier})
 	}
 	s.pinned = make(map[dfs.BlockID]*pinnedBlock)
 	s.jobBlocks = make(map[dfs.JobID]map[dfs.BlockID]struct{})
 	s.pinnedBytes = 0
+	s.ssdBytes = 0
 	return unpinned
 }
 
 // dropRefLocked removes job from the block's reference list and unpins
-// the block if the list empties. It returns the unpinned block IDs.
-func (s *Slave) dropRefLocked(id dfs.BlockID, job dfs.JobID) []dfs.BlockID {
+// the block if the list empties. It returns the unpinned blocks with the
+// tier they were resident on.
+func (s *Slave) dropRefLocked(id dfs.BlockID, job dfs.JobID) []tierPin {
 	pb := s.pinned[id]
 	if pb == nil {
 		return nil
@@ -417,10 +524,14 @@ func (s *Slave) dropRefLocked(id dfs.BlockID, job dfs.JobID) []dfs.BlockID {
 		return nil
 	}
 	delete(s.pinned, id)
-	s.pinnedBytes -= pb.size
+	if pb.tier == dfs.TierSSD {
+		s.ssdBytes -= pb.size
+	} else {
+		s.pinnedBytes -= pb.size
+	}
 	s.stats.Evictions++
 	s.retryDeferredLocked()
-	return []dfs.BlockID{id}
+	return []tierPin{{id: id, tier: pb.tier}}
 }
 
 func (s *Slave) addRefLocked(id dfs.BlockID, job dfs.JobID, implicit bool) {
@@ -450,9 +561,9 @@ func (s *Slave) retryDeferredLocked() {
 	s.cond.Broadcast()
 }
 
-func (s *Slave) notifyUnpinned(ids []dfs.BlockID) {
-	for _, id := range ids {
-		s.onPin(id, false)
+func (s *Slave) notifyUnpinned(pins []tierPin) {
+	for _, p := range pins {
+		s.onPin(p.id, p.tier, false)
 	}
 }
 
@@ -479,29 +590,43 @@ func (s *Slave) worker() {
 			s.stats.DiscardedMissed++
 			continue
 		}
+		target := e.cmd.Tier.EffectiveTarget()
 		if pb := s.pinned[e.cmd.Block.ID]; pb != nil {
-			// Already in memory (migrated for another job): just extend
-			// the reference list; no disk read needed.
-			s.addRefLocked(e.cmd.Block.ID, e.cmd.Job, e.cmd.Implicit)
+			if pb.tier >= target {
+				// Already resident at (or above) the target rung
+				// (migrated for another job): just extend the reference
+				// list; no device read needed.
+				s.addRefLocked(e.cmd.Block.ID, e.cmd.Job, e.cmd.Implicit)
+				continue
+			}
+			// Climb: the block sits on flash and the master promoted it
+			// to RAM. RAM capacity rules apply; the flash copy stays
+			// until the climb lands.
+			if s.climbLocked(e, pb) {
+				return
+			}
 			continue
 		}
-		if e.cmd.Block.Size > s.cfg.Capacity {
-			s.stats.RejectedTooLarge++
-			continue
+		if target == dfs.TierRAM {
+			// Memory capacity governs only the RAM rung; flash admission
+			// is bounded by the master's per-tier budget.
+			if e.cmd.Block.Size > s.cfg.Capacity {
+				s.stats.RejectedTooLarge++
+				continue
+			}
+			if s.pinnedBytes+s.reserved+e.cmd.Block.Size > s.cfg.Capacity {
+				// Do-not-harm: never evict an unread pinned block to admit a
+				// new one. Defer until eviction frees space.
+				s.deferred = append(s.deferred, e)
+				s.maybeSweepLocked()
+				continue
+			}
+			s.reserved += e.cmd.Block.Size // reserve before the slow read
 		}
-		if s.pinnedBytes+s.reserved+e.cmd.Block.Size > s.cfg.Capacity {
-			// Do-not-harm: never evict an unread pinned block to admit a
-			// new one. Defer until eviction frees space.
-			s.deferred = append(s.deferred, e)
-			s.maybeSweepLocked()
-			continue
-		}
-
-		s.reserved += e.cmd.Block.Size // reserve before the slow read
 		epoch := s.epoch
 		s.mu.Unlock()
 		readStart := s.clock.Now()
-		err := s.media.ReadForMigration(e.cmd.Block, e.cmd.Checksum)
+		err := s.copyForMigration(e.cmd.Block, e.cmd.Checksum, dfs.TierHDD, target)
 		readDur := s.clock.Now().Sub(readStart)
 		if err == nil && s.cfg.AdaptiveThrottle && contended(e.cmd.Block.Size, readDur, s.cfg.ContendedThresholdMBps) {
 			// Feedback pacing: the device is busy with foreground work;
@@ -513,7 +638,9 @@ func (s *Slave) worker() {
 		}
 		s.mu.Lock()
 
-		s.reserved -= e.cmd.Block.Size
+		if target == dfs.TierRAM {
+			s.reserved -= e.cmd.Block.Size
+		}
 		if s.closed {
 			return
 		}
@@ -534,15 +661,82 @@ func (s *Slave) worker() {
 			s.stats.DiscardedMissed++
 			continue
 		}
-		s.pinnedBytes += e.cmd.Block.Size
-		s.pinned[e.cmd.Block.ID] = &pinnedBlock{size: e.cmd.Block.Size, refs: make(map[dfs.JobID]bool)}
+		if target == dfs.TierSSD {
+			s.ssdBytes += e.cmd.Block.Size
+		} else {
+			s.pinnedBytes += e.cmd.Block.Size
+		}
+		s.pinned[e.cmd.Block.ID] = &pinnedBlock{size: e.cmd.Block.Size, refs: make(map[dfs.JobID]bool), tier: target}
 		s.addRefLocked(e.cmd.Block.ID, e.cmd.Job, e.cmd.Implicit)
 		s.stats.MigratedBlocks++
 		s.stats.MigratedBytes += e.cmd.Block.Size
 		s.mu.Unlock()
-		s.onPin(e.cmd.Block.ID, true)
+		s.onPin(e.cmd.Block.ID, target, true)
 		s.mu.Lock()
 	}
+}
+
+// climbLocked copies a flash-resident block into memory and flips its
+// tier. Called with the mutex held; returns true when the slave closed
+// mid-copy and the worker must exit. The flash copy is only released
+// (and the pin listener told) once the RAM copy lands, so a crash
+// mid-climb leaves the block safely on flash.
+func (s *Slave) climbLocked(e *migEntry, pb *pinnedBlock) (closed bool) {
+	id := e.cmd.Block.ID
+	if e.cmd.Block.Size > s.cfg.Capacity {
+		s.stats.RejectedTooLarge++
+		return false
+	}
+	if s.pinnedBytes+s.reserved+e.cmd.Block.Size > s.cfg.Capacity {
+		s.deferred = append(s.deferred, e)
+		s.maybeSweepLocked()
+		return false
+	}
+	s.reserved += e.cmd.Block.Size
+	epoch := s.epoch
+	s.mu.Unlock()
+	err := s.copyForMigration(e.cmd.Block, e.cmd.Checksum, dfs.TierSSD, dfs.TierRAM)
+	s.mu.Lock()
+	s.reserved -= e.cmd.Block.Size
+	if s.closed {
+		return true
+	}
+	if err != nil {
+		s.stats.ReadFailures++
+		return false
+	}
+	if epoch != s.epoch {
+		return false
+	}
+	if cur := s.pinned[id]; cur != pb || cur.tier != dfs.TierSSD {
+		// The block was unpinned, demoted, or already climbed while we
+		// copied; nothing to flip.
+		return false
+	}
+	pb.tier = dfs.TierRAM
+	s.ssdBytes -= pb.size
+	s.pinnedBytes += pb.size
+	s.stats.ClimbedBlocks++
+	s.addRefLocked(id, e.cmd.Job, e.cmd.Implicit)
+	s.mu.Unlock()
+	s.onPin(id, dfs.TierRAM, true)
+	s.onPin(id, dfs.TierSSD, false)
+	s.mu.Lock()
+	return false
+}
+
+// copyForMigration moves a block's bytes between tiers. The historical
+// HDD→RAM path goes through ReadForMigration unchanged (its cost model
+// is part of the paper reproduction); other tier pairs use the media's
+// TierCopier when it offers one, falling back to a plain device read.
+func (s *Slave) copyForMigration(b dfs.Block, checksum uint32, from, to dfs.Tier) error {
+	if from == dfs.TierHDD && to == dfs.TierRAM {
+		return s.media.ReadForMigration(b, checksum)
+	}
+	if tc, ok := s.media.(TierCopier); ok {
+		return tc.CopyForMigration(b, checksum, from, to)
+	}
+	return s.media.ReadForMigration(b, checksum)
 }
 
 // maybeSweepLocked purges reference lists of dead jobs when occupancy is
@@ -577,7 +771,7 @@ func (s *Slave) maybeSweepLocked() {
 	if s.closed || epoch != s.epoch {
 		return
 	}
-	var unpinned []dfs.BlockID
+	var unpinned []tierPin
 	for _, job := range dead {
 		blocks := s.jobBlocks[job]
 		ids := make([]dfs.BlockID, 0, len(blocks))

@@ -73,7 +73,7 @@ type pinRecorder struct {
 }
 
 func (p *pinRecorder) listener() PinListener {
-	return func(id dfs.BlockID, pinned bool) {
+	return func(id dfs.BlockID, tier dfs.Tier, pinned bool) {
 		p.mu.Lock()
 		defer p.mu.Unlock()
 		state := "unpin"

@@ -1,0 +1,208 @@
+package ignem
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/dfs"
+	"repro/internal/simclock"
+)
+
+// tierRecorder is a tier-aware pin listener (pinRecorder in
+// slave_test.go only records pin/unpin state).
+type tierRecorder struct {
+	mu     sync.Mutex
+	events []string
+}
+
+func (r *tierRecorder) listener() PinListener {
+	return func(id dfs.BlockID, tier dfs.Tier, pinned bool) {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		state := "unpin"
+		if pinned {
+			state = "pin"
+		}
+		r.events = append(r.events, fmt.Sprintf("%s:%d:%v", state, id, tier))
+	}
+}
+
+func (r *tierRecorder) snapshot() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]string(nil), r.events...)
+}
+
+func tierCmd(b dfs.Block, job dfs.JobID, jobSize int64, tier dfs.Tier) dfs.MigrateCmd {
+	c := cmd(b, job, jobSize, false)
+	c.Tier = tier
+	return c
+}
+
+func TestSlaveMigratesToSSDTier(t *testing.T) {
+	v := simclock.NewVirtual(epoch)
+	media := &fakeMedia{clock: v, readTime: 10 * time.Millisecond}
+	rec := &tierRecorder{}
+	s := NewSlave(v, SlaveConfig{Capacity: 1 << 20}, media, nil, rec.listener())
+
+	// The block is far larger than RAM capacity: the flash rung is not
+	// bounded by Capacity (the master's SSD budget governs it).
+	b := block(1, 64<<20)
+	v.Go(func() {
+		s.ApplyMigrateBatch(dfs.MigrateBatch{Epoch: 1, Cmds: []dfs.MigrateCmd{tierCmd(b, "j1", 64<<20, dfs.TierSSD)}})
+	})
+	v.Wait()
+
+	if !s.IsPinned(1) {
+		t.Fatal("block not resident after SSD migration")
+	}
+	if got := s.SSDBytes(); got != 64<<20 {
+		t.Errorf("SSDBytes = %d, want %d", got, 64<<20)
+	}
+	if got := s.PinnedBytes(); got != 0 {
+		t.Errorf("PinnedBytes = %d, want 0 (flash copy must not charge RAM)", got)
+	}
+	st := s.Stats()
+	if st.SSDPinnedBlocks != 1 || st.SSDPinnedBytes != 64<<20 {
+		t.Errorf("stats = %+v", st)
+	}
+
+	// A read is served from flash, not memory.
+	tier, resident := s.OnBlockReadTier(1, "other")
+	if !resident || tier != dfs.TierSSD {
+		t.Errorf("OnBlockReadTier = (%v, %v), want (SSD, true)", tier, resident)
+	}
+	if st = s.Stats(); st.SSDHits != 1 || st.MemoryHits != 0 {
+		t.Errorf("hit counters = ssd %d mem %d", st.SSDHits, st.MemoryHits)
+	}
+
+	if got := rec.snapshot(); len(got) != 1 || got[0] != fmt.Sprintf("pin:1:%v", dfs.TierSSD) {
+		t.Errorf("pin events = %v", got)
+	}
+}
+
+func TestSlaveClimbsSSDToRAM(t *testing.T) {
+	v := simclock.NewVirtual(epoch)
+	media := &fakeMedia{clock: v, readTime: 10 * time.Millisecond}
+	rec := &tierRecorder{}
+	s := NewSlave(v, SlaveConfig{Capacity: 1 << 30}, media, nil, rec.listener())
+
+	b := block(1, 8<<20)
+	v.Go(func() {
+		s.ApplyMigrateBatch(dfs.MigrateBatch{Epoch: 1, Cmds: []dfs.MigrateCmd{tierCmd(b, "j1", 8<<20, dfs.TierSSD)}})
+	})
+	v.Wait()
+	// Second rung: the master promotes the now-flash-resident block.
+	v.Go(func() {
+		s.ApplyMigrateBatch(dfs.MigrateBatch{Epoch: 1, Cmds: []dfs.MigrateCmd{tierCmd(b, "j1", 8<<20, dfs.TierRAM)}})
+	})
+	v.Wait()
+
+	if got := s.PinnedBytes(); got != 8<<20 {
+		t.Errorf("PinnedBytes = %d, want %d after climb", got, 8<<20)
+	}
+	if got := s.SSDBytes(); got != 0 {
+		t.Errorf("SSDBytes = %d, want 0 after climb (flash copy released)", got)
+	}
+	st := s.Stats()
+	if st.ClimbedBlocks != 1 {
+		t.Errorf("ClimbedBlocks = %d, want 1", st.ClimbedBlocks)
+	}
+	if st.MigratedBlocks != 1 {
+		t.Errorf("MigratedBlocks = %d, want 1 (a climb is not a fresh migration)", st.MigratedBlocks)
+	}
+	// RAM pin lands before the flash unpin so a crash mid-climb never
+	// leaves the block resident nowhere.
+	want := []string{
+		fmt.Sprintf("pin:1:%v", dfs.TierSSD),
+		fmt.Sprintf("pin:1:%v", dfs.TierRAM),
+		fmt.Sprintf("unpin:1:%v", dfs.TierSSD),
+	}
+	got := rec.snapshot()
+	if len(got) != len(want) {
+		t.Fatalf("pin events = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pin events = %v, want %v", got, want)
+		}
+	}
+	// And the read hook now reports a memory hit.
+	if tier, resident := s.OnBlockReadTier(1, "other"); !resident || tier != dfs.TierRAM {
+		t.Errorf("OnBlockReadTier = (%v, %v), want (RAM, true)", tier, resident)
+	}
+}
+
+func TestSlaveDemoteDrainsMatchingTierOnly(t *testing.T) {
+	v := simclock.NewVirtual(epoch)
+	media := &fakeMedia{clock: v, readTime: 10 * time.Millisecond}
+	rec := &tierRecorder{}
+	s := NewSlave(v, SlaveConfig{Capacity: 1 << 30}, media, nil, rec.listener())
+
+	ssd := block(1, 4<<20)
+	ram := block(2, 4<<20)
+	v.Go(func() {
+		s.ApplyMigrateBatch(dfs.MigrateBatch{Epoch: 1, Cmds: []dfs.MigrateCmd{
+			tierCmd(ssd, "j1", 8<<20, dfs.TierSSD),
+			tierCmd(ram, "j1", 8<<20, dfs.TierRAM),
+		}})
+	})
+	v.Wait()
+
+	v.Go(func() {
+		s.ApplyDemoteBatch(dfs.DemoteBatch{Epoch: 1, Cmds: []dfs.DemoteCmd{
+			{Block: 1, Tier: dfs.TierSSD},
+			// Tier mismatch: block 2 sits in RAM, not on flash — skipped.
+			{Block: 2, Tier: dfs.TierSSD},
+			// Not resident at all — skipped.
+			{Block: 3, Tier: dfs.TierSSD},
+		}})
+	})
+	v.Wait()
+
+	if s.IsPinned(1) {
+		t.Error("demoted block still resident")
+	}
+	if !s.IsPinned(2) {
+		t.Error("tier-mismatched demote dropped a RAM resident")
+	}
+	if got := s.SSDBytes(); got != 0 {
+		t.Errorf("SSDBytes = %d, want 0", got)
+	}
+	st := s.Stats()
+	if st.Demotions != 1 {
+		t.Errorf("Demotions = %d, want 1", st.Demotions)
+	}
+	// Demotion sends the master an unpin delta so the budget is freed.
+	want := fmt.Sprintf("unpin:1:%v", dfs.TierSSD)
+	var found bool
+	for _, e := range rec.snapshot() {
+		if e == want {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("pin events %v missing %q", rec.snapshot(), want)
+	}
+}
+
+func TestSlaveLegacyTierlessCommandPinsRAM(t *testing.T) {
+	v := simclock.NewVirtual(epoch)
+	media := &fakeMedia{clock: v, readTime: 10 * time.Millisecond}
+	s, _ := newTestSlave(v, SlaveConfig{Capacity: 1 << 30}, media, nil)
+
+	// cmd() leaves Tier at its zero value (TierHDD), which must replay
+	// as the paper's pin-in-RAM target.
+	v.Go(func() {
+		s.ApplyMigrateBatch(dfs.MigrateBatch{Epoch: 1, Cmds: []dfs.MigrateCmd{cmd(block(1, 1<<20), "j1", 1<<20, false)}})
+	})
+	v.Wait()
+	if got := s.PinnedBytes(); got != 1<<20 {
+		t.Errorf("PinnedBytes = %d, want %d", got, 1<<20)
+	}
+	if got := s.SSDBytes(); got != 0 {
+		t.Errorf("SSDBytes = %d, want 0", got)
+	}
+}

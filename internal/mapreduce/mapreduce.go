@@ -426,23 +426,29 @@ func placementPreferences(lb dfs.LocatedBlock) (strong, weak []string) {
 }
 
 func preferredNodes(lb dfs.LocatedBlock) []string {
-	out := make([]string, 0, len(lb.Migrated)+len(lb.Nodes)+1)
+	out := make([]string, 0, len(lb.Migrated)+len(lb.OnSSD)+len(lb.Nodes)+1)
 	if lb.Assigned != "" {
 		out = append(out, lb.Assigned)
 	}
 	out = append(out, lb.Migrated...)
-	for _, n := range lb.Nodes {
-		dup := false
-		for _, seen := range out {
-			if seen == n {
-				dup = true
-				break
+	appendNew := func(nodes []string) {
+		for _, n := range nodes {
+			dup := false
+			for _, seen := range out {
+				if seen == n {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				out = append(out, n)
 			}
 		}
-		if !dup {
-			out = append(out, n)
-		}
 	}
+	// SSD-resident copies rank between pinned-in-RAM and plain disk
+	// replicas, mirroring the client's read-path preference.
+	appendNew(lb.OnSSD)
+	appendNew(lb.Nodes)
 	return out
 }
 

@@ -20,9 +20,12 @@ package storage
 import (
 	"errors"
 	"fmt"
+	"math"
+	"math/rand"
 	"sync"
 	"time"
 
+	"repro/internal/dfs"
 	"repro/internal/simclock"
 )
 
@@ -30,10 +33,64 @@ import (
 // that has been closed, for example when a DataNode's server dies.
 var ErrClosed = errors.New("storage: device closed")
 
+// Tier ranks device classes in the migration ladder, coldest first.
+// The canonical definition lives in package dfs (the wire carries tier
+// identity on migrate commands); storage aliases it so device specs
+// and the migration plane share one vocabulary.
+type Tier = dfs.Tier
+
+// Tier ranks, re-exported for spec literals.
+const (
+	TierHDD = dfs.TierHDD
+	TierSSD = dfs.TierSSD
+	TierRAM = dfs.TierRAM
+)
+
+// ReadVar models long-tail read-latency variability: most reads proceed
+// at the spec's sequential bandwidth, but with probability TailProb a
+// request draws a slowdown multiplier log-uniformly from
+// [TailMinX, TailMaxX]. This reproduces the SSD read-variability case
+// study's shape — internal housekeeping (GC, wear leveling, read
+// disturb) makes a small fraction of flash reads an order of magnitude
+// slower — so tier-choice policies have a real tail to react to. All
+// draws come from a dedicated seeded stream, so a given seed yields a
+// bit-identical cost sequence.
+type ReadVar struct {
+	// TailProb is the per-request probability of a slow read, in [0,1].
+	TailProb float64
+	// TailMinX and TailMaxX bound the slowdown multiplier (>1) drawn
+	// log-uniformly for a tail read.
+	TailMinX float64
+	TailMaxX float64
+	// Seed initializes the device's variability stream.
+	Seed int64
+}
+
+func (v *ReadVar) validate(name string) error {
+	if v == nil {
+		return nil
+	}
+	if v.TailProb < 0 || v.TailProb > 1 {
+		return fmt.Errorf("storage: %s: tail probability outside [0,1]", name)
+	}
+	if v.TailMinX < 1 || v.TailMaxX < v.TailMinX {
+		return fmt.Errorf("storage: %s: tail multipliers must satisfy 1 <= min <= max", name)
+	}
+	return nil
+}
+
 // Spec holds the performance parameters of a device.
 type Spec struct {
 	// Name labels the device in metrics output ("hdd", "ssd", "ram").
 	Name string
+	// Tier ranks the device in the migration ladder. The zero value is
+	// TierHDD, which matches every historical cold-media spec.
+	Tier Tier
+	// ReadVar, when non-nil, adds seeded long-tail read-cost
+	// variability (see ReadVar). Nil — the default on every historical
+	// spec — keeps reads exactly at sequential bandwidth, so seeded
+	// figures are untouched.
+	ReadVar *ReadVar
 	// SeqReadMBps is the sequential streaming read throughput in MB/s.
 	SeqReadMBps float64
 	// SeqWriteMBps is the sequential streaming write throughput in MB/s.
@@ -62,7 +119,7 @@ func (s Spec) validate() error {
 	if s.Seek < 0 {
 		return fmt.Errorf("storage: %s: negative seek", s.Name)
 	}
-	return nil
+	return s.ReadVar.validate(s.Name)
 }
 
 // HDDSpec models a 7200rpm SATA drive like the 1 TB disks in the paper's
@@ -85,11 +142,22 @@ func HDDSpec() Spec {
 func SSDSpec() Spec {
 	return Spec{
 		Name:         "ssd",
+		Tier:         TierSSD,
 		SeqReadMBps:  2200,
 		SeqWriteMBps: 1800,
 		Seek:         20 * time.Microsecond,
 		Granule:      1 << 20,
 	}
+}
+
+// SSDVarSpec is SSDSpec with the case study's long-tail read
+// variability: ~5% of reads draw a 2–20x slowdown (log-uniform), which
+// puts the p99/p50 read-cost ratio in the reported band of roughly one
+// order of magnitude while the median read stays at full flash speed.
+func SSDVarSpec(seed int64) Spec {
+	s := SSDSpec()
+	s.ReadVar = &ReadVar{TailProb: 0.05, TailMinX: 2, TailMaxX: 20, Seed: seed}
+	return s
 }
 
 // RAMSpec models reads of mlocked buffer-cache pages through the
@@ -98,6 +166,7 @@ func SSDSpec() Spec {
 func RAMSpec() Spec {
 	return Spec{
 		Name:         "ram",
+		Tier:         TierRAM,
 		SeqReadMBps:  1500,
 		SeqWriteMBps: 1500,
 		Seek:         0,
@@ -117,6 +186,7 @@ type request struct {
 	id        uint64
 	kind      opKind
 	remaining int64
+	slow      float64 // read-cost multiplier drawn at submit (0 or 1 = none)
 	done      *simclock.Chan[error]
 }
 
@@ -135,6 +205,8 @@ type Device struct {
 	busy    time.Duration // cumulative time spent serving granules
 	served  int64         // cumulative bytes served
 	started time.Time
+	rvRng   *rand.Rand // read-variability stream, nil without ReadVar
+	slowAcc int64      // cumulative tail reads drawn
 }
 
 // NewDevice creates a device and starts its serving loop on the clock.
@@ -144,6 +216,9 @@ func NewDevice(clock simclock.Clock, spec Spec) (*Device, error) {
 	}
 	d := &Device{clock: clock, spec: spec, started: clock.Now()}
 	d.cond = simclock.NewCond(clock, &d.mu)
+	if spec.ReadVar != nil {
+		d.rvRng = rand.New(rand.NewSource(spec.ReadVar.Seed))
+	}
 	clock.Go(d.run)
 	return d, nil
 }
@@ -159,6 +234,23 @@ func MustNewDevice(clock simclock.Clock, spec Spec) *Device {
 
 // Spec returns the device's performance parameters.
 func (d *Device) Spec() Spec { return d.spec }
+
+// Tier reports the device's rank in the migration ladder.
+func (d *Device) Tier() Tier { return d.spec.Tier }
+
+// drawSlowLocked draws a read-cost multiplier from the variability
+// stream: 1 for a fast read, log-uniform in [TailMinX, TailMaxX] for a
+// tail read. Caller holds d.mu, so concurrent submitters consume the
+// stream in queue order.
+func (d *Device) drawSlowLocked() float64 {
+	rv := d.spec.ReadVar
+	if d.rvRng.Float64() >= rv.TailProb {
+		return 1
+	}
+	d.slowAcc++
+	lo, hi := math.Log(rv.TailMinX), math.Log(rv.TailMaxX)
+	return math.Exp(lo + d.rvRng.Float64()*(hi-lo))
+}
 
 // Read blocks for as long as reading n bytes takes given the device's
 // current load. It must be called from a simulation goroutine.
@@ -182,6 +274,9 @@ func (d *Device) submit(kind opKind, n int64) error {
 	}
 	d.nextID++
 	req.id = d.nextID
+	if kind == opRead && d.rvRng != nil {
+		req.slow = d.drawSlowLocked()
+	}
 	d.queue = append(d.queue, req)
 	d.cond.Signal()
 	d.mu.Unlock()
@@ -198,10 +293,13 @@ func (d *Device) submitParallel(kind opKind, n int64) error {
 		return ErrClosed
 	}
 	mbps := d.spec.SeqReadMBps
+	slow := 1.0
 	if kind == opWrite {
 		mbps = d.spec.SeqWriteMBps
+	} else if d.rvRng != nil {
+		slow = d.drawSlowLocked()
 	}
-	cost := d.spec.Seek + time.Duration(float64(n)/(mbps*1e6)*float64(time.Second))
+	cost := d.spec.Seek + time.Duration(float64(n)/(mbps*1e6)*slow*float64(time.Second))
 	d.mu.Unlock()
 
 	d.clock.Sleep(cost)
@@ -263,7 +361,11 @@ func (d *Device) serviceTime(req *request, slice int64) time.Duration {
 	if req.kind == opWrite {
 		mbps = d.spec.SeqWriteMBps
 	}
-	cost := time.Duration(float64(slice) / (mbps * 1e6) * float64(time.Second))
+	xfer := float64(slice) / (mbps * 1e6)
+	if req.slow > 1 {
+		xfer *= req.slow
+	}
+	cost := time.Duration(xfer * float64(time.Second))
 	if req.id != d.lastID {
 		cost += d.spec.Seek
 	}
@@ -278,6 +380,8 @@ type Stats struct {
 	BytesServed int64
 	// QueueLen is the number of requests currently outstanding.
 	QueueLen int
+	// SlowReads counts reads that drew a tail slowdown (ReadVar only).
+	SlowReads int64
 	// Since is when the device started serving.
 	Since time.Time
 }
@@ -286,7 +390,7 @@ type Stats struct {
 func (d *Device) Stats() Stats {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	return Stats{Busy: d.busy, BytesServed: d.served, QueueLen: len(d.queue), Since: d.started}
+	return Stats{Busy: d.busy, BytesServed: d.served, QueueLen: len(d.queue), SlowReads: d.slowAcc, Since: d.started}
 }
 
 // Utilization reports the fraction of time the device has been busy since

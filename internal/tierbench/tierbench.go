@@ -1,0 +1,376 @@
+// Package tierbench measures the multi-tier migration ladder: the same
+// SWIM-style workload runs once per migration policy on identical
+// clusters, and the harness compares per-task latency distributions,
+// fast-tier occupancy timelines, and the master's tier counters.
+//
+// The headline comparison is pin-in-RAM-only (the paper's policy) under
+// a tight RAM budget versus the HDD→SSD→RAM ladder with the same RAM
+// budget plus a flash rung: when RAM holds only a quarter of the
+// working set, the paper policy spills the rest to contended disk while
+// the ladder parks it on (variability-modeled) SSD, and the tail of the
+// task-time distribution is where the difference shows. Everything runs
+// on the virtual clock, so results are deterministic for a given
+// config and seed.
+package tierbench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/dfs"
+	"repro/internal/ignem"
+	"repro/internal/mapreduce"
+	"repro/internal/simclock"
+	"repro/internal/storage"
+	"repro/internal/workloads"
+)
+
+// Config sizes the tier-ladder benchmark.
+type Config struct {
+	// Jobs and TotalBytes size the SWIM workload.
+	Jobs       int
+	TotalBytes int64
+	// Nodes is the cluster size.
+	Nodes int
+	Seed  int64
+	// MeanInterarrival spaces job submissions. Tighter than the paper's
+	// 8s so concurrent jobs keep the tier budgets under pressure.
+	MeanInterarrival time.Duration
+	// RAMFraction sizes the cluster-wide RAM budget as a fraction of
+	// the workload's total input bytes. Default 0.25 — the regime the
+	// ladder is built for: RAM alone cannot hold the working set.
+	RAMFraction float64
+	// SSDFraction sizes the SSD budget likewise. Default 1.0.
+	SSDFraction float64
+	// SampleEvery sets the occupancy-timeline sampling period.
+	SampleEvery time.Duration
+	// WallTimeout bounds each variant's real (wall-clock) runtime.
+	WallTimeout time.Duration
+}
+
+// Default is the full benchmark configuration (`make bench-tier`).
+func Default() Config {
+	return Config{
+		Jobs:             48,
+		TotalBytes:       12 << 30,
+		Nodes:            8,
+		Seed:             11,
+		MeanInterarrival: 2 * time.Second,
+	}
+}
+
+// Smoke is the reduced CI configuration (`make bench-tier-smoke`).
+func Smoke() Config {
+	return Config{
+		Jobs:             16,
+		TotalBytes:       3 << 30,
+		Nodes:            4,
+		Seed:             11,
+		MeanInterarrival: 2 * time.Second,
+	}
+}
+
+func (c *Config) setDefaults() {
+	if c.Jobs <= 0 {
+		c.Jobs = 48
+	}
+	if c.TotalBytes <= 0 {
+		c.TotalBytes = 12 << 30
+	}
+	if c.Nodes <= 0 {
+		c.Nodes = 8
+	}
+	if c.MeanInterarrival <= 0 {
+		c.MeanInterarrival = 2 * time.Second
+	}
+	if c.RAMFraction <= 0 {
+		c.RAMFraction = 0.25
+	}
+	if c.SSDFraction <= 0 {
+		c.SSDFraction = 1.0
+	}
+	if c.SampleEvery <= 0 {
+		c.SampleEvery = 2 * time.Second
+	}
+	if c.WallTimeout <= 0 {
+		c.WallTimeout = 30 * time.Minute
+	}
+}
+
+// OccSample is one point of a tier-occupancy timeline: cluster-wide
+// fast-tier bytes at a virtual-clock instant.
+type OccSample struct {
+	Seconds  float64 `json:"t_seconds"`
+	RAMBytes int64   `json:"ram_bytes"`
+	SSDBytes int64   `json:"ssd_bytes"`
+}
+
+// CDFPoint is one quantile of the per-task runtime distribution.
+type CDFPoint struct {
+	Quantile float64 `json:"q"`
+	Seconds  float64 `json:"seconds"`
+}
+
+// Result is one policy variant's measurements.
+type Result struct {
+	Name   string `json:"name"`
+	Policy string `json:"policy"`
+
+	RAMBudgetBytes int64 `json:"ram_budget_bytes"`
+	SSDBudgetBytes int64 `json:"ssd_budget_bytes"`
+
+	TaskMeanSec float64 `json:"task_mean_sec"`
+	TaskP50Sec  float64 `json:"task_p50_sec"`
+	TaskP90Sec  float64 `json:"task_p90_sec"`
+	TaskP99Sec  float64 `json:"task_p99_sec"`
+	JobMeanSec  float64 `json:"job_mean_sec"`
+	MakespanSec float64 `json:"makespan_sec"`
+
+	// MemoryHitFrac / SSDHitFrac split block reads by serving tier.
+	MemoryHitFrac float64 `json:"memory_hit_frac"`
+	SSDHitFrac    float64 `json:"ssd_hit_frac"`
+
+	// Tiers is the master's budget-ledger counter snapshot.
+	Tiers ignem.TierCounters `json:"tiers"`
+	// ClimbedBlocks / Demotions aggregate the slaves' ladder movement.
+	ClimbedBlocks int64 `json:"climbed_blocks"`
+	Demotions     int64 `json:"demotions"`
+	// SlowReads counts SSD reads that drew the modeled latency tail.
+	SlowReads int64 `json:"ssd_slow_reads"`
+
+	TaskCDF   []CDFPoint  `json:"task_cdf"`
+	Occupancy []OccSample `json:"occupancy"`
+
+	// P99SpeedupVsPinRAM is pin-ram's p99 task time divided by this
+	// variant's (only set on non-baseline variants).
+	P99SpeedupVsPinRAM float64 `json:"p99_speedup_vs_pin_ram,omitempty"`
+}
+
+// variant is one policy configuration under test.
+type variant struct {
+	name    string
+	policy  string
+	ssdTier bool
+}
+
+// Run executes the benchmark: the same workload under pin-in-RAM-only,
+// the cost-benefit ladder, and the popularity policy, all with the same
+// tight RAM budget.
+func Run(cfg Config) ([]Result, error) {
+	cfg.setDefaults()
+	jobs := workloads.GenerateSwim(workloads.SwimConfig{
+		Jobs:             cfg.Jobs,
+		TotalInputBytes:  cfg.TotalBytes,
+		MeanInterarrival: cfg.MeanInterarrival,
+		Seed:             cfg.Seed,
+	})
+	variants := []variant{
+		{name: "pin-ram", policy: "paper", ssdTier: false},
+		{name: "ladder", policy: "ladder", ssdTier: true},
+		{name: "popularity", policy: "popularity", ssdTier: true},
+	}
+	var out []Result
+	for _, v := range variants {
+		r, err := runVariant(cfg, jobs, v)
+		if err != nil {
+			return nil, fmt.Errorf("tierbench %s: %w", v.name, err)
+		}
+		out = append(out, *r)
+	}
+	base := out[0].TaskP99Sec
+	for i := range out[1:] {
+		if p99 := out[i+1].TaskP99Sec; p99 > 0 && base > 0 {
+			out[i+1].P99SpeedupVsPinRAM = base / p99
+		}
+	}
+	return out, nil
+}
+
+func runVariant(cfg Config, jobs []workloads.Job, v variant) (*Result, error) {
+	ramBudget := int64(float64(cfg.TotalBytes) * cfg.RAMFraction)
+	res := &Result{
+		Name:           v.name,
+		Policy:         v.policy,
+		RAMBudgetBytes: ramBudget,
+	}
+	ccfg := cluster.Config{
+		Nodes:           cfg.Nodes,
+		Mode:            cluster.ModeIgnem,
+		Seed:            cfg.Seed,
+		MigrationPolicy: v.policy,
+		TierBudgets:     ignem.TierBudgets{RAM: ramBudget},
+	}
+	if v.ssdTier {
+		res.SSDBudgetBytes = int64(float64(cfg.TotalBytes) * cfg.SSDFraction)
+		ccfg.TierBudgets.SSD = res.SSDBudgetBytes
+		ccfg.SSD = storage.SSDVarSpec(cfg.Seed)
+	}
+	var tasks []float64
+	var jobsSec []float64
+	var inner error
+	err := cluster.RunVirtual(cfg.WallTimeout, func(vclk *simclock.Virtual) {
+		c, err := cluster.Start(vclk, ccfg)
+		if err != nil {
+			inner = err
+			return
+		}
+		defer c.Close()
+		cl, err := c.Client()
+		if err != nil {
+			inner = err
+			return
+		}
+		defer cl.Close()
+		for _, j := range jobs {
+			if err := cl.WriteSyntheticFile(tierPath(j), j.InputBytes, 0, dfs.DefaultReplication); err != nil {
+				inner = fmt.Errorf("setup %s: %w", j.Name, err)
+				return
+			}
+		}
+
+		start := vclk.Now()
+		// Occupancy sampler: cluster-wide fast-tier bytes per period.
+		stopSampler := simclock.NewChan[struct{}](vclk)
+		samplerDone := simclock.NewChan[struct{}](vclk)
+		vclk.Go(func() {
+			defer samplerDone.Send(struct{}{})
+			for {
+				_, _, timedOut := stopSampler.RecvTimeout(cfg.SampleEvery)
+				if !timedOut {
+					return
+				}
+				var ram, ssd int64
+				for _, b := range c.PinnedBytesPerNode() {
+					ram += b
+				}
+				for _, b := range c.SSDBytesPerNode() {
+					ssd += b
+				}
+				res.Occupancy = append(res.Occupancy, OccSample{
+					Seconds:  vclk.Now().Sub(start).Seconds(),
+					RAMBytes: ram,
+					SSDBytes: ssd,
+				})
+			}
+		})
+
+		var mu sync.Mutex
+		var firstErr error
+		wg := simclock.NewWaitGroup(vclk)
+		for _, j := range jobs {
+			j := j
+			wg.Go(func() {
+				vclk.Sleep(j.Arrival)
+				r, err := c.Engine.Run(mapreduce.Config{
+					ID:            dfs.JobID(j.Name),
+					InputPaths:    []string{tierPath(j)},
+					MapRateMBps:   800,
+					ShuffleBytes:  j.ShuffleBytes,
+					OutputBytes:   j.OutputBytes,
+					UseIgnem:      true,
+					ImplicitEvict: true,
+				})
+				mu.Lock()
+				defer mu.Unlock()
+				if err != nil {
+					if firstErr == nil {
+						firstErr = fmt.Errorf("job %s: %w", j.Name, err)
+					}
+					return
+				}
+				jobsSec = append(jobsSec, r.Duration.Seconds())
+				for _, tr := range r.MapResults {
+					tasks = append(tasks, tr.RunTime.Seconds())
+				}
+			})
+		}
+		wg.Wait()
+		if firstErr != nil {
+			inner = firstErr
+			return
+		}
+		res.MakespanSec = vclk.Now().Sub(start).Seconds()
+		stopSampler.Send(struct{}{})
+		samplerDone.Recv()
+
+		slave := c.SlaveStats()
+		reads := slave.MemoryHits + slave.SSDHits + slave.MemoryMisses
+		if reads > 0 {
+			res.MemoryHitFrac = float64(slave.MemoryHits) / float64(reads)
+			res.SSDHitFrac = float64(slave.SSDHits) / float64(reads)
+		}
+		res.ClimbedBlocks = slave.ClimbedBlocks
+		res.Demotions = slave.Demotions
+		res.Tiers = c.NameNode.Stats().Tiers
+		for _, dn := range c.DataNodes {
+			if d := dn.SSDDevice(); d != nil {
+				res.SlowReads += d.Stats().SlowReads
+			}
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	if inner != nil {
+		return nil, inner
+	}
+
+	res.TaskMeanSec = mean(tasks)
+	res.TaskP50Sec = percentile(tasks, 50)
+	res.TaskP90Sec = percentile(tasks, 90)
+	res.TaskP99Sec = percentile(tasks, 99)
+	res.JobMeanSec = mean(jobsSec)
+	for q := 0; q <= 100; q += 5 {
+		res.TaskCDF = append(res.TaskCDF, CDFPoint{
+			Quantile: float64(q) / 100,
+			Seconds:  percentile(tasks, float64(q)),
+		})
+	}
+	return res, nil
+}
+
+func tierPath(j workloads.Job) string { return "/tierbench/" + j.Name }
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// percentile interpolates the p-th percentile of xs (p in [0,100]).
+func percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if len(s) == 1 {
+		return s[0]
+	}
+	pos := p / 100 * float64(len(s)-1)
+	lo := int(pos)
+	if lo >= len(s)-1 {
+		return s[len(s)-1]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[lo+1]*frac
+}
+
+// WriteJSON writes the benchmark records for machine consumption.
+func WriteJSON(path string, results []Result) error {
+	data, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
